@@ -1,0 +1,326 @@
+// Package repro benchmarks regenerate every evaluation artifact of the
+// paper at benchmark-friendly scale, one testing.B target per figure or
+// claim. Run the paper-scale versions with cmd/vmat-bench.
+//
+//	BenchmarkFig7MisRevocation      Figure 7  (mis-revocation vs theta)
+//	BenchmarkFig8ApproxError        Figure 8  (synopsis approximation error)
+//	BenchmarkCommComplexity         Section IX communication comparison
+//	BenchmarkFloodingRounds         Section I  O(1) vs Omega(log n) rounds
+//	BenchmarkPinpointing            Theorem 6  pinpointing cost
+//	BenchmarkRevocationCampaign     Section I  >90% fewer key announcements
+//	BenchmarkWormholeTreeFormation  Figure 2(c) hop-count vs timestamp
+//	BenchmarkSOFChoking             Lemma 1   veto delivery under choking
+//
+// Micro-benchmarks cover the hot primitives underneath: MACs, synopsis
+// derivation, one full honest execution, and one full pinpointing run.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/experiments"
+	"repro/internal/keydist"
+	"repro/internal/synopsis"
+	"repro/internal/topology"
+)
+
+func BenchmarkFig7MisRevocation(b *testing.B) {
+	cfg := experiments.Fig7Config{
+		NetworkSizes:    []int{1000},
+		MaliciousCounts: []int{1, 20},
+		Thetas:          []int{1, 7, 27},
+		Trials:          2,
+		Params:          keydist.PaperParams(),
+		Seed:            2011,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunFig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig8ApproxError(b *testing.B) {
+	cfg := experiments.Fig8Config{Synopses: 100, Counts: []int{100, 1000}, Trials: 20, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.RunFig8(cfg); len(rows) != 2 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+func BenchmarkCommComplexity(b *testing.B) {
+	cfg := experiments.CommConfig{NetworkSizes: []int{200}, Synopses: 100, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunComm(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].VMATMaxNodeBytes), "vmat_max_node_B")
+		b.ReportMetric(float64(rows[0].NaiveMaxNodeBytes), "naive_max_node_B")
+	}
+}
+
+func BenchmarkFloodingRounds(b *testing.B) {
+	cfg := experiments.RoundsConfig{NetworkSizes: []int{200}, Repeats: 3, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunRounds(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].VMATRounds, "vmat_rounds")
+		b.ReportMetric(float64(rows[0].SamplingRounds), "sampling_rounds")
+	}
+}
+
+func BenchmarkPinpointing(b *testing.B) {
+	cfg := experiments.PinpointConfig{NetworkSizes: []int{60}, Trials: 2, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunPinpoint(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Sound != r.Triggered {
+				b.Fatalf("unsound revocation in %s", r.Strategy)
+			}
+		}
+	}
+}
+
+func BenchmarkRevocationCampaign(b *testing.B) {
+	cfg := experiments.CampaignConfig{N: 40, Thetas: []int{7}, MaxExecutions: 60, Trials: 1, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunCampaign(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].AvgRingCoverage, "ring_coverage")
+	}
+}
+
+func BenchmarkWormholeTreeFormation(b *testing.B) {
+	cfg := experiments.WormholeConfig{NetworkSizes: []int{60}, Trials: 2, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunWormhole(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].TimestampInvalid != 0 {
+			b.Fatal("timestamp formation broke")
+		}
+	}
+}
+
+func BenchmarkSOFChoking(b *testing.B) {
+	cfg := experiments.ChokingConfig{N: 50, MaliciousCounts: []int{2}, Trials: 3, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunChoking(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].VetoDelivered != rows[0].Trials {
+			b.Fatal("Lemma 1 violated")
+		}
+	}
+}
+
+func BenchmarkMultipathLossAblation(b *testing.B) {
+	cfg := experiments.LossConfig{N: 60, LossRates: []float64{0.1}, Trials: 4, Seed: 2011}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunLoss(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].MultiCorrect), "multi_correct")
+		b.ReportMetric(float64(rows[0].SingleCorrect), "single_correct")
+	}
+}
+
+// --- micro-benchmarks ---
+
+func BenchmarkComputeMAC(b *testing.B) {
+	key := crypto.KeyFromUint64(1)
+	payload := make([]byte, 24)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		crypto.ComputeMAC(key, payload)
+	}
+}
+
+func BenchmarkSynopsisGenerate(b *testing.B) {
+	nonce := []byte("bench-nonce")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		synopsis.Generate(nonce, topology.NodeID(i%1000+1), 1, i%100)
+	}
+}
+
+func benchEnv(b *testing.B, n int, seed uint64) core.Config {
+	b.Helper()
+	rng := crypto.NewStreamFromSeed(seed)
+	g, _ := topology.RandomGeometric(n, 0.25, rng.Fork([]byte("topo")))
+	dep, err := keydist.NewDeployment(n, keydist.Params{PoolSize: 5000, RingSize: 220},
+		crypto.KeyFromUint64(seed), rng.Fork([]byte("keys")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Config{
+		Graph:      g,
+		Deployment: dep,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if id == topology.BaseStation {
+				return core.Inf()
+			}
+			return 100 + float64(id)
+		},
+		Seed: seed,
+	}
+}
+
+func BenchmarkHonestMinExecution(b *testing.B) {
+	cfg := benchEnv(b, 80, 99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Kind != core.OutcomeResult {
+			b.Fatalf("outcome %v", out.Kind)
+		}
+	}
+}
+
+func BenchmarkCountQuery100Synopses(b *testing.B) {
+	cfg := benchEnv(b, 80, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunCount(cfg, func(id topology.NodeID) bool { return true }, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Answered() {
+			b.Fatal("count did not answer")
+		}
+	}
+}
+
+func BenchmarkEnvelopeSealOpen(b *testing.B) {
+	key := crypto.KeyFromUint64(7)
+	msg := core.AggMsg{Records: make([]core.Record, 100)} // a 2.4KB aggregate
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := core.Seal(5, key, 1, 2, msg)
+		if _, ok := env.Open(key, 1, 2); !ok {
+			b.Fatal("open failed")
+		}
+	}
+}
+
+func BenchmarkKeyDeploymentPaperScale(b *testing.B) {
+	// One Eschenauer-Gligor deployment at the paper's Figure 7 scale:
+	// 1,000 sensors x 250-key rings from a 100,000-key pool.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := keydist.NewDeployment(1000, keydist.PaperParams(),
+			crypto.KeyFromUint64(uint64(i)), crypto.NewStreamFromSeed(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSHIAExecution(b *testing.B) {
+	g := topology.Grid(8, 8)
+	dep, err := keydist.NewDeployment(64, keydist.Params{PoolSize: 500, RingSize: 60},
+		crypto.KeyFromUint64(8), crypto.NewStreamFromSeed(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &baseline.SHIA{
+			Graph:      g,
+			Deployment: dep,
+			Readings:   func(id topology.NodeID) int64 { return int64(id) },
+			Seed:       uint64(i),
+		}
+		if res := s.Run(); res.Alarm {
+			b.Fatal("honest SHIA alarmed")
+		}
+	}
+}
+
+func BenchmarkFullPinpointingRun(b *testing.B) {
+	// A deterministic dropping attack end to end, including the predicate
+	//-test binary searches and the revocation broadcast.
+	g := topology.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 4)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 5)
+	g.AddEdge(5, 4)
+	rng := crypto.NewStreamFromSeed(101)
+	dep, err := keydist.NewDeployment(6, keydist.Params{PoolSize: 600, RingSize: 90},
+		crypto.KeyFromUint64(101), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.Config{
+			Graph:      g,
+			Deployment: dep,
+			Malicious:  map[topology.NodeID]bool{2: true},
+			Adversary:  adversary.NewDropper(50),
+			Seed:       uint64(i),
+			Readings: func(id topology.NodeID, _ int) float64 {
+				switch id {
+				case 0:
+					return core.Inf()
+				case 4:
+					return 1
+				default:
+					return 100 + float64(id)
+				}
+			},
+		}
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := eng.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Kind != core.OutcomeVetoRevocation {
+			b.Fatalf("outcome %v", out.Kind)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Command vmat-bench regenerates the paper's evaluation artifacts: every
+// figure of Section IX plus the complexity-claim comparisons of Sections
+// I and VII. Each experiment prints the same series the paper plots.
+//
+// Usage:
+//
+//	vmat-bench -exp fig7            # Figure 7 at paper scale
+//	vmat-bench -exp fig8 -quick     # Figure 8, reduced trials
+//	vmat-bench -exp all -quick      # everything, reduced scale
+//
+// Experiments: fig7, fig8, comm, rounds, pinpoint, campaign, wormhole,
+// choking, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/keydist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmat-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmat-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|all")
+	quick := fs.Bool("quick", false, "reduced scale (fewer trials, smaller networks)")
+	seed := fs.Uint64("seed", 2011, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() error{
+		"fig7":     func() error { return runFig7(w, *quick, *seed) },
+		"fig8":     func() error { return runFig8(w, *quick, *seed) },
+		"comm":     func() error { return runComm(w, *quick, *seed) },
+		"rounds":   func() error { return runRounds(w, *quick, *seed) },
+		"pinpoint": func() error { return runPinpoint(w, *quick, *seed) },
+		"campaign": func() error { return runCampaign(w, *quick, *seed) },
+		"wormhole": func() error { return runWormhole(w, *quick, *seed) },
+		"choking":  func() error { return runChoking(w, *quick, *seed) },
+		"loss":     func() error { return runLoss(w, *quick, *seed) },
+		"avail":    func() error { return runAvailability(w, *quick, *seed) },
+		"msweep":   func() error { return runMSweep(w, *quick, *seed) },
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail"} {
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	r, ok := runners[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return r()
+}
+
+func runFig7(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultFig7()
+	cfg.Seed = seed
+	if quick {
+		cfg.NetworkSizes = []int{1000}
+		cfg.Trials = 10
+	}
+	rows, err := experiments.RunFig7(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.Fig7Table(rows).Write(w)
+}
+
+func runFig8(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultFig8()
+	cfg.Seed = seed
+	if quick {
+		cfg.Trials = 50
+		cfg.Counts = []int{10, 100, 1000}
+	}
+	rows := experiments.RunFig8(cfg)
+	return experiments.Fig8Table(rows, cfg.Synopses).Write(w)
+}
+
+func runMSweep(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultMSweep()
+	cfg.Seed = seed
+	if quick {
+		cfg.Trials = 40
+	}
+	rows := experiments.RunMSweep(cfg)
+	return experiments.MSweepTable(rows, cfg.Count).Write(w)
+}
+
+func runComm(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultComm()
+	cfg.Seed = seed
+	if quick {
+		cfg.NetworkSizes = []int{100, 1000}
+	}
+	rows, err := experiments.RunComm(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.CommTable(rows).Write(w)
+}
+
+func runRounds(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultRounds()
+	cfg.Seed = seed
+	if quick {
+		cfg.NetworkSizes = []int{50, 100, 400}
+	}
+	rows, err := experiments.RunRounds(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.RoundsTable(rows).Write(w)
+}
+
+func runPinpoint(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultPinpoint()
+	cfg.Seed = seed
+	if quick {
+		cfg.NetworkSizes = []int{50}
+		cfg.Trials = 4
+	}
+	rows, err := experiments.RunPinpoint(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PinpointTable(rows).Write(w)
+}
+
+func runCampaign(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultCampaign()
+	cfg.Seed = seed
+	if quick {
+		cfg.Thetas = []int{0, 7}
+		cfg.Trials = 2
+	}
+	rows, err := experiments.RunCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	ringSize := keydist.Params{PoolSize: 10000, RingSize: 300}.RingSize
+	return experiments.CampaignTable(rows, ringSize).Write(w)
+}
+
+func runWormhole(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultWormhole()
+	cfg.Seed = seed
+	if quick {
+		cfg.NetworkSizes = []int{60}
+		cfg.Trials = 4
+	}
+	rows, err := experiments.RunWormhole(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.WormholeTable(rows).Write(w)
+}
+
+func runLoss(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultLoss()
+	cfg.Seed = seed
+	if quick {
+		cfg.N = 60
+		cfg.Trials = 5
+	}
+	rows, err := experiments.RunLoss(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.LossTable(rows).Write(w)
+}
+
+func runAvailability(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultAvailability()
+	cfg.Seed = seed
+	if quick {
+		cfg.Trials = 2
+		cfg.Executions = 20
+	}
+	rows, err := experiments.RunAvailability(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.AvailabilityTable(rows).Write(w)
+}
+
+func runChoking(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultChoking()
+	cfg.Seed = seed
+	if quick {
+		cfg.N = 50
+		cfg.Trials = 5
+	}
+	rows, err := experiments.RunChoking(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.ChokingTable(rows).Write(w)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestBenchUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBenchWormholeQuick(t *testing.T) {
+	out := runBench(t, "-exp", "wormhole", "-quick")
+	if !strings.Contains(out, "Figure 2(c)") || !strings.Contains(out, "hopcount_invalid") {
+		t.Fatalf("wormhole table malformed:\n%s", out)
+	}
+}
+
+func TestBenchFig8Quick(t *testing.T) {
+	out := runBench(t, "-exp", "fig8", "-quick")
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "avg_rel_err") {
+		t.Fatalf("fig8 table malformed:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 5 {
+		t.Fatalf("fig8 table too short:\n%s", out)
+	}
+}
+
+func TestBenchCampaignQuick(t *testing.T) {
+	out := runBench(t, "-exp", "campaign", "-quick")
+	if !strings.Contains(out, "revocation campaign") || !strings.Contains(out, "ring_coverage") {
+		t.Fatalf("campaign table malformed:\n%s", out)
+	}
+}
+
+func TestBenchLossQuick(t *testing.T) {
+	out := runBench(t, "-exp", "loss", "-quick")
+	if !strings.Contains(out, "radio loss") {
+		t.Fatalf("loss table malformed:\n%s", out)
+	}
+}
+
+func TestBenchSeedFlag(t *testing.T) {
+	a := runBench(t, "-exp", "wormhole", "-quick", "-seed", "5")
+	b := runBench(t, "-exp", "wormhole", "-quick", "-seed", "5")
+	if a != b {
+		t.Fatal("same seed produced different tables")
+	}
+}

@@ -1,0 +1,264 @@
+// Command vmat-sim runs one VMAT execution over a simulated sensor
+// network and reports the outcome: the aggregate answer on the happy
+// path, or the pinpointing/revocation verdict when an attack corrupted
+// the run.
+//
+// Usage:
+//
+//	vmat-sim -n 100 -query min
+//	vmat-sim -n 100 -query count -synopses 100 -attack drop -malicious 2
+//	vmat-sim -n 80 -attack drop-choke -malicious 3 -multipath
+//
+// Attacks: none, drop, hide, junk, choke, drop-choke, mute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmat-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmat-sim", flag.ContinueOnError)
+	n := fs.Int("n", 100, "number of nodes (node 0 is the base station)")
+	topo := fs.String("topology", "geometric", "topology: geometric|grid|line")
+	query := fs.String("query", "min", "query: min|count|sum|average")
+	loss := fs.Float64("loss", 0, "per-message radio loss probability")
+	campaign := fs.Int("campaign", 1, "number of consecutive executions sharing one revocation registry (min query only)")
+	theta := fs.Int("theta", 0, "whole-sensor revocation threshold (0 = auto-calibrate)")
+	synopses := fs.Int("synopses", 100, "synopsis instances for count/sum")
+	attack := fs.String("attack", "none", "attack: none|drop|hide|junk|choke|drop-choke|mute")
+	malicious := fs.Int("malicious", 1, "number of malicious sensors (ignored for -attack none)")
+	multipath := fs.Bool("multipath", false, "use ring-based multi-path aggregation")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	verbose := fs.Bool("v", false, "print the execution event trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("need at least 2 nodes, got %d", *n)
+	}
+
+	rng := crypto.NewStreamFromSeed(*seed)
+	graph, err := buildTopology(*topo, *n, rng)
+	if err != nil {
+		return err
+	}
+	params := keydist.Params{PoolSize: 10000, RingSize: 300}
+	dep, err := keydist.NewDeployment(*n, params, crypto.KeyFromUint64(*seed), rng.Fork([]byte("keys")))
+	if err != nil {
+		return err
+	}
+
+	mal := map[topology.NodeID]bool{}
+	if *attack != "none" {
+		for attempts := 0; len(mal) < *malicious && attempts < 20**malicious+60; attempts++ {
+			cand := topology.NodeID(rng.Intn(*n-1) + 1)
+			if mal[cand] {
+				continue
+			}
+			mal[cand] = true
+			if !graph.ConnectedExcluding(topology.BaseStation, mal) {
+				delete(mal, cand)
+			}
+		}
+	}
+	adv, err := pickAttack(*attack)
+	if err != nil {
+		return err
+	}
+
+	th := *theta
+	if th == 0 {
+		th = keydist.SuggestTheta(params, maxInt(len(mal), 1), *n, 0.05)
+	}
+	registry := keydist.NewRegistry(dep, th)
+	cfg := core.Config{
+		Graph:      graph,
+		Deployment: dep,
+		Registry:   registry,
+		Malicious:  mal,
+		Adversary:  adv,
+		Multipath:  *multipath,
+		LossRate:   *loss,
+		Seed:       *seed,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if id == topology.BaseStation {
+				return core.Inf()
+			}
+			return 100 + float64(id)
+		},
+		AdversaryFavored: *attack != "none",
+	}
+	if *verbose {
+		cfg.Trace = func(ev core.Event) { fmt.Fprintln(w, ev) }
+	}
+
+	fmt.Fprintf(w, "network: %d nodes, %d edges, depth %d, %d malicious\n",
+		graph.NumNodes(), graph.NumEdges(), graph.Depth(topology.BaseStation), len(mal))
+
+	switch *query {
+	case "min":
+		for exec := 1; exec <= *campaign; exec++ {
+			if *campaign > 1 {
+				fmt.Fprintf(w, "--- execution %d ---\n", exec)
+				cfg.Seed = *seed + uint64(exec)
+			}
+			eng, err := core.NewEngine(cfg)
+			if err != nil {
+				return err
+			}
+			out, err := eng.Run()
+			if err != nil {
+				return err
+			}
+			report(w, out)
+			if out.Kind == core.OutcomeResult {
+				fmt.Fprintf(w, "minimum: %g\n", out.Mins[0])
+				if *campaign > 1 {
+					fmt.Fprintf(w, "campaign converged after %d executions; %d keys individually revoked\n",
+						exec, registry.KeyRevocationAnnouncements())
+					break
+				}
+			}
+		}
+	case "count":
+		res, err := core.RunCount(cfg, func(id topology.NodeID) bool { return id%2 == 0 }, *synopses)
+		if err != nil {
+			return err
+		}
+		report(w, res.Outcome)
+		if res.Answered() {
+			truth := 0
+			for id := 2; id < *n; id += 2 {
+				truth++
+			}
+			fmt.Fprintf(w, "count estimate: %.1f (truth %d, predicate: even IDs)\n", res.Estimate, truth)
+		}
+	case "sum":
+		domain := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		reading := func(id topology.NodeID) int64 {
+			if id == topology.BaseStation {
+				return 0
+			}
+			return int64(id%10) + 1
+		}
+		res, err := core.RunSum(cfg, reading, domain, *synopses)
+		if err != nil {
+			return err
+		}
+		report(w, res.Outcome)
+		if res.Answered() {
+			var truth int64
+			for id := 1; id < *n; id++ {
+				truth += reading(topology.NodeID(id))
+			}
+			fmt.Fprintf(w, "sum estimate: %.1f (truth %d)\n", res.Estimate, truth)
+		}
+	case "average":
+		domain := []int64{1, 2, 3, 4, 5}
+		reading := func(id topology.NodeID) int64 {
+			if id == topology.BaseStation {
+				return 0
+			}
+			return int64(id%5) + 1
+		}
+		res, err := core.RunAverageCombined(cfg, reading, domain, *synopses)
+		if err != nil {
+			return err
+		}
+		report(w, res.Sum.Outcome)
+		if !math.IsNaN(res.Estimate) {
+			var truth float64
+			for id := 1; id < *n; id++ {
+				truth += float64(reading(topology.NodeID(id)))
+			}
+			truth /= float64(*n - 1)
+			fmt.Fprintf(w, "average estimate: %.2f (truth %.2f)\n", res.Estimate, truth)
+		}
+	default:
+		return fmt.Errorf("unknown query %q", *query)
+	}
+	return nil
+}
+
+// buildTopology constructs the requested deployment shape over n nodes.
+func buildTopology(kind string, n int, rng *crypto.Stream) (*topology.Graph, error) {
+	switch kind {
+	case "geometric":
+		g, _ := topology.RandomGeometric(n, radiusFor(n), rng.Fork([]byte("topo")))
+		return g, nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return topology.Grid(side, (n+side-1)/side), nil
+	case "line":
+		return topology.Line(n), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func pickAttack(name string) (core.Adversary, error) {
+	switch name {
+	case "none":
+		return core.HonestAdversary{}, nil
+	case "drop":
+		return adversary.NewDropper(1000), nil
+	case "hide":
+		return adversary.NewHider(), nil
+	case "junk":
+		return adversary.NewJunkInjector(-1e6), nil
+	case "choke":
+		return adversary.NewChoker(), nil
+	case "drop-choke":
+		return adversary.NewDropAndChoke(1000), nil
+	case "mute":
+		return adversary.NewMute(), nil
+	default:
+		return nil, fmt.Errorf("unknown attack %q", name)
+	}
+}
+
+func report(w io.Writer, out *core.Outcome) {
+	fmt.Fprintf(w, "outcome: %v\n", out.Kind)
+	fmt.Fprintf(w, "cost: %d slots (%.1f flooding rounds), %d predicate tests, %d KB total traffic\n",
+		out.Slots, out.FloodingRounds, out.PredicateTests, out.Stats.TotalBytes()/1024)
+	if len(out.RevokedKeys) > 0 || len(out.RevokedNodes) > 0 {
+		fmt.Fprintf(w, "revoked: keys %v, sensors %v\n", out.RevokedKeys, out.RevokedNodes)
+	}
+	if out.Veto != nil {
+		fmt.Fprintf(w, "veto: sensor %d, instance %d, value %g, level %d\n",
+			out.Veto.Vetoer, out.Veto.Instance, out.Veto.Value, out.Veto.Level)
+	}
+}
+
+func radiusFor(n int) float64 {
+	// Expected degree around 12 keeps random geometric graphs connected
+	// without stitching doing much work.
+	return math.Sqrt(12 / (math.Pi * float64(n)))
+}

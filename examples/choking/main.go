@@ -1,0 +1,88 @@
+// Choking attack on the confirmation phase, survived by SOF.
+//
+// A compromised sensor drops the true minimum during aggregation, then
+// floods spurious vetoes the moment the confirmation phase opens, so the
+// honest veto is beaten everywhere (each sensor forwards only its first
+// veto). Lemma 1 still guarantees the base station receives *some* veto;
+// because the winner is spurious, junk-triggered pinpointing walks the
+// SOF audit trail back to the choker and revokes adversary key material —
+// all with symmetric keys only.
+//
+//	go run ./examples/choking
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+func main() {
+	// The bypass topology: the vetoer (node 4) aggregates through the
+	// malicious node 2, but the honest subgraph stays connected via
+	// 1-3-5-4.
+	//
+	//	0 — 1 — 2(M) — 4(V)
+	//	    |          |
+	//	    3 —— 5 ————+
+	graph := topology.New(6)
+	graph.AddEdge(0, 1)
+	graph.AddEdge(1, 2)
+	graph.AddEdge(2, 4)
+	graph.AddEdge(1, 3)
+	graph.AddEdge(3, 5)
+	graph.AddEdge(5, 4)
+
+	deployment, err := keydist.NewDeployment(6,
+		keydist.Params{PoolSize: 600, RingSize: 90},
+		crypto.KeyFromUint64(12), crypto.NewStreamFromSeed(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	readings := func(id topology.NodeID, _ int) float64 {
+		switch id {
+		case topology.BaseStation:
+			return core.Inf()
+		case 4:
+			return 1 // the minimum the adversary wants to suppress
+		default:
+			return 100 + float64(id)
+		}
+	}
+
+	cfg := core.Config{
+		Graph:            graph,
+		Deployment:       deployment,
+		Malicious:        map[topology.NodeID]bool{2: true},
+		Adversary:        adversary.NewDropAndChoke(50),
+		AdversaryFavored: true, // the choker's transmissions win every race
+		Readings:         readings,
+		Seed:             12,
+	}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("outcome: %v\n", out.Kind)
+	if out.Veto != nil {
+		fmt.Printf("first veto at base station: claims sensor %d, value %g (spurious: %v)\n",
+			out.Veto.Vetoer, out.Veto.Value, out.Kind == core.OutcomeJunkConfRevocation)
+	}
+	fmt.Printf("revoked keys: %v  revoked sensors: %v\n", out.RevokedKeys, out.RevokedNodes)
+	for _, k := range out.RevokedKeys {
+		fmt.Printf("  key %d held by malicious sensor 2: %v\n", k, deployment.Holds(2, k))
+	}
+	fmt.Printf("pinpointing cost: %d keyed predicate tests, %.1f flooding rounds\n",
+		out.PredicateTests, out.FloodingRounds)
+}

@@ -1,0 +1,343 @@
+// Package adversary implements Byzantine attack strategies against VMAT:
+// the dropping, value-hiding, junk-injection, choking, and
+// predicate-lying behaviors the paper's attack model allows (Section III),
+// plus composable and randomized variants used by the property tests.
+//
+// Strategies implement core.Adversary. They drive every compromised sensor
+// and may coordinate across them (the paper's adversary is a single
+// colluding entity); strategy state shared between nodes is mutex-guarded
+// because malicious nodes step concurrently within a slot.
+package adversary
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// AnswerMode controls how a strategy responds to keyed predicate tests
+// for keys its nodes hold.
+type AnswerMode int
+
+const (
+	// AnswerTruthful replies with the honest evaluation of the node's
+	// recorded state.
+	AnswerTruthful AnswerMode = iota
+	// AnswerDeny always replies "no" (stays silent).
+	AnswerDeny
+	// AnswerAdmit always replies "yes".
+	AnswerAdmit
+	// AnswerRandom flips a deterministic coin per test.
+	AnswerRandom
+)
+
+// Strategy is a configurable core.Adversary: each phase hook defaults to
+// honest behavior when nil, predicate answers follow Answer, and Silent
+// nodes refuse to relay base-station broadcasts.
+type Strategy struct {
+	// Name labels the strategy in traces and bench output.
+	Name string
+	// Tree, Aggregation, Confirmation override the per-phase behavior.
+	Tree         func(a *core.AdvContext)
+	Aggregation  func(a *core.AdvContext)
+	Confirmation func(a *core.AdvContext)
+	// Answer controls predicate-test replies (default AnswerTruthful).
+	Answer AnswerMode
+	// AnswerFunc, when non-nil, overrides Answer with arbitrary per-test
+	// logic (e.g. steering pinpointing binary searches to frame a
+	// victim).
+	AnswerFunc func(node topology.NodeID, test core.TestAnnounce, truthful bool) bool
+	// SilentBroadcast stops malicious nodes from relaying authenticated
+	// broadcasts (they still cannot forge or choke them).
+	SilentBroadcast bool
+
+	mu   sync.Mutex
+	aggs map[topology.NodeID]*aggState
+}
+
+var _ core.Adversary = (*Strategy)(nil)
+
+// Step dispatches to the phase hook or honest behavior.
+func (s *Strategy) Step(phase core.Phase, a *core.AdvContext) {
+	var hook func(*core.AdvContext)
+	switch phase {
+	case core.PhaseTree:
+		hook = s.Tree
+	case core.PhaseAggregation:
+		hook = s.Aggregation
+	case core.PhaseConfirmation:
+		hook = s.Confirmation
+	}
+	if hook == nil {
+		a.ActHonestly()
+		return
+	}
+	hook(a)
+}
+
+// AnswerPredicate applies the strategy's answer mode.
+func (s *Strategy) AnswerPredicate(node topology.NodeID, test core.TestAnnounce, truthful bool) bool {
+	if s.AnswerFunc != nil {
+		return s.AnswerFunc(node, test, truthful)
+	}
+	switch s.Answer {
+	case AnswerDeny:
+		return false
+	case AnswerAdmit:
+		return true
+	case AnswerRandom:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.aggs == nil {
+			s.aggs = make(map[topology.NodeID]*aggState)
+		}
+		st := s.aggs[node]
+		if st == nil {
+			st = &aggState{}
+			s.aggs[node] = st
+		}
+		st.coin++
+		// A deterministic but irregular coin: alternate with a skip.
+		return (st.coin*2654435761)%3 == 0
+	default:
+		return truthful
+	}
+}
+
+// ForwardAuthBroadcast honors SilentBroadcast.
+func (s *Strategy) ForwardAuthBroadcast(topology.NodeID) bool { return !s.SilentBroadcast }
+
+// aggState is the private aggregation view a custom-aggregating malicious
+// node maintains (its engine-side sensorState only reflects honest
+// actions). It is scoped to one query execution: strategies are routinely
+// reused across the repeated executions of a campaign, and replaying
+// records MAC'd under a previous query nonce would be self-defeating junk.
+type aggState struct {
+	nonce string // query nonce this state belongs to
+	init  bool
+	best  []core.Record
+	coin  uint64
+}
+
+// AggHooks customizes the honest-shaped aggregation replica that
+// AggregationWithHooks runs on malicious nodes.
+type AggHooks struct {
+	// IncludeOwn controls whether the node contributes its own records
+	// (false models the value-hiding attack).
+	IncludeOwn bool
+	// FilterRecv drops received records for which it returns false
+	// (silent dropping attack). Nil keeps everything.
+	FilterRecv func(r core.Record) bool
+	// TransformOut rewrites the outgoing record set just before sending
+	// (junk injection). Nil sends the computed minima.
+	TransformOut func(a *core.AdvContext, records []core.Record) []core.Record
+	// Mute suppresses sending entirely.
+	Mute bool
+}
+
+// AggregationWithHooks returns an aggregation-phase hook that behaves like
+// an honest sensor except where the hooks say otherwise. The malicious
+// node still keeps its tree level and parents from acting honestly during
+// tree formation.
+func (s *Strategy) AggregationWithHooks(h AggHooks) func(a *core.AdvContext) {
+	return func(a *core.AdvContext) {
+		if a.Level() < 1 {
+			return
+		}
+		local := a.LocalSlot()
+		sendSlot := a.L() - a.Level()
+		if local > sendSlot {
+			return
+		}
+		st := s.nodeState(a)
+		if !st.init {
+			st.init = true
+			st.best = make([]core.Record, a.Instances())
+			for inst := range st.best {
+				if h.IncludeOwn {
+					st.best[inst] = a.OwnRecord(inst)
+				} else {
+					st.best[inst] = core.Record{Origin: a.Node(), Instance: inst, Value: core.Inf()}
+				}
+			}
+		}
+		for _, env := range a.Inbox() {
+			if !env.Valid {
+				continue
+			}
+			agg, ok := env.Payload.(core.AggMsg)
+			if !ok {
+				continue
+			}
+			for _, r := range agg.Records {
+				if r.Instance < 0 || r.Instance >= len(st.best) {
+					continue
+				}
+				if h.FilterRecv != nil && !h.FilterRecv(r) {
+					continue
+				}
+				if r.Value < st.best[r.Instance].Value {
+					st.best[r.Instance] = r
+				}
+			}
+		}
+		if local != sendSlot || h.Mute {
+			return
+		}
+		records := make([]core.Record, 0, len(st.best))
+		for _, r := range st.best {
+			if r.Value < core.Inf() {
+				records = append(records, r)
+			}
+		}
+		if h.TransformOut != nil {
+			records = h.TransformOut(a, records)
+		}
+		if len(records) == 0 {
+			return
+		}
+		for _, p := range a.Parents() {
+			if key, ok := a.EdgeKeyWith(p); ok {
+				a.SendSealed(p, key, core.AggMsg{Records: records})
+			}
+		}
+	}
+}
+
+func (s *Strategy) nodeState(a *core.AdvContext) *aggState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aggs == nil {
+		s.aggs = make(map[topology.NodeID]*aggState)
+	}
+	nonce := string(a.QueryNonce())
+	st := s.aggs[a.Node()]
+	if st == nil || st.nonce != nonce {
+		st = &aggState{nonce: nonce}
+		s.aggs[a.Node()] = st
+	}
+	return st
+}
+
+// NewDropper returns the silent dropping attack: malicious sensors
+// aggregate normally but discard every received record with value below
+// the threshold, so the true minimum never passes through them. The
+// confirmation phase then produces a legitimate veto and VMAT's
+// veto-triggered pinpointing revokes one of the dropper's edge keys.
+func NewDropper(dropBelow float64) *Strategy {
+	s := &Strategy{Name: "dropper", Answer: AnswerTruthful}
+	s.Aggregation = s.AggregationWithHooks(AggHooks{
+		IncludeOwn: true,
+		FilterRecv: func(r core.Record) bool { return r.Value >= dropBelow },
+	})
+	return s
+}
+
+// NewMute returns a dropper that sends nothing at all during aggregation
+// (destroyed/jammed sensor model).
+func NewMute() *Strategy {
+	s := &Strategy{Name: "mute", Answer: AnswerDeny}
+	s.Aggregation = s.AggregationWithHooks(AggHooks{IncludeOwn: true, Mute: true})
+	return s
+}
+
+// NewHider returns the value-hiding attack of Section IV-C: the malicious
+// sensor omits its own (minimal) reading during aggregation, then issues a
+// perfectly valid veto during confirmation. The recorded audit trail is
+// equivalent to the sensor dropping its own value, so veto-triggered
+// pinpointing still revokes one of its keys.
+func NewHider() *Strategy {
+	s := &Strategy{Name: "hider", Answer: AnswerDeny}
+	s.Aggregation = s.AggregationWithHooks(AggHooks{IncludeOwn: false})
+	return s
+}
+
+// NewJunkInjector returns the spurious-minimum attack: malicious sensors
+// replace their outgoing aggregate with a forged record carrying an
+// unbeatably small value and a garbage MAC. The base station detects the
+// invalid MAC and junk-triggered pinpointing tracks the injector.
+func NewJunkInjector(value float64) *Strategy {
+	s := &Strategy{Name: "junk-injector", Answer: AnswerDeny}
+	s.Aggregation = s.AggregationWithHooks(AggHooks{
+		IncludeOwn: true,
+		TransformOut: func(a *core.AdvContext, _ []core.Record) []core.Record {
+			records := make([]core.Record, a.Instances())
+			for inst := range records {
+				records[inst] = a.ForgeRecord(a.Node(), inst, value)
+			}
+			return records
+		},
+	})
+	return s
+}
+
+// NewChoker returns the choking attack on the confirmation phase (Section
+// IV-C): malicious sensors aggregate honestly but, the moment the
+// confirmation phase opens, flood spurious vetoes so the one-time SOF
+// forwarding of honest sensors is spent on junk before any legitimate
+// veto can propagate. Combined with dropping (see NewDropAndChoke), this
+// is the paper's canonical attempt to suppress a legitimate veto; SOF's
+// audit trail still hands the base station a junk trail to pinpoint.
+func NewChoker() *Strategy {
+	s := &Strategy{Name: "choker", Answer: AnswerDeny}
+	s.Confirmation = chokeConfirmation
+	return s
+}
+
+func chokeConfirmation(a *core.AdvContext) {
+	if a.LocalSlot() != 0 {
+		return
+	}
+	// Claim an implausibly small value on instance 0 with a forged MAC,
+	// impersonating an arbitrary honest sensor.
+	fake := a.ForgeVeto(a.Node()+1, 0, a.AnnouncedMins()[0]/2-1, 1)
+	for _, nb := range a.Neighbors() {
+		if key, ok := a.EdgeKeyWith(nb); ok {
+			a.SendSealed(nb, key, fake)
+		}
+	}
+}
+
+// NewDropAndChoke composes the dropping and choking attacks: the true
+// minimum is dropped during aggregation and the resulting legitimate veto
+// is raced by spurious ones during confirmation.
+func NewDropAndChoke(dropBelow float64) *Strategy {
+	s := NewDropper(dropBelow)
+	s.Name = "drop-and-choke"
+	s.Answer = AnswerDeny
+	s.Confirmation = chokeConfirmation
+	return s
+}
+
+// NewLiar wraps honest phase behavior with adversarial predicate answers,
+// attacking the pinpointing walks themselves.
+func NewLiar(mode AnswerMode) *Strategy {
+	return &Strategy{Name: "liar", Answer: mode}
+}
+
+// NewFramer returns the framing attack on the pinpointing walk (the
+// attack Figure 6's step-6 re-confirmation exists to defeat): a dropping
+// adversary whose predicate answers steer every holder binary search
+// toward an innocent victim. Lemma 5 guarantees the victim is never
+// blamed — the re-confirmation on the victim's own sensor key fails, and
+// the edge key under search (held by the framer) is revoked instead.
+func NewFramer(dropBelow float64, victim topology.NodeID) *Strategy {
+	s := NewDropper(dropBelow)
+	s.Name = "framer"
+	s.AnswerFunc = func(_ topology.NodeID, test core.TestAnnounce, _ bool) bool {
+		p := test.Pred
+		switch p.Kind {
+		case core.PredReceivedAgg, core.PredSentJunkAgg, core.PredSentJunkVeto:
+			// Holder searches: claim "someone in this window received
+			// it" exactly when the window contains the victim, walking
+			// the binary search straight to the victim's ID.
+			return victim >= p.IDLo && victim <= p.IDHi
+		default:
+			// Ring searches on the framer's own key: admit everything so
+			// the walk proceeds to the holder search.
+			return true
+		}
+	}
+	return s
+}

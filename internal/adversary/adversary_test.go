@@ -1,0 +1,113 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAnswerModes(t *testing.T) {
+	test := core.TestAnnounce{}
+	cases := []struct {
+		mode     AnswerMode
+		truthful bool
+		want     bool
+	}{
+		{AnswerTruthful, true, true},
+		{AnswerTruthful, false, false},
+		{AnswerDeny, true, false},
+		{AnswerDeny, false, false},
+		{AnswerAdmit, true, true},
+		{AnswerAdmit, false, true},
+	}
+	for _, c := range cases {
+		s := &Strategy{Answer: c.mode}
+		if got := s.AnswerPredicate(1, test, c.truthful); got != c.want {
+			t.Fatalf("mode %d truthful=%v: got %v, want %v", c.mode, c.truthful, got, c.want)
+		}
+	}
+}
+
+func TestAnswerRandomDeterministicAndMixed(t *testing.T) {
+	s := &Strategy{Answer: AnswerRandom}
+	var answers []bool
+	yes := 0
+	for i := 0; i < 30; i++ {
+		a := s.AnswerPredicate(1, core.TestAnnounce{}, false)
+		answers = append(answers, a)
+		if a {
+			yes++
+		}
+	}
+	if yes == 0 || yes == 30 {
+		t.Fatalf("random answers degenerate: %d/30 yes", yes)
+	}
+	// Same sequence reproduces on a fresh strategy (deterministic coin).
+	s2 := &Strategy{Answer: AnswerRandom}
+	for i, want := range answers {
+		if got := s2.AnswerPredicate(1, core.TestAnnounce{}, false); got != want {
+			t.Fatalf("random answer %d not deterministic", i)
+		}
+	}
+}
+
+func TestForwardAuthBroadcast(t *testing.T) {
+	if !(&Strategy{}).ForwardAuthBroadcast(1) {
+		t.Fatal("default strategy must forward broadcasts")
+	}
+	if (&Strategy{SilentBroadcast: true}).ForwardAuthBroadcast(1) {
+		t.Fatal("silent strategy must not forward broadcasts")
+	}
+}
+
+func TestStepDispatchesPhaseHooks(t *testing.T) {
+	var calls []core.Phase
+	s := &Strategy{
+		Tree:         func(*core.AdvContext) { calls = append(calls, core.PhaseTree) },
+		Aggregation:  func(*core.AdvContext) { calls = append(calls, core.PhaseAggregation) },
+		Confirmation: func(*core.AdvContext) { calls = append(calls, core.PhaseConfirmation) },
+	}
+	s.Step(core.PhaseTree, nil)
+	s.Step(core.PhaseAggregation, nil)
+	s.Step(core.PhaseConfirmation, nil)
+	want := []core.Phase{core.PhaseTree, core.PhaseAggregation, core.PhaseConfirmation}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", calls, want)
+		}
+	}
+}
+
+func TestConstructorsNameAndShape(t *testing.T) {
+	cases := []struct {
+		s        *Strategy
+		wantName string
+		aggHook  bool
+		confHook bool
+	}{
+		{NewDropper(5), "dropper", true, false},
+		{NewMute(), "mute", true, false},
+		{NewHider(), "hider", true, false},
+		{NewJunkInjector(-1), "junk-injector", true, false},
+		{NewChoker(), "choker", false, true},
+		{NewDropAndChoke(5), "drop-and-choke", true, true},
+		{NewLiar(AnswerAdmit), "liar", false, false},
+	}
+	for _, c := range cases {
+		if c.s.Name != c.wantName {
+			t.Fatalf("name %q, want %q", c.s.Name, c.wantName)
+		}
+		if (c.s.Aggregation != nil) != c.aggHook {
+			t.Fatalf("%s: aggregation hook presence = %v, want %v", c.wantName, c.s.Aggregation != nil, c.aggHook)
+		}
+		if (c.s.Confirmation != nil) != c.confHook {
+			t.Fatalf("%s: confirmation hook presence = %v, want %v", c.wantName, c.s.Confirmation != nil, c.confHook)
+		}
+	}
+	if NewLiar(AnswerAdmit).Answer != AnswerAdmit {
+		t.Fatal("liar answer mode not wired")
+	}
+}

@@ -1,0 +1,185 @@
+// Package audit models VMAT's distributed audit trails (paper Sections IV
+// and V): the tuples sensors store during the aggregation and confirmation
+// phases, and the well-formedness conditions that Theorem 2 guarantees
+// whenever pinpointing is invoked.
+//
+// A trail is an ordered list of tuples. Normal tuples are owned by honest
+// sensors (who stored them); bottom-tuples stand for contiguous segments
+// of (potentially colluding) malicious sensors. Well-formedness is what
+// makes the pinpointing protocols of Section VI terminate with a revoked
+// malicious key: the trail is finite (bounded by L+1), monotone in
+// level/interval, monotone in value, chained by shared edge keys, and
+// always ends at the adversary.
+package audit
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/topology"
+)
+
+// Kind selects which of the paper's three well-formedness definitions
+// applies.
+type Kind int
+
+const (
+	// KindVetoAggregation is the trail behind a veto-triggered
+	// pinpointing: tuples recorded in the aggregation phase, walked from
+	// the vetoer toward the base station. Levels strictly decrease;
+	// values never increase.
+	KindVetoAggregation Kind = iota + 1
+	// KindJunkAggregation is the trail behind a junk-triggered
+	// pinpointing for a spurious aggregation message, walked from the
+	// base station toward the unknown source. Levels increase; the
+	// message is identical in every tuple.
+	KindJunkAggregation
+	// KindJunkConfirmation is the trail behind a junk-triggered
+	// pinpointing for a spurious veto in the SOF protocol. Intervals
+	// decrease; the message is identical in every tuple.
+	KindJunkConfirmation
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindVetoAggregation:
+		return "veto-aggregation"
+	case KindJunkAggregation:
+		return "junk-aggregation"
+	case KindJunkConfirmation:
+		return "junk-confirmation"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NoKey marks an absent edge key in a tuple.
+const NoKey = -1
+
+// Tuple is one entry of an audit trail. For aggregation-phase trails Pos
+// is the owner's level; for confirmation-phase trails it is the SOF
+// interval in which the message was sent or forwarded.
+type Tuple struct {
+	// Pos is the level or interval of the tuple.
+	Pos int
+	// Value is the partial aggregation value contained in the stored
+	// message.
+	Value float64
+	// MsgID identifies the stored message; the junk trails require all
+	// tuples to carry the identical message.
+	MsgID string
+	// Bottom marks a bottom-tuple owned by the malicious coalition.
+	Bottom bool
+	// Owner is the honest sensor that stored this tuple; meaningful only
+	// when Bottom is false.
+	Owner topology.NodeID
+	// InKey is the pool index of the edge key the message was received
+	// with, or NoKey (e.g. the vetoer's own reading).
+	InKey int
+	// OutKey is the pool index of the edge key the message was forwarded
+	// with, or NoKey (e.g. the final bottom-tuple of a veto trail).
+	OutKey int
+}
+
+// HeldByFunc reports whether the owner of tuple t holds the pool key with
+// the given index. For bottom-tuples the check is against the malicious
+// coalition's combined key material. A nil HeldByFunc skips possession
+// checks.
+type HeldByFunc func(t Tuple, key int) bool
+
+// Validate checks the trail against the paper's well-formedness
+// definition for the given kind, with positions bounded by maxPos (the
+// paper's L). It returns nil when the trail is well-formed.
+func Validate(kind Kind, trail []Tuple, maxPos int, heldBy HeldByFunc) error {
+	if len(trail) == 0 {
+		return fmt.Errorf("audit: empty trail")
+	}
+	if !trail[len(trail)-1].Bottom {
+		return fmt.Errorf("audit: %v trail does not end with a bottom-tuple", kind)
+	}
+	for i, t := range trail {
+		if t.Pos < 0 || t.Pos > maxPos {
+			return fmt.Errorf("audit: tuple %d position %d outside [0, %d]", i, t.Pos, maxPos)
+		}
+		if math.IsNaN(t.Value) {
+			return fmt.Errorf("audit: tuple %d has NaN value", i)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := trail[i-1]
+		if t.Bottom && prev.Bottom {
+			return fmt.Errorf("audit: adjacent bottom-tuples at %d and %d", i-1, i)
+		}
+		if err := checkPos(kind, prev, t, i); err != nil {
+			return err
+		}
+		if err := checkValue(kind, prev, t, i); err != nil {
+			return err
+		}
+		if prev.OutKey != t.InKey {
+			return fmt.Errorf("audit: edge-key chain broken between tuples %d and %d (%d != %d)",
+				i-1, i, prev.OutKey, t.InKey)
+		}
+		if heldBy != nil && prev.OutKey != NoKey {
+			if !heldBy(prev, prev.OutKey) {
+				return fmt.Errorf("audit: tuple %d owner does not hold chain key %d", i-1, prev.OutKey)
+			}
+			if !heldBy(t, t.InKey) {
+				return fmt.Errorf("audit: tuple %d owner does not hold chain key %d", i, t.InKey)
+			}
+		}
+	}
+	return nil
+}
+
+// checkPos enforces the level/interval monotonicity rules. Normal tuples
+// step by exactly one; bottom-tuples may skip (they compress a malicious
+// segment).
+func checkPos(kind Kind, prev, cur Tuple, i int) error {
+	switch kind {
+	case KindVetoAggregation, KindJunkConfirmation:
+		// Positions decrease along the trail.
+		if cur.Bottom {
+			if cur.Pos >= prev.Pos {
+				return fmt.Errorf("audit: bottom-tuple %d position %d not below predecessor %d", i, cur.Pos, prev.Pos)
+			}
+		} else if cur.Pos != prev.Pos-1 {
+			return fmt.Errorf("audit: tuple %d position %d, want predecessor-1 = %d", i, cur.Pos, prev.Pos-1)
+		}
+	case KindJunkAggregation:
+		// Positions increase along the trail (tracking away from the base
+		// station toward the unknown source).
+		if cur.Bottom {
+			if cur.Pos <= prev.Pos {
+				return fmt.Errorf("audit: bottom-tuple %d position %d not above predecessor %d", i, cur.Pos, prev.Pos)
+			}
+		} else if cur.Pos != prev.Pos+1 {
+			return fmt.Errorf("audit: tuple %d position %d, want predecessor+1 = %d", i, cur.Pos, prev.Pos+1)
+		}
+	default:
+		return fmt.Errorf("audit: unknown trail kind %v", kind)
+	}
+	return nil
+}
+
+// checkValue enforces the message rules: monotone non-increasing values
+// for veto trails, identical messages for junk trails.
+func checkValue(kind Kind, prev, cur Tuple, i int) error {
+	switch kind {
+	case KindVetoAggregation:
+		if cur.Value > prev.Value {
+			return fmt.Errorf("audit: tuple %d value %g exceeds predecessor %g", i, cur.Value, prev.Value)
+		}
+	case KindJunkAggregation, KindJunkConfirmation:
+		if cur.MsgID != prev.MsgID {
+			return fmt.Errorf("audit: tuple %d message %q differs from predecessor %q", i, cur.MsgID, prev.MsgID)
+		}
+	}
+	return nil
+}
+
+// MaxLen returns the maximum possible length of a well-formed trail with
+// positions bounded by maxPos: the paper's L+1 bound.
+func MaxLen(maxPos int) int { return maxPos + 1 }

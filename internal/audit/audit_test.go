@@ -1,0 +1,220 @@
+package audit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// figure3Trail reproduces the example trail of the paper's Figure 3:
+// <8,m,k1>, <7,m',k2>, <4,m',bot>, <3,m',k3>, <2,m',bot> where m' carries a
+// smaller value than m. Edge keys are chosen to chain correctly.
+func figure3Trail() []Tuple {
+	const mVal, mPrimeVal = 10.0, 4.0
+	return []Tuple{
+		{Pos: 8, Value: mVal, MsgID: "m", Owner: 1, InKey: NoKey, OutKey: 100},
+		{Pos: 7, Value: mPrimeVal, MsgID: "m'", Owner: 2, InKey: 100, OutKey: 101},
+		{Pos: 4, Value: mPrimeVal, MsgID: "m'", Bottom: true, InKey: 101, OutKey: 102},
+		{Pos: 3, Value: mPrimeVal, MsgID: "m'", Owner: 3, InKey: 102, OutKey: 103},
+		{Pos: 2, Value: mPrimeVal, MsgID: "m'", Bottom: true, InKey: 103, OutKey: NoKey},
+	}
+}
+
+func TestValidateFigure3Example(t *testing.T) {
+	if err := Validate(KindVetoAggregation, figure3Trail(), 8, nil); err != nil {
+		t.Fatalf("paper's Figure 3 trail rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	if err := Validate(KindVetoAggregation, nil, 5, nil); err == nil {
+		t.Fatal("empty trail accepted")
+	}
+}
+
+func TestValidateRejectsNonBottomEnd(t *testing.T) {
+	trail := figure3Trail()[:2] // ends with a normal tuple
+	if err := Validate(KindVetoAggregation, trail, 8, nil); err == nil {
+		t.Fatal("trail ending in honest tuple accepted")
+	}
+}
+
+func TestValidateRejectsAdjacentBottoms(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 5, Value: 1, Owner: 1, InKey: NoKey, OutKey: 1},
+		{Pos: 4, Value: 1, Bottom: true, InKey: 1, OutKey: 2},
+		{Pos: 3, Value: 1, Bottom: true, InKey: 2, OutKey: NoKey},
+	}
+	err := Validate(KindVetoAggregation, trail, 5, nil)
+	if err == nil || !strings.Contains(err.Error(), "adjacent bottom") {
+		t.Fatalf("adjacent bottom-tuples accepted: %v", err)
+	}
+}
+
+func TestValidateRejectsPositionOutOfRange(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 9, Value: 1, Owner: 1, OutKey: 1, InKey: NoKey},
+		{Pos: 8, Value: 1, Bottom: true, InKey: 1, OutKey: NoKey},
+	}
+	if err := Validate(KindVetoAggregation, trail, 8, nil); err == nil {
+		t.Fatal("position above L accepted")
+	}
+	trail2 := []Tuple{
+		{Pos: -1, Value: 1, Bottom: true, InKey: NoKey, OutKey: NoKey},
+	}
+	if err := Validate(KindVetoAggregation, trail2, 8, nil); err == nil {
+		t.Fatal("negative position accepted")
+	}
+}
+
+func TestValidateRejectsNormalLevelSkip(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 5, Value: 1, Owner: 1, InKey: NoKey, OutKey: 1},
+		{Pos: 3, Value: 1, Owner: 2, InKey: 1, OutKey: 2}, // skips level 4
+		{Pos: 2, Value: 1, Bottom: true, InKey: 2, OutKey: NoKey},
+	}
+	if err := Validate(KindVetoAggregation, trail, 5, nil); err == nil {
+		t.Fatal("normal tuple skipping a level accepted")
+	}
+}
+
+func TestValidateRejectsBottomLevelIncrease(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 5, Value: 1, Owner: 1, InKey: NoKey, OutKey: 1},
+		{Pos: 5, Value: 1, Bottom: true, InKey: 1, OutKey: NoKey},
+	}
+	if err := Validate(KindVetoAggregation, trail, 5, nil); err == nil {
+		t.Fatal("bottom tuple at same level accepted")
+	}
+}
+
+func TestValidateRejectsValueIncrease(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 5, Value: 1, Owner: 1, InKey: NoKey, OutKey: 1},
+		{Pos: 4, Value: 2, Owner: 2, InKey: 1, OutKey: 2}, // value grew
+		{Pos: 3, Value: 2, Bottom: true, InKey: 2, OutKey: NoKey},
+	}
+	if err := Validate(KindVetoAggregation, trail, 5, nil); err == nil {
+		t.Fatal("increasing value accepted in veto trail")
+	}
+}
+
+func TestValidateRejectsNaN(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 2, Value: math.NaN(), Bottom: true, InKey: NoKey, OutKey: NoKey},
+	}
+	if err := Validate(KindVetoAggregation, trail, 5, nil); err == nil {
+		t.Fatal("NaN value accepted")
+	}
+}
+
+func TestValidateRejectsBrokenKeyChain(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 5, Value: 1, Owner: 1, InKey: NoKey, OutKey: 7},
+		{Pos: 4, Value: 1, Owner: 2, InKey: 8, OutKey: 9}, // in != predecessor out
+		{Pos: 3, Value: 1, Bottom: true, InKey: 9, OutKey: NoKey},
+	}
+	err := Validate(KindVetoAggregation, trail, 5, nil)
+	if err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("broken key chain accepted: %v", err)
+	}
+}
+
+func TestValidateHeldByCallback(t *testing.T) {
+	trail := figure3Trail()
+	// A heldBy that denies key 101 to the bottom coalition must fail.
+	deny := func(tp Tuple, key int) bool {
+		return !(tp.Bottom && key == 101)
+	}
+	if err := Validate(KindVetoAggregation, trail, 8, deny); err == nil {
+		t.Fatal("possession violation accepted")
+	}
+	// An all-allowing heldBy passes.
+	allow := func(Tuple, int) bool { return true }
+	if err := Validate(KindVetoAggregation, trail, 8, allow); err != nil {
+		t.Fatalf("valid trail rejected with permissive heldBy: %v", err)
+	}
+}
+
+func TestValidateJunkAggregation(t *testing.T) {
+	// Junk trail tracks away from the base station: levels increase, the
+	// spurious message is identical throughout. The chain fields are
+	// stored in walk order: tuple i forwarded the junk with OutKey and
+	// tuple i+1 (closer to the source) handed it over with that same key.
+	trail := []Tuple{
+		{Pos: 1, Value: 0.5, MsgID: "junk", Owner: 1, InKey: NoKey, OutKey: 10},
+		{Pos: 2, Value: 0.5, MsgID: "junk", Owner: 2, InKey: 10, OutKey: 11},
+		{Pos: 5, Value: 0.5, MsgID: "junk", Bottom: true, InKey: 11, OutKey: NoKey},
+	}
+	if err := Validate(KindJunkAggregation, trail, 6, nil); err != nil {
+		t.Fatalf("valid junk-aggregation trail rejected: %v", err)
+	}
+	// Message mismatch is rejected.
+	bad := append([]Tuple(nil), trail...)
+	bad[1].MsgID = "different"
+	if err := Validate(KindJunkAggregation, bad, 6, nil); err == nil {
+		t.Fatal("junk trail with differing messages accepted")
+	}
+	// Level decrease is rejected.
+	bad2 := append([]Tuple(nil), trail...)
+	bad2[1].Pos = 0
+	if err := Validate(KindJunkAggregation, bad2, 6, nil); err == nil {
+		t.Fatal("junk-aggregation trail with decreasing level accepted")
+	}
+}
+
+func TestValidateJunkConfirmation(t *testing.T) {
+	// Spurious-veto trail: intervals decrease toward the source.
+	trail := []Tuple{
+		{Pos: 4, Value: 0, MsgID: "veto", Owner: 1, InKey: NoKey, OutKey: 20},
+		{Pos: 3, Value: 0, MsgID: "veto", Owner: 2, InKey: 20, OutKey: 21},
+		{Pos: 1, Value: 0, MsgID: "veto", Bottom: true, InKey: 21, OutKey: NoKey},
+	}
+	if err := Validate(KindJunkConfirmation, trail, 5, nil); err != nil {
+		t.Fatalf("valid junk-confirmation trail rejected: %v", err)
+	}
+	bad := append([]Tuple(nil), trail...)
+	bad[2].MsgID = "other"
+	if err := Validate(KindJunkConfirmation, bad, 5, nil); err == nil {
+		t.Fatal("junk-confirmation trail with differing messages accepted")
+	}
+}
+
+func TestValidateUnknownKind(t *testing.T) {
+	trail := []Tuple{
+		{Pos: 1, Value: 0, Owner: 1, InKey: NoKey, OutKey: 1},
+		{Pos: 0, Value: 0, Bottom: true, InKey: 1, OutKey: NoKey},
+	}
+	if err := Validate(Kind(99), trail, 5, nil); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{KindVetoAggregation, KindJunkAggregation, KindJunkConfirmation} {
+		if s := k.String(); strings.HasPrefix(s, "Kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+	if !strings.HasPrefix(Kind(42).String(), "Kind(") {
+		t.Fatal("unknown kind String() malformed")
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	if MaxLen(8) != 9 {
+		t.Fatalf("MaxLen(8) = %d, want 9 (the paper's L+1 bound)", MaxLen(8))
+	}
+}
+
+func TestSingleBottomTrailValid(t *testing.T) {
+	// The degenerate trail of a vetoer whose message was immediately
+	// dropped by its (malicious) parent: one honest tuple, one bottom.
+	trail := []Tuple{
+		{Pos: 3, Value: 1.5, Owner: 9, InKey: NoKey, OutKey: 50},
+		{Pos: 2, Value: 1.5, Bottom: true, InKey: 50, OutKey: NoKey},
+	}
+	if err := Validate(KindVetoAggregation, trail, 4, nil); err != nil {
+		t.Fatalf("minimal dropped-veto trail rejected: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package audit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto"
+	"repro/internal/topology"
+)
+
+// genVetoTrail builds a random well-formed veto-aggregation trail: levels
+// strictly walk down (normal tuples by one, bottom tuples by more), values
+// never increase, edge keys chain, and the trail ends at a bottom tuple.
+func genVetoTrail(rng *crypto.Stream, maxPos int) []Tuple {
+	level := 2 + rng.Intn(maxPos-1) // start in [2, maxPos]
+	value := 100 + float64(rng.Intn(50))
+	key := rng.Intn(1000)
+	var trail []Tuple
+	owner := topology.NodeID(1)
+	inKey := NoKey
+	for {
+		// Randomly decide whether the next hop is the malicious segment.
+		lastHonest := level <= 1 || rng.Intn(3) == 0
+		trail = append(trail, Tuple{
+			Pos: level, Value: value, Owner: owner, InKey: inKey, OutKey: key,
+		})
+		if lastHonest {
+			drop := 1 + rng.Intn(level) // bottom tuple strictly below
+			trail = append(trail, Tuple{
+				Pos: level - drop, Value: value, Bottom: true, InKey: key, OutKey: NoKey,
+			})
+			return trail
+		}
+		// Next honest tuple: level-1, value may shrink.
+		level--
+		if rng.Intn(2) == 0 {
+			value -= float64(rng.Intn(5))
+		}
+		owner++
+		inKey = key
+		key = rng.Intn(1000)
+	}
+}
+
+func TestPropertyGeneratedVetoTrailsValidate(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := crypto.NewStreamFromSeed(seed)
+		maxPos := 4 + rng.Intn(10)
+		trail := genVetoTrail(rng, maxPos)
+		return Validate(KindVetoAggregation, trail, maxPos, nil) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mutateTrail applies one of several corruption kinds; every mutation
+// must be caught by Validate.
+func mutateTrail(rng *crypto.Stream, trail []Tuple) ([]Tuple, string) {
+	out := append([]Tuple(nil), trail...)
+	switch rng.Intn(6) {
+	case 0: // break the level step of a normal tuple
+		for i := 1; i < len(out); i++ {
+			if !out[i].Bottom {
+				out[i].Pos = out[i-1].Pos + 1
+				return out, "level-step"
+			}
+		}
+		return nil, ""
+	case 1: // raise a value above its predecessor
+		if len(out) < 2 {
+			return nil, ""
+		}
+		out[1].Value = out[0].Value + 1
+		return out, "value-raise"
+	case 2: // break the edge-key chain
+		if len(out) < 2 {
+			return nil, ""
+		}
+		out[1].InKey = out[0].OutKey + 1
+		return out, "key-chain"
+	case 3: // drop the terminal bottom tuple
+		return out[:len(out)-1], "no-bottom"
+	case 4: // duplicate the bottom tuple (adjacent bottoms)
+		last := out[len(out)-1]
+		dup := last
+		dup.Pos--
+		if dup.Pos < 0 {
+			return nil, ""
+		}
+		dup.InKey = last.OutKey
+		return append(out, dup), "adjacent-bottom"
+	default: // push a position outside [0, maxPos]
+		out[0].Pos = -1
+		return out, "pos-range"
+	}
+}
+
+func TestPropertyMutatedVetoTrailsRejected(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := crypto.NewStreamFromSeed(seed)
+		maxPos := 5 + rng.Intn(8)
+		trail := genVetoTrail(rng, maxPos)
+		mutated, kind := mutateTrail(rng, trail)
+		if kind == "" {
+			return true // mutation not applicable to this trail shape
+		}
+		if kind == "no-bottom" && len(mutated) == 0 {
+			return Validate(KindVetoAggregation, mutated, maxPos, nil) != nil
+		}
+		return Validate(KindVetoAggregation, mutated, maxPos, nil) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTrailLengthBounded(t *testing.T) {
+	// Well-formed trails respect the paper's L+1 bound by construction.
+	f := func(seed uint64) bool {
+		rng := crypto.NewStreamFromSeed(seed)
+		maxPos := 4 + rng.Intn(10)
+		trail := genVetoTrail(rng, maxPos)
+		return len(trail) <= MaxLen(maxPos)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package authbcast
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+)
+
+// This file implements a concrete muTESLA-style broadcast-authentication
+// primitive (Perrig et al., the mechanism behind the paper's imported
+// authenticated broadcast [20]): a one-way hash chain whose tip is
+// pre-distributed to every sensor. The broadcaster MACs each message with
+// a chain key and discloses that key only after the interval in which
+// receivers buffered the message, so a receiver that checks the security
+// condition (the key was not yet disclosed when the message arrived) gets
+// authenticity from symmetric primitives alone.
+//
+// The package-level Channel/Verifier model remains the fast path used by
+// the protocol engine; KeyChain substantiates that model with the real
+// construction (same unforgeability for receivers, no shared secret that
+// lets them forge), and is exercised by its own test suite.
+
+// KeyChain is the broadcaster's side of a muTESLA chain: keys
+// K_n -> K_{n-1} -> ... -> K_0 with K_{i-1} = H(K_i). K_0 is the public
+// commitment; K_i authenticates messages of interval i and is disclosed
+// in interval i+d (d = disclosure lag).
+type KeyChain struct {
+	keys []crypto.Key // keys[i] is K_i; keys[0] is the commitment
+	lag  int
+}
+
+// NewKeyChain derives a chain of length intervals+1 from a seed. The
+// disclosure lag is the number of intervals a key stays secret after its
+// use; it must be at least 1.
+func NewKeyChain(seed crypto.Key, intervals, lag int) (*KeyChain, error) {
+	if intervals <= 0 {
+		return nil, fmt.Errorf("authbcast: chain needs at least 1 interval, got %d", intervals)
+	}
+	if lag < 1 {
+		return nil, fmt.Errorf("authbcast: disclosure lag must be >= 1, got %d", lag)
+	}
+	keys := make([]crypto.Key, intervals+1)
+	keys[intervals] = crypto.DeriveKey(seed, "mutesla-tip", 0)
+	for i := intervals; i > 0; i-- {
+		keys[i-1] = chainStep(keys[i])
+	}
+	return &KeyChain{keys: keys, lag: lag}, nil
+}
+
+// chainStep is the one-way function F: K_{i-1} = F(K_i).
+func chainStep(k crypto.Key) crypto.Key {
+	h := crypto.HashOf([]byte("mutesla-chain"), k[:])
+	var out crypto.Key
+	copy(out[:], h[:crypto.KeySize])
+	return out
+}
+
+// Commitment returns K_0, pre-loaded onto every sensor before deployment.
+func (c *KeyChain) Commitment() crypto.Key { return c.keys[0] }
+
+// Intervals returns the number of usable broadcast intervals.
+func (c *KeyChain) Intervals() int { return len(c.keys) - 1 }
+
+// Lag returns the disclosure lag d.
+func (c *KeyChain) Lag() int { return c.lag }
+
+// ChainMessage is one authenticated broadcast packet: the payload MAC'd
+// under the (still secret) interval key, plus the key disclosed for an
+// earlier interval.
+type ChainMessage struct {
+	Interval int
+	Payload  []byte
+	MAC      crypto.MAC
+	// DisclosedInterval and DisclosedKey reveal K_{Interval-lag}; the
+	// disclosed interval is negative when nothing is disclosed yet.
+	DisclosedInterval int
+	DisclosedKey      crypto.Key
+}
+
+// WireSize charges payload, MAC, key, and two interval counters.
+func (m ChainMessage) WireSize() int {
+	return len(m.Payload) + crypto.MACSize + crypto.KeySize + 8
+}
+
+// Broadcast authenticates payload for the given interval (1-based) and
+// piggybacks the key disclosure for interval-lag.
+func (c *KeyChain) Broadcast(interval int, payload []byte) (ChainMessage, error) {
+	if interval < 1 || interval > c.Intervals() {
+		return ChainMessage{}, fmt.Errorf("authbcast: interval %d outside chain [1, %d]", interval, c.Intervals())
+	}
+	msg := ChainMessage{
+		Interval:          interval,
+		Payload:           payload,
+		MAC:               crypto.ComputeMAC(c.keys[interval], []byte("mutesla-msg"), crypto.Uint64(uint64(interval)), payload),
+		DisclosedInterval: -1,
+	}
+	if d := interval - c.lag; d >= 1 {
+		msg.DisclosedInterval = d
+		msg.DisclosedKey = c.keys[d]
+	}
+	return msg, nil
+}
+
+// DiscloseKey returns the standalone key disclosure for an interval, sent
+// when there is no later payload to piggyback on.
+func (c *KeyChain) DiscloseKey(interval int) (int, crypto.Key, error) {
+	if interval < 1 || interval > c.Intervals() {
+		return 0, crypto.Key{}, fmt.Errorf("authbcast: interval %d outside chain [1, %d]", interval, c.Intervals())
+	}
+	return interval, c.keys[interval], nil
+}
+
+// ChainReceiver is a sensor's side of the chain: it holds the commitment,
+// buffers messages whose keys are undisclosed, and authenticates them
+// once the matching key arrives and checks out against the chain.
+type ChainReceiver struct {
+	lag       int
+	intervals int
+	// verified[i] holds K_i once authenticated; index 0 is the
+	// commitment.
+	verified map[int]crypto.Key
+	latest   int // highest verified interval
+	buffered map[int][]ChainMessage
+}
+
+// NewChainReceiver initializes a receiver from the pre-distributed
+// commitment.
+func NewChainReceiver(commitment crypto.Key, intervals, lag int) *ChainReceiver {
+	return &ChainReceiver{
+		lag:       lag,
+		intervals: intervals,
+		verified:  map[int]crypto.Key{0: commitment},
+		buffered:  map[int][]ChainMessage{},
+	}
+}
+
+// Accept processes a received chain message at the receiver's current
+// interval (its loosely synchronized clock). It returns the payloads that
+// became authenticated as a result (possibly from earlier buffered
+// messages). Messages violating the security condition — their key could
+// already be disclosed by now — are discarded as unauthenticatable.
+func (r *ChainReceiver) Accept(msg ChainMessage, now int) [][]byte {
+	// Security condition: K_Interval is disclosed in interval
+	// Interval+lag; the message is only safe if it arrived before that.
+	if msg.Interval >= 1 && msg.Interval <= r.intervals && now < msg.Interval+r.lag {
+		r.buffered[msg.Interval] = append(r.buffered[msg.Interval], msg)
+	}
+	if msg.DisclosedInterval >= 1 {
+		return r.learnKey(msg.DisclosedInterval, msg.DisclosedKey)
+	}
+	return nil
+}
+
+// AcceptDisclosure processes a standalone key disclosure.
+func (r *ChainReceiver) AcceptDisclosure(interval int, key crypto.Key) [][]byte {
+	return r.learnKey(interval, key)
+}
+
+// learnKey authenticates a disclosed key against the chain and releases
+// any buffered messages it validates. A forged key hashes to the wrong
+// ancestor and is rejected.
+func (r *ChainReceiver) learnKey(interval int, key crypto.Key) [][]byte {
+	if interval <= r.latest || interval > r.intervals {
+		return nil
+	}
+	// Walk the candidate key down to the highest verified ancestor.
+	k := key
+	for i := interval; i > r.latest; i-- {
+		k = chainStep(k)
+	}
+	if k != r.verified[r.latest] {
+		return nil // forged disclosure
+	}
+	// Record the whole verified segment so gaps can be crossed later.
+	k = key
+	for i := interval; i > r.latest; i-- {
+		r.verified[i] = k
+		k = chainStep(k)
+	}
+	r.latest = interval
+
+	var released [][]byte
+	for i, msgs := range r.buffered {
+		ki, ok := r.verified[i]
+		if !ok {
+			continue
+		}
+		for _, m := range msgs {
+			want := crypto.ComputeMAC(ki, []byte("mutesla-msg"), crypto.Uint64(uint64(m.Interval)), m.Payload)
+			if want == m.MAC {
+				released = append(released, m.Payload)
+			}
+		}
+		delete(r.buffered, i)
+	}
+	return released
+}

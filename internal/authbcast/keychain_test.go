@@ -1,0 +1,171 @@
+package authbcast
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+)
+
+func newChain(t *testing.T, intervals, lag int) *KeyChain {
+	t.Helper()
+	c, err := NewKeyChain(crypto.KeyFromUint64(1), intervals, lag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewKeyChainValidation(t *testing.T) {
+	if _, err := NewKeyChain(crypto.Key{}, 0, 1); err == nil {
+		t.Fatal("zero intervals accepted")
+	}
+	if _, err := NewKeyChain(crypto.Key{}, 5, 0); err == nil {
+		t.Fatal("zero lag accepted")
+	}
+}
+
+func TestChainCommitmentIsHashAncestor(t *testing.T) {
+	c := newChain(t, 10, 1)
+	// Hashing K_10 ten times must reach the commitment.
+	k := c.keys[10]
+	for i := 0; i < 10; i++ {
+		k = chainStep(k)
+	}
+	if k != c.Commitment() {
+		t.Fatal("chain does not collapse to its commitment")
+	}
+}
+
+func TestBroadcastDeliversAfterDisclosure(t *testing.T) {
+	c := newChain(t, 10, 1)
+	r := NewChainReceiver(c.Commitment(), c.Intervals(), c.Lag())
+
+	m1, err := c.Broadcast(1, []byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Accept(m1, 1); len(got) != 0 {
+		t.Fatal("payload released before key disclosure")
+	}
+	// Interval 2's message discloses K_1, authenticating m1.
+	m2, _ := c.Broadcast(2, []byte("beta"))
+	got := r.Accept(m2, 2)
+	if len(got) != 1 || string(got[0]) != "alpha" {
+		t.Fatalf("disclosure released %q, want [alpha]", got)
+	}
+	// Standalone disclosure of K_2 releases beta.
+	i, k, _ := c.DiscloseKey(2)
+	got = r.AcceptDisclosure(i, k)
+	if len(got) != 1 || string(got[0]) != "beta" {
+		t.Fatalf("standalone disclosure released %q, want [beta]", got)
+	}
+}
+
+func TestSecurityConditionRejectsLateMessages(t *testing.T) {
+	c := newChain(t, 10, 1)
+	r := NewChainReceiver(c.Commitment(), c.Intervals(), c.Lag())
+	m1, _ := c.Broadcast(1, []byte("late"))
+	// The message arrives at interval 2 — by which time K_1 may already
+	// be disclosed, so an adversary could have forged it.
+	r.Accept(m1, 2)
+	i, k, _ := c.DiscloseKey(1)
+	if got := r.AcceptDisclosure(i, k); len(got) != 0 {
+		t.Fatalf("late message authenticated: %q", got)
+	}
+}
+
+func TestForgedDisclosureRejected(t *testing.T) {
+	c := newChain(t, 10, 1)
+	r := NewChainReceiver(c.Commitment(), c.Intervals(), c.Lag())
+	m1, _ := c.Broadcast(1, []byte("x"))
+	r.Accept(m1, 1)
+	if got := r.AcceptDisclosure(1, crypto.KeyFromUint64(99)); len(got) != 0 {
+		t.Fatalf("forged key accepted: %q", got)
+	}
+	// The genuine key still works afterwards.
+	i, k, _ := c.DiscloseKey(1)
+	if got := r.AcceptDisclosure(i, k); len(got) != 1 {
+		t.Fatal("genuine key rejected after forgery attempt")
+	}
+}
+
+func TestForgedPayloadRejected(t *testing.T) {
+	c := newChain(t, 10, 1)
+	r := NewChainReceiver(c.Commitment(), c.Intervals(), c.Lag())
+	m1, _ := c.Broadcast(1, []byte("real"))
+	m1.Payload = []byte("fake")
+	r.Accept(m1, 1)
+	i, k, _ := c.DiscloseKey(1)
+	if got := r.AcceptDisclosure(i, k); len(got) != 0 {
+		t.Fatalf("tampered payload authenticated: %q", got)
+	}
+}
+
+func TestDisclosureGapCrossing(t *testing.T) {
+	// A receiver that missed several disclosures must still authenticate
+	// once a later key arrives (the chain walk crosses the gap).
+	c := newChain(t, 10, 1)
+	r := NewChainReceiver(c.Commitment(), c.Intervals(), c.Lag())
+	m5, _ := c.Broadcast(5, []byte("five"))
+	r.Accept(m5, 5)
+	i, k, _ := c.DiscloseKey(5)
+	got := r.AcceptDisclosure(i, k)
+	if len(got) != 1 || string(got[0]) != "five" {
+		t.Fatalf("gap crossing failed: %q", got)
+	}
+}
+
+func TestReplayedOldDisclosureIgnored(t *testing.T) {
+	c := newChain(t, 10, 1)
+	r := NewChainReceiver(c.Commitment(), c.Intervals(), c.Lag())
+	i, k, _ := c.DiscloseKey(3)
+	r.AcceptDisclosure(i, k)
+	// Replaying an older key must be a no-op, not a rollback.
+	i1, k1, _ := c.DiscloseKey(1)
+	if got := r.AcceptDisclosure(i1, k1); len(got) != 0 {
+		t.Fatal("old disclosure released payloads")
+	}
+	if r.latest != 3 {
+		t.Fatalf("latest rolled back to %d", r.latest)
+	}
+}
+
+func TestBroadcastIntervalBounds(t *testing.T) {
+	c := newChain(t, 4, 1)
+	if _, err := c.Broadcast(0, nil); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+	if _, err := c.Broadcast(5, nil); err == nil {
+		t.Fatal("interval beyond chain accepted")
+	}
+	if _, _, err := c.DiscloseKey(0); err == nil {
+		t.Fatal("disclosure of interval 0 accepted")
+	}
+}
+
+func TestLagTwoPiggyback(t *testing.T) {
+	c := newChain(t, 10, 2)
+	r := NewChainReceiver(c.Commitment(), c.Intervals(), c.Lag())
+	m1, _ := c.Broadcast(1, []byte("one"))
+	r.Accept(m1, 1)
+	// With lag 2, interval 2's message discloses nothing yet.
+	m2, _ := c.Broadcast(2, []byte("two"))
+	if got := r.Accept(m2, 2); len(got) != 0 {
+		t.Fatal("lag-2 chain disclosed too early")
+	}
+	// Interval 3 discloses K_1.
+	m3, _ := c.Broadcast(3, []byte("three"))
+	got := r.Accept(m3, 3)
+	if len(got) != 1 || string(got[0]) != "one" {
+		t.Fatalf("lag-2 disclosure released %q, want [one]", got)
+	}
+}
+
+func TestChainMessageWireSize(t *testing.T) {
+	c := newChain(t, 3, 1)
+	m, _ := c.Broadcast(1, []byte("1234"))
+	want := 4 + crypto.MACSize + crypto.KeySize + 8
+	if m.WireSize() != want {
+		t.Fatalf("WireSize = %d, want %d", m.WireSize(), want)
+	}
+}

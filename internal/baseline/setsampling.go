@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/crypto"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// SetSampling models the sampling-based secure aggregation of Yu [29],
+// the protocol the paper compares VMAT's round complexity against
+// (Section I). Instead of in-network aggregation, the base station
+// estimates a predicate COUNT by running a sequence of keyed predicate
+// tests over random sensor subsets of geometrically decreasing density:
+// when roughly 1/c of the sensors are sampled, a set test starts failing
+// once c exceeds the true count. Each test is chokeproof for the same
+// reason as VMAT's (only the committed reply propagates), and each test
+// costs two flooding rounds — one broadcast down, one reply up. The
+// estimator needs Theta(log n * t) sequential tests, hence the
+// Omega(log n) flooding rounds that motivate VMAT's O(1) design.
+type SetSampling struct {
+	// Graph is the radio topology.
+	Graph *topology.Graph
+	// RepeatsPerLevel is t, the tests per density level (error control).
+	RepeatsPerLevel int
+	// Seed drives the random subsets.
+	Seed uint64
+}
+
+// SetSamplingResult reports one estimation run.
+type SetSamplingResult struct {
+	// Estimate is the count estimate.
+	Estimate float64
+	// Tests is the number of sequential keyed predicate tests run.
+	Tests int
+	// FloodingRounds is the sequential flooding-round cost (2 per test).
+	FloodingRounds int
+	// Slots is the total network slots consumed.
+	Slots int
+	// Stats is the byte accounting.
+	Stats simnet.Stats
+}
+
+// reply is the committed "yes" reply of one set test; sensors relay the
+// first copy they hear (the commitment check is modelled by the testID).
+type reply struct {
+	testID int
+}
+
+// WireSize is one MAC.
+func (reply) WireSize() int { return 8 }
+
+// probe is the downstream broadcast of one set test.
+type probe struct {
+	testID int
+}
+
+// WireSize covers the set descriptor and commitment.
+func (probe) WireSize() int { return 48 }
+
+// Run estimates the number of sensors satisfying pred.
+func (s *SetSampling) Run(pred func(topology.NodeID) bool) SetSamplingResult {
+	if s.RepeatsPerLevel <= 0 {
+		s.RepeatsPerLevel = 3
+	}
+	n := s.Graph.NumNodes()
+	net := simnet.New(s.Graph, simnet.Config{})
+	rng := crypto.NewStreamFromSeed(s.Seed)
+
+	res := SetSamplingResult{}
+	maxLevel := int(math.Ceil(math.Log2(float64(n)))) + 1
+
+	// Find the highest density level (sampling probability 2^-level) at
+	// which a majority of t repeated set tests still succeed; the count
+	// estimate is 2^level (up to the estimator constant).
+	lastYes := -1
+	for level := 0; level <= maxLevel; level++ {
+		yes := 0
+		for rep := 0; rep < s.RepeatsPerLevel; rep++ {
+			res.Tests++
+			salt := rng.Uint64()
+			inSet := func(id topology.NodeID) bool {
+				h := crypto.NewStream(crypto.Uint64(salt), crypto.Uint64(uint64(id)))
+				// Sample with probability 2^-level.
+				return level == 0 || h.Uint64()>>(64-level) == 0
+			}
+			if s.runOneTest(net, res.Tests, func(id topology.NodeID) bool {
+				return pred(id) && inSet(id)
+			}) {
+				yes++
+			}
+		}
+		if 2*yes >= s.RepeatsPerLevel {
+			lastYes = level
+		} else {
+			break
+		}
+	}
+	if lastYes >= 0 {
+		// E[max level with a sampled positive] ~ log2(count); the 2/ln 2
+		// constant follows the standard maximum-of-geometric analysis.
+		res.Estimate = math.Exp2(float64(lastYes)) * math.Ln2 * 2
+		if lastYes == 0 {
+			res.Estimate = 1
+		}
+	}
+	res.FloodingRounds = 2 * res.Tests
+	res.Stats = net.Stats()
+	res.Slots = res.Stats.Slots
+	return res
+}
+
+// runOneTest performs one chokeproof set test: flood the probe, then
+// relay the committed reply from any satisfying sensor back to the base
+// station. It returns whether the base station heard a reply.
+func (s *SetSampling) runOneTest(net *simnet.Network, testID int, satisfied func(topology.NodeID) bool) bool {
+	n := s.Graph.NumNodes()
+	probed := make([]bool, n)
+	replied := make([]bool, n)
+	success := false
+	depth := s.Graph.Depth(topology.BaseStation)
+
+	net.RunUntilQuiescent(4*depth+8, func(ctx *simnet.Context) {
+		id := ctx.Node()
+		// Downstream probe flood.
+		if !probed[id] {
+			hit := id == topology.BaseStation
+			for _, m := range ctx.Inbox {
+				if p, ok := m.Payload.(probe); ok && p.testID == testID {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				probed[id] = true
+				ctx.Broadcast(probe{testID: testID})
+				if id != topology.BaseStation && satisfied(id) && !replied[id] {
+					replied[id] = true
+					ctx.Broadcast(reply{testID: testID})
+				}
+			}
+		}
+		// Upstream reply relay (one-time per sensor).
+		if replied[id] {
+			return
+		}
+		for _, m := range ctx.Inbox {
+			if r, ok := m.Payload.(reply); ok && r.testID == testID {
+				replied[id] = true
+				if id == topology.BaseStation {
+					success = true
+					return
+				}
+				ctx.Broadcast(reply{testID: testID})
+				return
+			}
+		}
+	})
+	return success
+}

@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+func shiaFixture(t *testing.T, g *topology.Graph, seed uint64) *SHIA {
+	t.Helper()
+	dep, err := keydist.NewDeployment(g.NumNodes(), keydist.Params{PoolSize: 500, RingSize: 60},
+		crypto.KeyFromUint64(seed), crypto.NewStreamFromSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &SHIA{
+		Graph:      g,
+		Deployment: dep,
+		Readings: func(id topology.NodeID) int64 {
+			return int64(id)
+		},
+		Seed: seed,
+	}
+}
+
+func trueSum(g *topology.Graph) int64 {
+	var sum int64
+	depths := g.Depths(topology.BaseStation)
+	for id := 1; id < g.NumNodes(); id++ {
+		if depths[id] > 0 {
+			sum += int64(id)
+		}
+	}
+	return sum
+}
+
+func TestSHIAHonestSumNoAlarm(t *testing.T) {
+	for _, g := range []*topology.Graph{
+		topology.Line(8),
+		topology.Grid(4, 5),
+		topology.Star(10),
+	} {
+		s := shiaFixture(t, g, 1)
+		res := s.Run()
+		if res.Alarm {
+			t.Fatalf("honest run raised an alarm (n=%d)", g.NumNodes())
+		}
+		if res.Sum != trueSum(g) {
+			t.Fatalf("sum = %d, want %d (n=%d)", res.Sum, trueSum(g), g.NumNodes())
+		}
+	}
+}
+
+func TestSHIAHonestRandomGeometric(t *testing.T) {
+	g, _ := topology.RandomGeometric(80, 0.22, crypto.NewStreamFromSeed(3))
+	s := shiaFixture(t, g, 3)
+	res := s.Run()
+	if res.Alarm || res.Sum != trueSum(g) {
+		t.Fatalf("alarm=%v sum=%d want %d", res.Alarm, res.Sum, trueSum(g))
+	}
+}
+
+func TestSHIADropSubtreeDetected(t *testing.T) {
+	// Node 2 on the line drops its whole subtree: the sum shrinks and
+	// the victims' verification fails, so the XOR ack mismatches.
+	g := topology.Line(8)
+	s := shiaFixture(t, g, 4)
+	s.Malicious = map[topology.NodeID]bool{2: true}
+	s.Tamper = SHIADropSubtree
+	res := s.Run()
+	if !res.Alarm {
+		t.Fatal("dropped subtree not detected")
+	}
+	if res.Sum >= trueSum(g) {
+		t.Fatalf("sum %d not reduced by the drop (true %d)", res.Sum, trueSum(g))
+	}
+}
+
+func TestSHIAInflateDetected(t *testing.T) {
+	g := topology.Grid(4, 5)
+	s := shiaFixture(t, g, 5)
+	s.Malicious = map[topology.NodeID]bool{6: true}
+	s.Tamper = SHIAInflate
+	res := s.Run()
+	if !res.Alarm {
+		t.Fatal("inflated subtree sum not detected")
+	}
+}
+
+func TestSHIAMaliciousBehavingHonestlyNoAlarm(t *testing.T) {
+	g := topology.Grid(3, 4)
+	s := shiaFixture(t, g, 6)
+	s.Malicious = map[topology.NodeID]bool{5: true}
+	s.Tamper = SHIAHonest
+	res := s.Run()
+	if res.Alarm {
+		t.Fatal("honest-behaving malicious node raised an alarm")
+	}
+	if res.Sum != trueSum(g) {
+		t.Fatalf("sum = %d, want %d", res.Sum, trueSum(g))
+	}
+}
+
+func TestSHIAAlarmPersistsForever(t *testing.T) {
+	// The paper's motivating observation: SHIA-style protocols alarm on
+	// every corrupted execution and never identify the attacker, so a
+	// persistent adversary denies service indefinitely.
+	g := topology.Grid(4, 5)
+	for exec := 0; exec < 5; exec++ {
+		s := shiaFixture(t, g, uint64(10+exec))
+		s.Malicious = map[topology.NodeID]bool{6: true}
+		s.Tamper = SHIADropSubtree
+		res := s.Run()
+		if !res.Alarm {
+			t.Fatalf("execution %d not alarmed", exec)
+		}
+	}
+}
+
+func TestSHIADisseminationCostGrowsWithDegreeAndDepth(t *testing.T) {
+	// SHIA's verification packages carry sibling labels for every
+	// ancestor: per-sensor bytes grow with topology size, unlike VMAT's
+	// constant-size aggregates.
+	small := shiaFixture(t, topology.Grid(3, 3), 7).Run()
+	big := shiaFixture(t, topology.Grid(6, 6), 7).Run()
+	if big.Stats.MaxNodeBytes() <= small.Stats.MaxNodeBytes() {
+		t.Fatalf("dissemination cost did not grow: %d -> %d",
+			small.Stats.MaxNodeBytes(), big.Stats.MaxNodeBytes())
+	}
+}
+
+func TestSHIAVerifierSubstitutesOwnLabel(t *testing.T) {
+	// Unit check of the inclusion proof: a verifier accepts the real
+	// package and rejects one whose path label was altered upstream.
+	own := leafLabel(3, 3)
+	sib := leafLabel(4, 4)
+	parentKids := []label{own, sib}
+	root := combine(1, 1, []label{combine(2, 2, parentKids)})
+
+	pkg := verifyPkg{Steps: []pkgStep{
+		{Ancestor: 1, Reading: 1, Siblings: []label{combine(2, 2, parentKids)}, PathIndex: 0},
+		{Ancestor: 2, Reading: 2, Siblings: parentKids, PathIndex: 0},
+	}}
+	s := &SHIA{}
+	if !s.verifies(3, own, pkg, root) {
+		t.Fatal("valid inclusion proof rejected")
+	}
+	// An adversary that replaced node 3's label upstream cannot produce a
+	// package that verifies against the (now different) root.
+	forgedKids := []label{leafLabel(3, 999), sib}
+	forgedRoot := combine(1, 1, []label{combine(2, 2, forgedKids)})
+	if s.verifies(3, own, pkg, forgedRoot) {
+		t.Fatal("verification passed against a root excluding the true label")
+	}
+	if s.verifies(3, own, verifyPkg{}, root) {
+		t.Fatal("empty package verified")
+	}
+}

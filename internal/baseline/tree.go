@@ -1,0 +1,37 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// BFSTree computes the deterministic aggregation tree the baselines use:
+// each node's parent is its lowest-ID neighbor one BFS level closer to
+// the base station. It returns the parent array (-1 for the base station
+// and unreachable nodes) and the sorted children lists.
+func BFSTree(g *topology.Graph) (parent []topology.NodeID, children [][]topology.NodeID) {
+	n := g.NumNodes()
+	depths := g.Depths(topology.BaseStation)
+	parent = make([]topology.NodeID, n)
+	children = make([][]topology.NodeID, n)
+	for id := 0; id < n; id++ {
+		parent[id] = -1
+		if depths[id] <= 0 {
+			continue
+		}
+		for _, nb := range g.Neighbors(topology.NodeID(id)) {
+			if depths[nb] == depths[id]-1 {
+				parent[id] = nb
+				break
+			}
+		}
+		if parent[id] >= 0 {
+			children[parent[id]] = append(children[parent[id]], topology.NodeID(id))
+		}
+	}
+	for id := range children {
+		sort.Slice(children[id], func(a, b int) bool { return children[id][a] < children[id][b] })
+	}
+	return parent, children
+}

@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// TestExecutionDeterministicForSeed runs the same attacked configuration
+// twice and requires bit-identical outcomes: same kind, minima, revoked
+// material, slot counts, and per-node byte accounting. Determinism is
+// what makes every experiment in EXPERIMENTS.md regenerable.
+func TestExecutionDeterministicForSeed(t *testing.T) {
+	runOnce := func() *core.Outcome {
+		f := newFixture(t, bypassGraph(), 555)
+		f.readings[4] = 1
+		cfg := f.config(555)
+		cfg.Malicious = maliciousSet(2)
+		cfg.Adversary = adversary.NewDropAndChoke(50)
+		cfg.AdversaryFavored = true
+		return run(t, cfg)
+	}
+	a, b := runOnce(), runOnce()
+	if a.Kind != b.Kind || a.Slots != b.Slots || a.PredicateTests != b.PredicateTests {
+		t.Fatalf("outcomes diverged: %v/%d/%d vs %v/%d/%d",
+			a.Kind, a.Slots, a.PredicateTests, b.Kind, b.Slots, b.PredicateTests)
+	}
+	if len(a.RevokedKeys) != len(b.RevokedKeys) {
+		t.Fatalf("revocations diverged: %v vs %v", a.RevokedKeys, b.RevokedKeys)
+	}
+	for i := range a.RevokedKeys {
+		if a.RevokedKeys[i] != b.RevokedKeys[i] {
+			t.Fatalf("revocations diverged: %v vs %v", a.RevokedKeys, b.RevokedKeys)
+		}
+	}
+	for i := range a.Stats.BytesSent {
+		if a.Stats.BytesSent[i] != b.Stats.BytesSent[i] ||
+			a.Stats.BytesReceived[i] != b.Stats.BytesReceived[i] {
+			t.Fatalf("byte accounting diverged at node %d", i)
+		}
+	}
+}
+
+// TestNoGoroutineLeakAcrossRuns checks the engine's per-slot goroutine
+// fan-out always joins: many executions must not accumulate goroutines.
+func TestNoGoroutineLeakAcrossRuns(t *testing.T) {
+	f := newFixture(t, topology.Grid(4, 4), 556)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 15; i++ {
+		cfg := f.config(uint64(556 + i))
+		out := run(t, cfg)
+		if out.Kind != core.OutcomeResult {
+			t.Fatalf("run %d: %v", i, out.Kind)
+		}
+	}
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	if after > before+3 {
+		t.Fatalf("goroutines grew from %d to %d across 15 executions", before, after)
+	}
+}

@@ -1,0 +1,564 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+// testParams gives essentially every pair of sensors a shared key
+// (r = 3.7*sqrt(u), share probability > 0.999998), so the secure graph
+// tracks the radio graph in protocol tests.
+var testParams = keydist.Params{PoolSize: 600, RingSize: 90}
+
+// fixture bundles a topology with matching key material and readings.
+type fixture struct {
+	graph    *topology.Graph
+	dep      *keydist.Deployment
+	readings map[topology.NodeID]float64
+}
+
+func newFixture(t *testing.T, g *topology.Graph, seed uint64) *fixture {
+	t.Helper()
+	dep, err := keydist.NewDeployment(g.NumNodes(), testParams,
+		crypto.KeyFromUint64(seed), crypto.NewStreamFromSeed(seed))
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	f := &fixture{graph: g, dep: dep, readings: make(map[topology.NodeID]float64)}
+	// Deterministic, distinct readings; node IDs map to values so tests
+	// can place the minimum precisely.
+	for id := 1; id < g.NumNodes(); id++ {
+		f.readings[topology.NodeID(id)] = float64(100 + id)
+	}
+	return f
+}
+
+func (f *fixture) config(seed uint64) core.Config {
+	readings := f.readings
+	return core.Config{
+		Graph:      f.graph,
+		Deployment: f.dep,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if v, ok := readings[id]; ok {
+				return v
+			}
+			return core.Inf()
+		},
+		Seed: seed,
+	}
+}
+
+func (f *fixture) trueMin(exclude map[topology.NodeID]bool) float64 {
+	min := core.Inf()
+	for id, v := range f.readings {
+		if exclude[id] {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+func run(t *testing.T, cfg core.Config) *core.Outcome {
+	t.Helper()
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return out
+}
+
+func TestHonestMinLine(t *testing.T) {
+	f := newFixture(t, topology.Line(6), 1)
+	f.readings[4] = 3 // the minimum, deep in the line
+	out := run(t, f.config(1))
+	if out.Kind != core.OutcomeResult {
+		t.Fatalf("outcome = %v, want result", out.Kind)
+	}
+	if out.Mins[0] != 3 {
+		t.Fatalf("min = %g, want 3", out.Mins[0])
+	}
+}
+
+func TestHonestMinGrid(t *testing.T) {
+	f := newFixture(t, topology.Grid(4, 5), 2)
+	f.readings[13] = 7.5
+	out := run(t, f.config(2))
+	if out.Kind != core.OutcomeResult || out.Mins[0] != 7.5 {
+		t.Fatalf("outcome = %v mins = %v, want result 7.5", out.Kind, out.Mins)
+	}
+}
+
+func TestHonestMinRandomGeometric(t *testing.T) {
+	g, _ := topology.RandomGeometric(60, 0.22, crypto.NewStreamFromSeed(3))
+	f := newFixture(t, g, 3)
+	out := run(t, f.config(3))
+	if out.Kind != core.OutcomeResult {
+		t.Fatalf("outcome = %v, want result", out.Kind)
+	}
+	if want := f.trueMin(nil); out.Mins[0] != want {
+		t.Fatalf("min = %g, want %g", out.Mins[0], want)
+	}
+}
+
+func TestHonestMinStarSingleLevel(t *testing.T) {
+	f := newFixture(t, topology.Star(8), 4)
+	f.readings[5] = 1
+	out := run(t, f.config(4))
+	if out.Kind != core.OutcomeResult || out.Mins[0] != 1 {
+		t.Fatalf("star: outcome %v mins %v", out.Kind, out.Mins)
+	}
+}
+
+func TestHonestConstantFloodingRounds(t *testing.T) {
+	// Theorem 2/7: the happy path takes O(1) flooding rounds regardless
+	// of network size.
+	for _, n := range []int{20, 60, 120} {
+		g, _ := topology.RandomGeometric(n, 0.25, crypto.NewStreamFromSeed(uint64(n)))
+		f := newFixture(t, g, uint64(n))
+		out := run(t, f.config(uint64(n)))
+		if out.Kind != core.OutcomeResult {
+			t.Fatalf("n=%d: outcome %v", n, out.Kind)
+		}
+		if out.FloodingRounds > 12 {
+			t.Fatalf("n=%d: %f flooding rounds, want O(1) (<12)", n, out.FloodingRounds)
+		}
+	}
+}
+
+func TestHonestMultiInstance(t *testing.T) {
+	f := newFixture(t, topology.Grid(3, 4), 5)
+	cfg := f.config(5)
+	cfg.Instances = 4
+	cfg.Readings = func(id topology.NodeID, inst int) float64 {
+		if id == 0 {
+			return core.Inf()
+		}
+		return float64(10*(inst+1)) + float64(id)
+	}
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeResult {
+		t.Fatalf("outcome = %v", out.Kind)
+	}
+	for inst, got := range out.Mins {
+		want := float64(10*(inst+1)) + 1
+		if got != want {
+			t.Fatalf("instance %d min = %g, want %g", inst, got, want)
+		}
+	}
+}
+
+func TestHonestMultipathMatchesSinglePath(t *testing.T) {
+	g := topology.Grid(4, 4)
+	f := newFixture(t, g, 6)
+	f.readings[15] = 2
+	single := run(t, f.config(6))
+	cfg := f.config(6)
+	cfg.Multipath = true
+	multi := run(t, cfg)
+	if single.Mins[0] != multi.Mins[0] {
+		t.Fatalf("single-path min %g != multipath min %g", single.Mins[0], multi.Mins[0])
+	}
+	if multi.Kind != core.OutcomeResult {
+		t.Fatalf("multipath outcome %v", multi.Kind)
+	}
+}
+
+func TestEmptyNetworkReturnsInfinity(t *testing.T) {
+	f := newFixture(t, topology.Line(4), 7)
+	cfg := f.config(7)
+	cfg.Readings = nil // nobody contributes
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeResult || !math.IsInf(out.Mins[0], 1) {
+		t.Fatalf("outcome %v mins %v, want result [+Inf]", out.Kind, out.Mins)
+	}
+}
+
+// bypassGraph is the canonical attack topology for these tests:
+//
+//	0 — 1 — 2(M) — 4(V)
+//	    |          |
+//	    3 —— 5 ————+
+//
+// The vetoer (node 4) adopts the malicious node 2 as its aggregation
+// parent (node 2's tree-formation forward reaches it first), so dropped
+// values must cross the adversary — yet the honest subgraph stays
+// connected through 1-3-5-4, satisfying the paper's no-partition
+// assumption, and the SOF veto flood routes around the dropper.
+func bypassGraph() *topology.Graph {
+	g := topology.New(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 4)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 5)
+	g.AddEdge(5, 4)
+	return g
+}
+
+// maliciousSet is a convenience constructor.
+func maliciousSet(ids ...topology.NodeID) map[topology.NodeID]bool {
+	m := make(map[topology.NodeID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// requireRevokedMaliciousOnly asserts the soundness half of Theorem 6:
+// every revoked key is held by a malicious sensor and every revoked node
+// is malicious.
+func requireRevokedMaliciousOnly(t *testing.T, out *core.Outcome, dep *keydist.Deployment, malicious map[topology.NodeID]bool) {
+	t.Helper()
+	if len(out.RevokedKeys) == 0 && len(out.RevokedNodes) == 0 {
+		t.Fatal("pinpointing revoked nothing")
+	}
+	for _, k := range out.RevokedKeys {
+		held := false
+		for id := range malicious {
+			if dep.Holds(id, k) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			t.Fatalf("revoked key %d is held by no malicious sensor", k)
+		}
+	}
+	for _, id := range out.RevokedNodes {
+		if !malicious[id] {
+			t.Fatalf("honest sensor %d was revoked", id)
+		}
+	}
+}
+
+func TestDroppingAttackTriggersVetoRevocation(t *testing.T) {
+	// The minimum at node 4 takes the malicious node 2 as its aggregation
+	// parent, which silently drops it. The confirmation veto from node 4
+	// floods around the dropper, triggers pinpointing, and the revoked
+	// key must belong to the dropper.
+	f := newFixture(t, bypassGraph(), 8)
+	f.readings[4] = 1
+	cfg := f.config(8)
+	cfg.Malicious = maliciousSet(2)
+	cfg.Adversary = adversary.NewDropper(50)
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeVetoRevocation {
+		t.Fatalf("outcome = %v, want veto-revocation", out.Kind)
+	}
+	if out.Veto == nil || out.Veto.Value != 1 {
+		t.Fatalf("veto = %+v, want value 1", out.Veto)
+	}
+	requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+}
+
+func TestDroppingAttackPinpointingRounds(t *testing.T) {
+	// Theorem 6: pinpointing completes within O(L log n) flooding rounds.
+	f := newFixture(t, bypassGraph(), 9)
+	f.readings[4] = 1
+	cfg := f.config(9)
+	cfg.Malicious = maliciousSet(2)
+	cfg.Adversary = adversary.NewDropper(50)
+	out := run(t, cfg)
+	if out.PredicateTests == 0 {
+		t.Fatal("no predicate tests recorded")
+	}
+	// L=4, n=6: the walk is at most L hops of O(log n + log r) tests.
+	maxTests := 4 * 2 * (varintLog2(len(f.dep.Ring(0))) + 2*varintLog2(6) + 4)
+	if out.PredicateTests > maxTests {
+		t.Fatalf("%d predicate tests exceeds O(L log n) bound %d", out.PredicateTests, maxTests)
+	}
+}
+
+func varintLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+func TestHiderAttackRevokesHidersKey(t *testing.T) {
+	// The malicious sensor hides its minimal reading during aggregation,
+	// then vetoes validly. Pinpointing must still end revoking one of its
+	// keys (Section IV-C: "The audit trail recorded in such a case will
+	// still be equivalent to the malicious sensor dropping that value").
+	// The hider sits at the center of a 3x3 grid so the honest subgraph
+	// stays connected.
+	f := newFixture(t, topology.Grid(3, 3), 10)
+	f.readings[4] = 0.5 // the hider's own (withheld) minimum
+	cfg := f.config(10)
+	cfg.Malicious = maliciousSet(4)
+	cfg.Adversary = adversary.NewHider()
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeVetoRevocation {
+		t.Fatalf("outcome = %v, want veto-revocation", out.Kind)
+	}
+	requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+}
+
+func TestJunkInjectionTriggersJunkRevocation(t *testing.T) {
+	f := newFixture(t, topology.Grid(3, 4), 11)
+	cfg := f.config(11)
+	cfg.Malicious = maliciousSet(7)
+	cfg.Adversary = adversary.NewJunkInjector(-1000)
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeJunkAggRevocation {
+		t.Fatalf("outcome = %v, want junk-agg-revocation", out.Kind)
+	}
+	requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+}
+
+func TestChokingAttackTriggersJunkConfRevocation(t *testing.T) {
+	// Node 2 drops the minimum and floods spurious vetoes so the honest
+	// veto from node 4 is beaten everywhere (adversary-favored delivery).
+	// Lemma 1 still guarantees the base station receives *some* veto; the
+	// spurious one triggers junk-triggered pinpointing in the
+	// confirmation phase.
+	f := newFixture(t, bypassGraph(), 12)
+	f.readings[4] = 1
+	cfg := f.config(12)
+	cfg.Malicious = maliciousSet(2)
+	cfg.Adversary = adversary.NewDropAndChoke(50)
+	cfg.AdversaryFavored = true
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeJunkConfRevocation && out.Kind != core.OutcomeVetoRevocation {
+		t.Fatalf("outcome = %v, want a confirmation-phase revocation", out.Kind)
+	}
+	requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+}
+
+func TestMuteAttackYieldsVetoAndRevocation(t *testing.T) {
+	// A mute (jammed) malicious sensor swallows the vetoer's value: it
+	// never arrives, the base station announces a larger minimum, the
+	// vetoer objects, and pinpointing revokes a key on the mute segment.
+	f := newFixture(t, bypassGraph(), 13)
+	f.readings[4] = 2
+	cfg := f.config(13)
+	cfg.Malicious = maliciousSet(2)
+	cfg.Adversary = adversary.NewMute()
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeVetoRevocation {
+		t.Fatalf("outcome = %v, want veto-revocation", out.Kind)
+	}
+	requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+}
+
+func TestLyingDuringPinpointingStillRevokesMaliciousKey(t *testing.T) {
+	// The dropper additionally answers every predicate test "yes",
+	// dragging the walk around; Lemma 5/Theorem 6 require that whatever
+	// gets revoked is still held by a malicious sensor.
+	f := newFixture(t, bypassGraph(), 14)
+	f.readings[4] = 1
+	cfg := f.config(14)
+	cfg.Malicious = maliciousSet(2)
+	s := adversary.NewDropper(50)
+	s.Answer = adversary.AnswerAdmit
+	cfg.Adversary = s
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeVetoRevocation {
+		t.Fatalf("outcome = %v, want veto-revocation", out.Kind)
+	}
+	requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+}
+
+func TestFramingAttackNeverBlamesVictim(t *testing.T) {
+	// Lemma 5 / Figure 6 step 6: a malicious holder steering every
+	// binary search toward an innocent victim cannot get the victim
+	// revoked — the re-confirmation under the victim's own sensor key
+	// fails and the searched edge key (held by the framer) is revoked.
+	for _, victim := range []topology.NodeID{1, 3, 5} {
+		f := newFixture(t, bypassGraph(), 60+uint64(victim))
+		f.readings[4] = 1
+		cfg := f.config(60 + uint64(victim))
+		cfg.Malicious = maliciousSet(2)
+		cfg.Adversary = adversary.NewFramer(50, victim)
+		out := run(t, cfg)
+		if out.Kind == core.OutcomeResult {
+			t.Fatalf("victim %d: dropping framer did not corrupt the run", victim)
+		}
+		for _, id := range out.RevokedNodes {
+			if id == victim {
+				t.Fatalf("victim %d was framed and revoked", victim)
+			}
+		}
+		requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+	}
+}
+
+func TestSilentBroadcastDoesNotPartitionAnnouncements(t *testing.T) {
+	// Malicious sensors refusing to forward authenticated broadcasts must
+	// not prevent the protocol from completing when the honest subgraph
+	// is connected.
+	g := topology.Grid(4, 4)
+	f := newFixture(t, g, 15)
+	f.readings[15] = 4
+	cfg := f.config(15)
+	cfg.Malicious = maliciousSet(5)
+	s := &adversary.Strategy{Name: "silent", SilentBroadcast: true}
+	cfg.Adversary = s
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeResult || out.Mins[0] != 4 {
+		t.Fatalf("outcome %v mins %v, want result 4", out.Kind, out.Mins)
+	}
+}
+
+func TestHonestAdversaryIndistinguishable(t *testing.T) {
+	f := newFixture(t, topology.Grid(3, 3), 16)
+	cfg := f.config(16)
+	cfg.Malicious = maliciousSet(4)
+	cfg.Adversary = core.HonestAdversary{}
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeResult {
+		t.Fatalf("honest-behaving malicious node caused %v", out.Kind)
+	}
+	if want := f.trueMin(nil); out.Mins[0] != want {
+		t.Fatalf("min = %g, want %g", out.Mins[0], want)
+	}
+}
+
+func TestMinFromMaliciousRegionStillCounts(t *testing.T) {
+	// The secure-aggregation problem does not prevent malicious sensors
+	// from reporting readings for themselves; a cooperative malicious
+	// sensor's value must flow through.
+	f := newFixture(t, topology.Grid(3, 3), 17)
+	f.readings[4] = 9 // malicious node holds the true minimum
+	cfg := f.config(17)
+	cfg.Malicious = maliciousSet(4)
+	cfg.Adversary = core.HonestAdversary{}
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeResult || out.Mins[0] != 9 {
+		t.Fatalf("outcome %v mins %v, want result 9", out.Kind, out.Mins)
+	}
+}
+
+func TestPhaseSlotBreakdownAccounts(t *testing.T) {
+	f := newFixture(t, topology.Grid(4, 4), 70)
+	out := run(t, f.config(70))
+	ps := out.PhaseSlots
+	if ps.Total() != out.Slots {
+		t.Fatalf("phase breakdown %+v totals %d, execution used %d slots", ps, ps.Total(), out.Slots)
+	}
+	eng, _ := core.NewEngine(f.config(70))
+	l := eng.L()
+	if ps.Tree != l+1 || ps.Aggregation != l+1 || ps.Confirmation != l+1 {
+		t.Fatalf("tree/agg/confirm = %d/%d/%d, want %d each", ps.Tree, ps.Aggregation, ps.Confirmation, l+1)
+	}
+	if ps.Broadcast == 0 {
+		t.Fatal("broadcast floods not accounted")
+	}
+	if ps.Pinpoint != 0 {
+		t.Fatalf("honest run charged %d pinpoint slots", ps.Pinpoint)
+	}
+	// An attacked run spends pinpoint slots.
+	f2 := newFixture(t, bypassGraph(), 71)
+	f2.readings[4] = 1
+	cfg := f2.config(71)
+	cfg.Malicious = maliciousSet(2)
+	cfg.Adversary = adversary.NewDropper(50)
+	out2 := run(t, cfg)
+	if out2.PhaseSlots.Pinpoint == 0 {
+		t.Fatal("attacked run recorded no pinpoint slots")
+	}
+	if out2.PhaseSlots.Total() != out2.Slots {
+		t.Fatalf("attacked breakdown %+v != %d slots", out2.PhaseSlots, out2.Slots)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	f := newFixture(t, topology.Line(3), 18)
+	if _, err := core.NewEngine(core.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	smallDep, _ := keydist.NewDeployment(2, testParams, crypto.Key{}, crypto.NewStreamFromSeed(1))
+	if _, err := core.NewEngine(core.Config{Graph: f.graph, Deployment: smallDep}); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	cfg := f.config(18)
+	cfg.Instances = -1
+	if _, err := core.NewEngine(cfg); err == nil {
+		t.Fatal("negative instances accepted")
+	}
+}
+
+func TestEngineIsSingleUse(t *testing.T) {
+	f := newFixture(t, topology.Grid(2, 2), 72)
+	eng, err := core.NewEngine(f.config(72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Fatal("second Run on one engine accepted")
+	}
+	if _, err := eng.TreeLevels(); err == nil {
+		t.Fatal("TreeLevels after Run accepted")
+	}
+}
+
+func TestEngineComputesLFromHonestGraph(t *testing.T) {
+	f := newFixture(t, topology.Line(5), 19)
+	eng, err := core.NewEngine(f.config(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.L() != 4 {
+		t.Fatalf("L = %d, want 4", eng.L())
+	}
+	cfg := f.config(19)
+	cfg.L = 9
+	eng2, _ := core.NewEngine(cfg)
+	if eng2.L() != 9 {
+		t.Fatalf("explicit L = %d, want 9", eng2.L())
+	}
+}
+
+func TestRepeatedExecutionsShareRegistry(t *testing.T) {
+	// A campaign: run executions until the dropper is neutralized. Every
+	// execution must either return the correct minimum or revoke
+	// adversary key material (Theorem 7), and the attacker must
+	// eventually be unable to suppress the minimum.
+	f := newFixture(t, topology.Grid(3, 3), 20)
+	f.readings[4] = 1 // center node (malicious) is on many paths; min at 8
+	delete(f.readings, 4)
+	f.readings[8] = 1
+	registry := keydist.NewRegistry(f.dep, 10)
+	strategy := adversary.NewDropper(50)
+
+	var got float64
+	success := false
+	for i := 0; i < 40 && !success; i++ {
+		cfg := f.config(uint64(20 + i))
+		cfg.Malicious = maliciousSet(4)
+		cfg.Adversary = strategy
+		cfg.Registry = registry
+		out := run(t, cfg)
+		switch out.Kind {
+		case core.OutcomeResult:
+			got = out.Mins[0]
+			success = true
+		default:
+			requireRevokedMaliciousOnly(t, out, f.dep, cfg.Malicious)
+		}
+	}
+	if !success {
+		t.Fatal("40 executions never produced a result; revocation is not converging")
+	}
+	if got != 1 {
+		t.Fatalf("converged min = %g, want 1", got)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+// TestMultipathParentsAreAllUpperLevelSenders checks the Section IV-D
+// ring structure: in multi-path mode a level-i sensor adopts every
+// neighbor whose tree-formation message arrived in its first-reception
+// slot — all its level-(i-1) neighbors — while single-path keeps exactly
+// one.
+func TestMultipathParentsAreAllUpperLevelSenders(t *testing.T) {
+	g := topology.Grid(4, 4)
+	dep, err := keydist.NewDeployment(16, keydist.Params{PoolSize: 400, RingSize: 120},
+		crypto.KeyFromUint64(400), crypto.NewStreamFromSeed(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(multipath bool) *Engine {
+		e, err := NewEngine(Config{Graph: g, Deployment: dep, Multipath: multipath, Seed: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.TreeLevels(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	multi := build(true)
+	single := build(false)
+	depths := g.Depths(topology.BaseStation)
+	for id := 1; id < 16; id++ {
+		s := multi.sensors[id]
+		// Count upper-level neighbors.
+		upper := 0
+		for _, nb := range g.Neighbors(topology.NodeID(id)) {
+			if depths[nb] == depths[id]-1 {
+				upper++
+			}
+		}
+		if len(s.parents) != upper {
+			t.Fatalf("node %d: %d multipath parents, want %d upper neighbors", id, len(s.parents), upper)
+		}
+		for _, p := range s.parents {
+			if depths[p] != depths[id]-1 {
+				t.Fatalf("node %d: parent %d at depth %d, want %d", id, p, depths[p], depths[id]-1)
+			}
+		}
+		if got := len(single.sensors[id].parents); got != 1 {
+			t.Fatalf("node %d: %d single-path parents, want 1", id, got)
+		}
+	}
+}
+
+// TestMultipathAuditTuplesPerParent checks the Section IV-D bookkeeping:
+// "a sensor should store a tuple for each of its parents, as the audit
+// trail".
+func TestMultipathAuditTuplesPerParent(t *testing.T) {
+	g := topology.Grid(3, 3)
+	dep, err := keydist.NewDeployment(9, keydist.Params{PoolSize: 400, RingSize: 120},
+		crypto.KeyFromUint64(401), crypto.NewStreamFromSeed(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{
+		Graph: g, Deployment: dep, Multipath: true, Seed: 401,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if id == topology.BaseStation {
+				return Inf()
+			}
+			return float64(10 + id)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != OutcomeResult || out.Mins[0] != 11 {
+		t.Fatalf("outcome %v mins %v", out.Kind, out.Mins)
+	}
+	for id := 1; id < 9; id++ {
+		s := e.sensors[id]
+		if len(s.sentAgg) != len(s.parents) {
+			t.Fatalf("node %d: %d sent tuples for %d parents", id, len(s.sentAgg), len(s.parents))
+		}
+		seen := map[topology.NodeID]bool{}
+		for _, st := range s.sentAgg {
+			if seen[st.parent] {
+				t.Fatalf("node %d: duplicate tuple for parent %d", id, st.parent)
+			}
+			seen[st.parent] = true
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/audit"
+	"repro/internal/crypto"
+	"repro/internal/topology"
+)
+
+// pinpointVeto runs the veto-triggered pinpointing/revocation protocol of
+// Figure 4: starting from the vetoer, it alternates the Figure 5 ring
+// search (which out-edge key did the tracked sensor use?) and the Figure 6
+// holder search (which sensor admits receiving the value?), walking the
+// audit trail toward the base station until some predicate test fails —
+// at which point the implicated key (or sensor) is revoked. Theorem 6
+// guarantees every revoked key is held by a malicious sensor.
+func (e *Engine) pinpointVeto(v VetoMsg) (*Outcome, error) {
+	out := &Outcome{Kind: OutcomeVetoRevocation, TrailKind: audit.KindVetoAggregation, Veto: &v}
+	cur := v.Vetoer
+	level := v.Level
+
+	for level >= 1 {
+		e.emit(Event{Kind: EventWalkStep, Label: "veto-walk", Node: cur, Instance: level, KeyIndex: NoKey})
+		// Figure 5: find the edge key cur used toward its parent.
+		ke, ok := e.findOutEdgeKey(cur, v.Instance, v.Value, level)
+		if !ok {
+			// Not even the full-range test succeeded: cur refuses to name
+			// a key, which no honest sensor with a stored tuple does.
+			// Revoke all of cur's edge keys (Figure 5, step 7).
+			e.revokeNode(cur)
+			return e.finish(out), nil
+		}
+		if level == 1 {
+			// The parent of a level-1 sensor can only (honestly) be the
+			// base station, which checks its own reception records
+			// directly instead of answering a predicate test.
+			if e.baseReceived(v.Instance, v.Value, 1, ke) {
+				return nil, fmt.Errorf("core: pinpointing reached the base station "+
+					"although it received value <= %g (invariant violation)", v.Value)
+			}
+			e.revokeKey(ke)
+			return e.finish(out), nil
+		}
+		// Figure 6: find a sensor holding ke that admits receiving the
+		// value from a child at this level.
+		parent, ok := e.findParent(ke, v.Instance, v.Value, level)
+		if !ok {
+			e.revokeKey(ke)
+			return e.finish(out), nil
+		}
+		cur = parent
+		level--
+	}
+	// A veto with level < 1 is rejected as spurious before pinpointing, so
+	// the loop always executes; reaching this point means the walk was
+	// driven below level 1 without any test failing, which the level==1
+	// base-station check makes impossible.
+	return nil, fmt.Errorf("core: veto pinpointing walked below level 1 for vetoer %d", v.Vetoer)
+}
+
+// baseReceived checks the base station's own aggregation records: did it
+// receive a record of the instance with value <= vmax from a child at the
+// given level via the given edge key?
+func (e *Engine) baseReceived(instance int, vmax float64, childLevel, keyIndex int) bool {
+	bs := e.sensors[topology.BaseStation]
+	return bs.satisfies(Predicate{
+		Kind:     PredReceivedAgg,
+		Instance: instance,
+		VMax:     vmax,
+		Pos:      childLevel,
+		IDLo:     topology.BaseStation,
+		IDHi:     topology.BaseStation,
+	}, keyIndex)
+}
+
+// findOutEdgeKey is the Figure 5 binary search over the r (sorted) ring
+// indices of sensor id, driven by keyed predicate tests on its sensor key.
+// It returns false when even the full-range test fails (no admitted key).
+func (e *Engine) findOutEdgeKey(id topology.NodeID, instance int, vmax float64, level int) (int, bool) {
+	ring := e.cfg.Deployment.Ring(id)
+	if len(ring) == 0 {
+		return 0, false
+	}
+	mk := func(lo, hi int) Predicate {
+		return Predicate{
+			Kind:     PredSentAgg,
+			Instance: instance,
+			VMax:     vmax,
+			Pos:      level,
+			KeyLo:    ring[lo],
+			KeyHi:    ring[hi],
+		}
+	}
+	return e.searchRing(id, ring, mk)
+}
+
+// searchRing binary-searches a sensor's ring with predicate tests keyed on
+// its sensor key. mk builds the predicate for a ring-slice [lo, hi].
+func (e *Engine) searchRing(id topology.NodeID, ring []int, mk func(lo, hi int) Predicate) (int, bool) {
+	if !e.runPredicateTest(SensorKeyRef(id), mk(0, len(ring)-1)) {
+		return 0, false
+	}
+	x, y := 0, len(ring)-1
+	for x < y {
+		i := (x + y) / 2
+		if e.runPredicateTest(SensorKeyRef(id), mk(x, i)) {
+			y = i
+		} else {
+			x = i + 1
+		}
+	}
+	return ring[x], true
+}
+
+// findParent is the Figure 6 binary search over the holders of edge key
+// keIndex. It returns the admitted parent's ID, or false when the key
+// should be revoked: nobody admits (step 2), the holders answer
+// inconsistently (step 12), or the final re-confirmation on the admitted
+// sensor's own key fails (step 7).
+func (e *Engine) findParent(keIndex, instance int, vmax float64, level int) (topology.NodeID, bool) {
+	mk := func(lo, hi topology.NodeID) Predicate {
+		return Predicate{
+			Kind:     PredReceivedAgg,
+			Instance: instance,
+			VMax:     vmax,
+			Pos:      level,
+			IDLo:     lo,
+			IDHi:     hi,
+		}
+	}
+	return e.searchHolders(keIndex, mk)
+}
+
+// searchHolders runs the Figure 6 structure for any holder-search
+// predicate builder: full-range test, double-sided binary search with the
+// inconsistency fallback, and the sensor-key re-confirmation.
+func (e *Engine) searchHolders(keIndex int, mk func(lo, hi topology.NodeID) Predicate) (topology.NodeID, bool) {
+	holders := e.cfg.Deployment.Holders(keIndex)
+	if len(holders) == 0 {
+		return 0, false
+	}
+	test := func(lo, hi int) bool {
+		return e.runPredicateTest(PoolKeyRef(keIndex), mk(holders[lo], holders[hi]))
+	}
+	if !test(0, len(holders)-1) {
+		return 0, false // step 2: nobody admits
+	}
+	x, y := 0, len(holders)-1
+	for x < y {
+		i := (x + y) / 2
+		if test(x, i) {
+			y = i
+			continue
+		}
+		if test(i+1, y) {
+			x = i + 1
+			continue
+		}
+		return 0, false // step 12: inconsistent answers, ke is compromised
+	}
+	id := holders[x]
+	// Step 6: re-confirm under the sensor key of the admitted ID, so a
+	// malicious holder cannot frame a sensor with a different ID.
+	if !e.runPredicateTest(SensorKeyRef(id), mk(id, id)) {
+		return 0, false
+	}
+	return id, true
+}
+
+// pinpointJunkAgg runs junk-triggered pinpointing for a spurious
+// aggregation minimum (Section VI-B): starting from the edge key that
+// delivered the junk to the base station, it tracks the audit trail away
+// from the base station — holder search for "who forwarded this exact
+// message at this level", then ring search for "which key did you receive
+// it with" — until a test fails and a key (or sensor) is revoked.
+func (e *Engine) pinpointJunkAgg(instance int, r Record) (*Outcome, error) {
+	out := &Outcome{Kind: OutcomeJunkAggRevocation, TrailKind: audit.KindJunkAggregation}
+	delivery := e.bsDelivery[instance]
+	if delivery.inKey == NoKey {
+		return nil, fmt.Errorf("core: junk record %v has no recorded delivery edge", r)
+	}
+	msgID := r.ID()
+	ke := delivery.inKey
+	level := e.l - (delivery.slot - 1) // apparent level of the sender
+
+	for level <= e.l {
+		e.emit(Event{Kind: EventWalkStep, Label: "junk-agg-walk", Instance: level, KeyIndex: ke})
+		sender, ok := e.findJunkAggSender(ke, msgID, level)
+		if !ok {
+			e.revokeKey(ke)
+			return e.finish(out), nil
+		}
+		if level == e.l {
+			// No honest level-L sensor forwards a non-own record: it
+			// transmits in the first aggregation slot, before anything
+			// can reach it. An admission at level L is a self-conviction.
+			e.revokeNode(sender)
+			return e.finish(out), nil
+		}
+		inKey, ok := e.findJunkAggInKey(sender, msgID, level)
+		if !ok {
+			// The sender admits forwarding the junk but cannot name a key
+			// it received it with: it originated the junk.
+			e.revokeNode(sender)
+			return e.finish(out), nil
+		}
+		ke = inKey
+		level++
+	}
+	return nil, fmt.Errorf("core: junk-aggregation pinpointing walked above level %d", e.l)
+}
+
+func (e *Engine) findJunkAggSender(keIndex int, msgID crypto.Hash, level int) (topology.NodeID, bool) {
+	mk := func(lo, hi topology.NodeID) Predicate {
+		return Predicate{Kind: PredSentJunkAgg, MsgID: msgID, Pos: level, IDLo: lo, IDHi: hi}
+	}
+	return e.searchHolders(keIndex, mk)
+}
+
+func (e *Engine) findJunkAggInKey(id topology.NodeID, msgID crypto.Hash, level int) (int, bool) {
+	ring := e.cfg.Deployment.Ring(id)
+	if len(ring) == 0 {
+		return 0, false
+	}
+	mk := func(lo, hi int) Predicate {
+		return Predicate{Kind: PredReceivedJunkAgg, MsgID: msgID, Pos: level, KeyLo: ring[lo], KeyHi: ring[hi]}
+	}
+	return e.searchRing(id, ring, mk)
+}
+
+// pinpointJunkConf runs junk-triggered pinpointing for a spurious veto
+// received during the SOF confirmation phase, tracking backwards through
+// decreasing SOF intervals to the veto's source.
+func (e *Engine) pinpointJunkConf(rv receivedVeto) (*Outcome, error) {
+	out := &Outcome{Kind: OutcomeJunkConfRevocation, TrailKind: audit.KindJunkConfirmation, Veto: &rv.veto}
+	msgID := rv.veto.ID()
+	ke := rv.inKey
+	interval := rv.slot // the base station received at local slot s; the sender sent in interval s
+
+	for interval >= 1 {
+		e.emit(Event{Kind: EventWalkStep, Label: "junk-conf-walk", Instance: interval, KeyIndex: ke})
+		sender, ok := e.findJunkVetoSender(ke, msgID, interval)
+		if !ok {
+			e.revokeKey(ke)
+			return e.finish(out), nil
+		}
+		if interval == 1 {
+			// An interval-1 sender originated the veto; honest vetoers
+			// only originate valid vetoes, so the admitted sender is
+			// malicious.
+			e.revokeNode(sender)
+			return e.finish(out), nil
+		}
+		inKey, ok := e.findJunkVetoInKey(sender, msgID, interval-1)
+		if !ok {
+			e.revokeNode(sender)
+			return e.finish(out), nil
+		}
+		ke = inKey
+		interval--
+	}
+	return nil, fmt.Errorf("core: junk-confirmation pinpointing walked below interval 1")
+}
+
+func (e *Engine) findJunkVetoSender(keIndex int, msgID crypto.Hash, interval int) (topology.NodeID, bool) {
+	mk := func(lo, hi topology.NodeID) Predicate {
+		return Predicate{Kind: PredSentJunkVeto, MsgID: msgID, Pos: interval, IDLo: lo, IDHi: hi}
+	}
+	return e.searchHolders(keIndex, mk)
+}
+
+func (e *Engine) findJunkVetoInKey(id topology.NodeID, msgID crypto.Hash, recvInterval int) (int, bool) {
+	ring := e.cfg.Deployment.Ring(id)
+	if len(ring) == 0 {
+		return 0, false
+	}
+	mk := func(lo, hi int) Predicate {
+		return Predicate{Kind: PredReceivedJunkVeto, MsgID: msgID, Pos: recvInterval, KeyLo: ring[lo], KeyHi: ring[hi]}
+	}
+	return e.searchRing(id, ring, mk)
+}

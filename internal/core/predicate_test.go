@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+// predEngine builds an engine over a grid with manually planted audit
+// state, for driving runPredicateTest directly.
+func predEngine(t *testing.T, malicious map[topology.NodeID]bool, adv Adversary) *Engine {
+	t.Helper()
+	g := topology.Grid(3, 4)
+	dep, err := keydist.NewDeployment(g.NumNodes(), keydist.Params{PoolSize: 600, RingSize: 90},
+		crypto.KeyFromUint64(55), crypto.NewStreamFromSeed(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Graph: g, Deployment: dep, Malicious: malicious, Adversary: adv, Seed: 55}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.queryNonce = e.freshNonce("query")
+	return e
+}
+
+func TestPredicateTestCompleteness(t *testing.T) {
+	// Theorem 3: if at least one honest sensor holding K satisfies the
+	// predicate, the test succeeds.
+	e := predEngine(t, nil, nil)
+	holder := topology.NodeID(7)
+	e.sensors[holder].sentAgg = append(e.sensors[holder].sentAgg, sentTuple{
+		instance: 0, record: Record{Value: 2}, level: 3, inKey: NoKey, outKey: 42, parent: 3,
+	})
+	pred := Predicate{Kind: PredSentAgg, Instance: 0, VMax: 5, Pos: 3, KeyLo: 0, KeyHi: 599}
+	if !e.runPredicateTest(SensorKeyRef(holder), pred) {
+		t.Fatal("test failed although an honest holder satisfies the predicate")
+	}
+	if e.predicateTests != 1 {
+		t.Fatalf("predicateTests = %d, want 1", e.predicateTests)
+	}
+}
+
+func TestPredicateTestSoundness(t *testing.T) {
+	// Theorem 3: if no honest sensor holding K satisfies the predicate
+	// and no malicious sensor holds K, the test fails.
+	e := predEngine(t, nil, nil)
+	pred := Predicate{Kind: PredSentAgg, Instance: 0, VMax: 5, Pos: 3, KeyLo: 0, KeyHi: 599}
+	if e.runPredicateTest(SensorKeyRef(7), pred) {
+		t.Fatal("test succeeded with no satisfying sensor")
+	}
+}
+
+// junkReplier floods garbage during predicate tests by lying through
+// AnswerPredicate only when it holds the key; for keys it does not hold,
+// Theorem 3's soundness must be unbreakable.
+type alwaysYes struct{ HonestAdversary }
+
+func (alwaysYes) AnswerPredicate(topology.NodeID, TestAnnounce, bool) bool { return true }
+
+func TestPredicateTestMaliciousCannotForgeWithoutKey(t *testing.T) {
+	// The tested key is the sensor key of an honest node 7; malicious
+	// node 5 answers "yes" to everything, but never receives the chance:
+	// it does not hold the key, so it cannot mint MAC_K(N).
+	e := predEngine(t, map[topology.NodeID]bool{5: true}, alwaysYes{})
+	pred := Predicate{Kind: PredSentAgg, Instance: 0, VMax: 5, Pos: 3, KeyLo: 0, KeyHi: 599}
+	if e.runPredicateTest(SensorKeyRef(7), pred) {
+		t.Fatal("malicious non-holder forged a predicate reply")
+	}
+}
+
+func TestPredicateTestMaliciousHolderCanLieYes(t *testing.T) {
+	// A malicious sensor that *does* hold the tested key can always reply
+	// "yes" — the documented adversary power the Figure 6 walk is
+	// designed around.
+	e := predEngine(t, map[topology.NodeID]bool{5: true}, alwaysYes{})
+	pred := Predicate{Kind: PredSentAgg, Instance: 0, VMax: 5, Pos: 3, KeyLo: 0, KeyHi: 599}
+	if !e.runPredicateTest(SensorKeyRef(5), pred) {
+		t.Fatal("malicious holder's lie did not carry")
+	}
+}
+
+func TestPredicateTestPoolKeyHonestHolders(t *testing.T) {
+	e := predEngine(t, nil, nil)
+	// Find a pool key with at least two holders other than the base
+	// station; plant satisfying state on one of them.
+	dep := e.cfg.Deployment
+	var keyIdx int
+	var holder topology.NodeID
+	for idx := 0; idx < 600; idx++ {
+		hs := dep.Holders(idx)
+		if len(hs) >= 2 {
+			for _, h := range hs {
+				if h != topology.BaseStation {
+					keyIdx, holder = idx, h
+					break
+				}
+			}
+		}
+		if holder != 0 {
+			break
+		}
+	}
+	if holder == 0 {
+		t.Skip("fixture has no suitable pool key")
+	}
+	e.sensors[holder].noteReceivedRecord(Record{Origin: 9, Instance: 0, Value: 1}, 2, keyIdx, 9)
+	pred := Predicate{Kind: PredReceivedAgg, Instance: 0, VMax: 2, Pos: 2, IDLo: 0, IDHi: topology.NodeID(e.cfg.Graph.NumNodes())}
+	if !e.runPredicateTest(PoolKeyRef(keyIdx), pred) {
+		t.Fatal("pool-key test failed despite satisfying holder")
+	}
+	// Restricting the ID window away from the holder must fail the test.
+	pred.IDLo, pred.IDHi = holder+1, holder+1
+	if e.runPredicateTest(PoolKeyRef(keyIdx), pred) {
+		t.Fatal("pool-key test succeeded outside the holder window")
+	}
+}
+
+func TestPredicateTestCostBounded(t *testing.T) {
+	// Each test costs at most two flooding rounds beyond the broadcast:
+	// one for the announce, one for the reply wave.
+	e := predEngine(t, nil, nil)
+	holder := topology.NodeID(11)
+	e.sensors[holder].sentAgg = append(e.sensors[holder].sentAgg, sentTuple{
+		instance: 0, record: Record{Value: 1}, level: 2, inKey: NoKey, outKey: 7, parent: 3,
+	})
+	before := e.net.Stats().Slots
+	pred := Predicate{Kind: PredSentAgg, Instance: 0, VMax: 5, Pos: 2, KeyLo: 0, KeyHi: 599}
+	if !e.runPredicateTest(SensorKeyRef(holder), pred) {
+		t.Fatal("test failed")
+	}
+	slots := e.net.Stats().Slots - before
+	if slots > 4*e.l+8 {
+		t.Fatalf("one predicate test took %d slots, want <= %d", slots, 4*e.l+8)
+	}
+}

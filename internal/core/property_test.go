@@ -1,0 +1,179 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/topology"
+)
+
+// TestByzantineFuzzTheoremInvariants drives randomized executions —
+// random geometric topologies, random malicious subsets (constrained to
+// the paper's no-partition assumption), randomized attack strategies and
+// predicate-answer modes — and checks the invariants of Theorems 2, 6 and
+// 7 on every run:
+//
+//  1. a returned result never exceeds the honest minimum (no honest value
+//     can be suppressed silently),
+//  2. a non-result outcome revokes at least one key or node, and
+//     everything revoked belongs to the malicious coalition,
+//  3. executions stay within the paper's round bounds: O(1) flooding
+//     rounds for results, O(L log n) for revocations.
+func TestByzantineFuzzTheoremInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz-style sweep skipped in -short mode")
+	}
+	const trials = 60
+	rng := crypto.NewStreamFromSeed(777)
+
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		seed := rng.Uint64()
+		t.Run(fmt.Sprintf("trial-%02d", trial), func(t *testing.T) {
+			runFuzzTrial(t, seed)
+		})
+	}
+}
+
+func runFuzzTrial(t *testing.T, seed uint64) {
+	rng := crypto.NewStreamFromSeed(seed)
+	n := 25 + rng.Intn(40)
+	g, _ := topology.RandomGeometric(n, 0.28, rng.Fork([]byte("topo")))
+
+	// Pick a malicious set that does not partition the honest subgraph.
+	f := rng.Intn(4) + 1
+	malicious := map[topology.NodeID]bool{}
+	for attempts := 0; len(malicious) < f && attempts < 40; attempts++ {
+		cand := topology.NodeID(rng.Intn(n-1) + 1)
+		if malicious[cand] {
+			continue
+		}
+		malicious[cand] = true
+		if !g.ConnectedExcluding(topology.BaseStation, malicious) {
+			delete(malicious, cand)
+		}
+	}
+
+	fix := newFixture(t, g, seed)
+	// Random readings with a unique minimum somewhere.
+	for id := 1; id < n; id++ {
+		fix.readings[topology.NodeID(id)] = 10 + float64(rng.Intn(1000))
+	}
+	minHolder := topology.NodeID(rng.Intn(n-1) + 1)
+	fix.readings[minHolder] = 1
+
+	strategies := []core.Adversary{
+		core.HonestAdversary{},
+		adversary.NewDropper(5),
+		adversary.NewDropper(2000),
+		adversary.NewHider(),
+		adversary.NewMute(),
+		adversary.NewJunkInjector(-5),
+		adversary.NewChoker(),
+		adversary.NewDropAndChoke(2000),
+		adversary.NewLiar(adversary.AnswerAdmit),
+		adversary.NewLiar(adversary.AnswerDeny),
+		adversary.NewLiar(adversary.AnswerRandom),
+	}
+	strat := strategies[rng.Intn(len(strategies))]
+
+	cfg := fix.config(seed)
+	cfg.Malicious = malicious
+	cfg.Adversary = strat
+	cfg.AdversaryFavored = rng.Intn(2) == 0
+	cfg.Multipath = rng.Intn(3) == 0
+
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatalf("Run (strategy %T, f=%d): %v", strat, len(malicious), err)
+	}
+
+	honestMin := core.Inf()
+	for id, v := range fix.readings {
+		if !malicious[id] && v < honestMin {
+			honestMin = v
+		}
+	}
+
+	switch out.Kind {
+	case core.OutcomeResult:
+		if out.Mins[0] > honestMin {
+			t.Fatalf("strategy %T: returned min %g exceeds honest min %g",
+				strat, out.Mins[0], honestMin)
+		}
+		if out.FloodingRounds > 14 {
+			t.Fatalf("result took %.1f flooding rounds, want O(1)", out.FloodingRounds)
+		}
+	default:
+		requireRevokedMaliciousOnly(t, out, fix.dep, malicious)
+		l := eng.L()
+		maxTests := (l + 2) * (2*varintLog2(n) + varintLog2(len(fix.dep.Ring(0))) + 8)
+		if out.PredicateTests > maxTests {
+			t.Fatalf("strategy %T: %d predicate tests exceeds O(L log n) bound %d",
+				strat, out.PredicateTests, maxTests)
+		}
+	}
+}
+
+// TestFuzzCampaignConvergence runs repeated executions against a
+// persistent dropper until the system self-heals, asserting the paper's
+// headline guarantee: malicious sensors "can only ruin the aggregation
+// result for a small number of times before they are fully revoked".
+func TestFuzzCampaignConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign sweep skipped in -short mode")
+	}
+	rng := crypto.NewStreamFromSeed(4242)
+	for trial := 0; trial < 8; trial++ {
+		seed := rng.Uint64()
+		g, _ := topology.RandomGeometric(30, 0.3, crypto.NewStreamFromSeed(seed))
+		fix := newFixture(t, g, seed)
+		minHolder := topology.NodeID(29)
+		fix.readings[minHolder] = 1
+
+		malicious := map[topology.NodeID]bool{}
+		for attempts := 0; len(malicious) < 2 && attempts < 20; attempts++ {
+			cand := topology.NodeID(int(rng.Uint64()%28) + 1)
+			if cand == minHolder || malicious[cand] {
+				continue
+			}
+			malicious[cand] = true
+			if !g.ConnectedExcluding(topology.BaseStation, malicious) {
+				delete(malicious, cand)
+			}
+		}
+		shared, err := core.NewEngine(fix.config(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := shared.Registry()
+
+		strat := adversary.NewDropper(5)
+		answered := false
+		for exec := 0; exec < 30 && !answered; exec++ {
+			cfg := fix.config(seed + uint64(exec) + 1)
+			cfg.Malicious = malicious
+			cfg.Adversary = strat
+			cfg.Registry = reg
+			out := run(t, cfg)
+			if out.Kind == core.OutcomeResult {
+				answered = true
+				if out.Mins[0] != 1 {
+					t.Fatalf("trial %d: converged to %g, want 1", trial, out.Mins[0])
+				}
+			} else {
+				requireRevokedMaliciousOnly(t, out, fix.dep, malicious)
+			}
+		}
+		if !answered {
+			t.Fatalf("trial %d: 30 executions never converged to a result", trial)
+		}
+	}
+}

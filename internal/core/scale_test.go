@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+// TestScaleLargeHonestCount runs a paper-scale COUNT query (1,500 sensors,
+// 100 synopses) and checks the headline properties hold at size: the
+// estimate lands within the (eps, delta) envelope, flooding rounds stay
+// O(1), and the median sensor's aggregation traffic stays at one 2.4KB
+// message.
+func TestScaleLargeHonestCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run skipped in -short mode")
+	}
+	const n = 1500
+	rng := crypto.NewStreamFromSeed(1500)
+	g, _ := topology.RandomGeometric(n, 0.052, rng.Fork([]byte("topo")))
+	dep, err := keydist.NewDeployment(n, keydist.Params{PoolSize: 10000, RingSize: 300},
+		crypto.KeyFromUint64(1500), rng.Fork([]byte("keys")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Graph: g, Deployment: dep, Seed: 1500}
+	pred := func(id topology.NodeID) bool { return id%3 == 0 }
+	truth := 0
+	for id := 1; id < n; id++ {
+		if pred(topology.NodeID(id)) {
+			truth++
+		}
+	}
+	res, err := core.RunCount(cfg, pred, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answered() {
+		t.Fatalf("count did not answer: %v", res.Outcome.Kind)
+	}
+	if relErr := math.Abs(res.Estimate-float64(truth)) / float64(truth); relErr > 0.3 {
+		t.Fatalf("estimate %.0f vs truth %d (rel err %.2f)", res.Estimate, truth, relErr)
+	}
+	if res.Outcome.FloodingRounds > 10 {
+		t.Fatalf("%.1f flooding rounds at n=%d, want O(1)", res.Outcome.FloodingRounds, n)
+	}
+	if res.Outcome.AggMedianNodeBytes > 3*2412 {
+		t.Fatalf("median sensor moved %d bytes in aggregation, want ~2412", res.Outcome.AggMedianNodeBytes)
+	}
+}
+
+// TestScaleLargeAttackedPinpointing runs a 400-sensor dropping attack and
+// checks pinpointing stays within the Theorem 6 bound at size.
+func TestScaleLargeAttackedPinpointing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run skipped in -short mode")
+	}
+	const n = 400
+	rng := crypto.NewStreamFromSeed(4001)
+	g, _ := topology.RandomGeometric(n, 0.1, rng.Fork([]byte("topo")))
+	dep, err := keydist.NewDeployment(n, keydist.Params{PoolSize: 10000, RingSize: 300},
+		crypto.KeyFromUint64(4001), rng.Fork([]byte("keys")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker adjacent (and upstream) to the planted minimum.
+	depths := g.Depths(topology.BaseStation)
+	var attacker, minHolder topology.NodeID
+	for id := 1; id < n && attacker == 0; id++ {
+		cand := topology.NodeID(id)
+		if !g.ConnectedExcluding(topology.BaseStation, map[topology.NodeID]bool{cand: true}) {
+			continue
+		}
+		for _, nb := range g.Neighbors(cand) {
+			if depths[nb] == depths[cand]+1 {
+				attacker, minHolder = cand, nb
+				break
+			}
+		}
+	}
+	if attacker == 0 {
+		t.Skip("no suitable attacker placement")
+	}
+	cfg := core.Config{
+		Graph: g, Deployment: dep, Seed: 4001,
+		Malicious:        map[topology.NodeID]bool{attacker: true},
+		Adversary:        adversary.NewDropper(50),
+		AdversaryFavored: true,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if id == topology.BaseStation {
+				return core.Inf()
+			}
+			if id == minHolder {
+				return 1
+			}
+			return 100 + float64(id)
+		},
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != core.OutcomeVetoRevocation {
+		t.Fatalf("outcome %v, want veto-revocation", out.Kind)
+	}
+	l := eng.L()
+	maxTests := (l + 2) * (2*varintLog2(n) + varintLog2(300) + 8)
+	if out.PredicateTests > maxTests {
+		t.Fatalf("%d predicate tests above the O(L log n) bound %d", out.PredicateTests, maxTests)
+	}
+	requireRevokedMaliciousOnly(t, out, dep, cfg.Malicious)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+// chokeEverything floods forged vetoes from every malicious node in the
+// first confirmation slot, driving the SOF one-time-forwarding machinery
+// as hard as the model allows.
+type chokeEverything struct{ HonestAdversary }
+
+func (chokeEverything) Step(phase Phase, a *AdvContext) {
+	if phase != PhaseConfirmation {
+		a.ActHonestly()
+		return
+	}
+	if a.LocalSlot() != 0 {
+		return
+	}
+	mins := a.AnnouncedMins()
+	if len(mins) == 0 {
+		return
+	}
+	fake := a.ForgeVeto(a.Node()+1, 0, mins[0]-1, 1)
+	for _, nb := range a.Neighbors() {
+		if key, ok := a.EdgeKeyWith(nb); ok {
+			a.SendSealed(nb, key, fake)
+		}
+	}
+}
+
+func (chokeEverything) AnswerPredicate(topology.NodeID, TestAnnounce, bool) bool { return false }
+
+// TestSOFAuditTrailIntervalsBounded drives a heavily choked confirmation
+// phase and checks the slotted-flooding invariant that makes pinpointing
+// efficient: every recorded SOF tuple's interval lies in [1, L+1], so no
+// audit trail can exceed L+1 entries (Section IV-C: "This will elegantly
+// ensure that the length of the audit trail is at most L+1").
+func TestSOFAuditTrailIntervalsBounded(t *testing.T) {
+	rng := crypto.NewStreamFromSeed(321)
+	g, _ := topology.RandomGeometric(50, 0.28, rng.Fork([]byte("topo")))
+	dep, err := keydist.NewDeployment(50, keydist.Params{PoolSize: 500, RingSize: 130},
+		crypto.KeyFromUint64(321), rng.Fork([]byte("keys")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	malicious := map[topology.NodeID]bool{}
+	for len(malicious) < 4 {
+		cand := topology.NodeID(rng.Intn(49) + 1)
+		malicious[cand] = true
+		if !g.ConnectedExcluding(topology.BaseStation, malicious) {
+			delete(malicious, cand)
+		}
+	}
+	cfg := Config{
+		Graph:      g,
+		Deployment: dep,
+		Malicious:  malicious,
+		Adversary:  chokeEverything{},
+		Seed:       321,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if id == topology.BaseStation {
+				return Inf()
+			}
+			return 100 + float64(id)
+		},
+		AdversaryFavored: true,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chokers' fakes claim values below the announced minimum, so
+	// the base station receives spurious vetoes and pinpointing runs.
+	if out.Kind != OutcomeJunkConfRevocation {
+		t.Fatalf("outcome = %v, want junk-conf-revocation", out.Kind)
+	}
+	forwarded := 0
+	for _, s := range e.sensors {
+		if s.vetoSent == nil {
+			continue
+		}
+		forwarded++
+		if s.vetoSent.interval < 1 || s.vetoSent.interval > e.l+1 {
+			t.Fatalf("sensor %d SOF interval %d outside [1, %d]",
+				s.id, s.vetoSent.interval, e.l+1)
+		}
+		if !e.cfg.Malicious[s.id] && len(s.vetoSent.outKeys) == 0 {
+			t.Fatalf("sensor %d recorded a forward with no out-keys", s.id)
+		}
+	}
+	if forwarded == 0 {
+		t.Fatal("no sensor forwarded any veto despite the choke flood")
+	}
+}
+
+// TestSOFOneTimeForwarding checks each honest sensor forwards at most one
+// veto: the one-time rule that lets the choke flood die out instead of
+// saturating the network.
+func TestSOFOneTimeForwarding(t *testing.T) {
+	g := topology.Grid(4, 4)
+	dep, err := keydist.NewDeployment(16, keydist.Params{PoolSize: 400, RingSize: 120},
+		crypto.KeyFromUint64(322), crypto.NewStreamFromSeed(322))
+	if err != nil {
+		t.Fatal(err)
+	}
+	malicious := map[topology.NodeID]bool{5: true, 10: true}
+	cfg := Config{
+		Graph:      g,
+		Deployment: dep,
+		Malicious:  malicious,
+		Adversary:  chokeEverything{},
+		Seed:       322,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if id == topology.BaseStation {
+				return Inf()
+			}
+			return 100 + float64(id)
+		},
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range e.sensors {
+		if malicious[s.id] || s.id == topology.BaseStation {
+			continue
+		}
+		if s.vetoSent != nil && len(s.vetoSent.outKeys) > len(g.Neighbors(s.id)) {
+			t.Fatalf("sensor %d forwarded %d copies with %d neighbors",
+				s.id, len(s.vetoSent.outKeys), len(g.Neighbors(s.id)))
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"repro/internal/audit"
+	"repro/internal/crypto"
+	"repro/internal/topology"
+)
+
+// NoKey marks an absent edge key (e.g. a sensor's own reading has no
+// in-edge key). It aliases the audit package's marker.
+const NoKey = audit.NoKey
+
+// sentTuple is the aggregation-phase audit tuple of Section IV-B:
+// <level, message, sensor key, in-edge key, out-edge key>. The sensor key
+// is implicit (the owner); one tuple is stored per (instance, parent).
+type sentTuple struct {
+	instance int
+	record   Record
+	level    int
+	inKey    int // pool index the winning record arrived with; NoKey if own
+	outKey   int // pool index used toward the parent
+	parent   topology.NodeID
+}
+
+// recvTuple records one child record accepted during aggregation. Sensors
+// keep these so they can truthfully answer the "received a message with
+// value no greater than v from a child at the given level" predicates of
+// Figures 5/6 even when the received value was later replaced by a smaller
+// one.
+type recvTuple struct {
+	record     Record
+	childLevel int // level implied by the arrival slot: L - (sendSlot)
+	inKey      int
+	from       topology.NodeID
+}
+
+// sofTuple is the confirmation-phase audit tuple: <interval, message,
+// sensor key, in-edge key, out-edge key>, with one out-key per neighbor
+// the veto was forwarded to.
+type sofTuple struct {
+	veto     VetoMsg
+	interval int // SOF interval in which the veto was sent/forwarded
+	inKey    int // NoKey when this sensor originated the veto
+	outKeys  []int
+}
+
+// sensorState is the per-execution protocol state of one node, including
+// the base station (level 0). Each state is touched only by its own
+// node's step goroutine during a phase, and by the engine between phases.
+type sensorState struct {
+	id    topology.NodeID
+	level int // -1 until tree formation assigns one; base station: 0
+
+	// parents are the aggregation parents (one for single-path; all
+	// level-(i-1) tree senders for multi-path).
+	parents []topology.NodeID
+
+	// best tracks the per-instance minimum record seen so far (own record
+	// until a smaller child record arrives); bestInKey tracks the in-edge
+	// key that delivered each current best (NoKey for own).
+	best      []Record
+	bestInKey []int
+
+	recvAgg  []recvTuple
+	sentAgg  []sentTuple
+	vetoSent *sofTuple
+
+	// forwardedVeto marks that the one-time SOF forward has been spent.
+	forwardedVeto bool
+
+	rng *crypto.Stream
+}
+
+func newSensorState(id topology.NodeID, instances int, rng *crypto.Stream) *sensorState {
+	s := &sensorState{
+		id:        id,
+		level:     -1,
+		best:      make([]Record, instances),
+		bestInKey: make([]int, instances),
+		rng:       rng,
+	}
+	for i := range s.best {
+		s.best[i] = Record{Origin: id, Instance: i, Value: Inf()}
+		s.bestInKey[i] = NoKey
+	}
+	return s
+}
+
+// noteReceivedRecord merges a child record into the running minima and
+// stores the reception tuple.
+func (s *sensorState) noteReceivedRecord(r Record, childLevel, inKey int, from topology.NodeID) {
+	if r.Instance < 0 || r.Instance >= len(s.best) {
+		return
+	}
+	s.recvAgg = append(s.recvAgg, recvTuple{record: r, childLevel: childLevel, inKey: inKey, from: from})
+	if r.Value < s.best[r.Instance].Value {
+		s.best[r.Instance] = r
+		s.bestInKey[r.Instance] = inKey
+	}
+}
+
+// noteSent stores the audit tuples for the records just forwarded to one
+// parent.
+func (s *sensorState) noteSent(parent topology.NodeID, outKey int) {
+	for inst := range s.best {
+		s.sentAgg = append(s.sentAgg, sentTuple{
+			instance: inst,
+			record:   s.best[inst],
+			level:    s.level,
+			inKey:    s.bestInKey[inst],
+			outKey:   outKey,
+			parent:   parent,
+		})
+	}
+}
+
+// satisfies evaluates a keyed predicate test truthfully against the
+// sensor's audit state. testedPool is the pool index of the tested key
+// when the test is keyed on an edge key (-1 for sensor-key tests).
+func (s *sensorState) satisfies(p Predicate, testedPool int) bool {
+	switch p.Kind {
+	case PredSentAgg:
+		for _, t := range s.sentAgg {
+			if t.instance == p.Instance && t.level == p.Pos &&
+				t.record.Value <= p.VMax &&
+				t.outKey >= p.KeyLo && t.outKey <= p.KeyHi {
+				return true
+			}
+		}
+	case PredReceivedAgg:
+		if s.id < p.IDLo || s.id > p.IDHi {
+			return false
+		}
+		for _, t := range s.recvAgg {
+			if t.record.Instance == p.Instance && t.childLevel == p.Pos &&
+				t.record.Value <= p.VMax &&
+				(testedPool == NoKey || t.inKey == testedPool) {
+				// testedPool is NoKey for the Figure 6 step-6
+				// re-confirmation, which is keyed on the sensor key and
+				// does not constrain the in-edge key.
+				return true
+			}
+		}
+	case PredSentJunkAgg:
+		if s.id < p.IDLo || s.id > p.IDHi {
+			return false
+		}
+		for _, t := range s.sentAgg {
+			if t.record.ID() == p.MsgID && t.level == p.Pos &&
+				(testedPool == NoKey || t.outKey == testedPool) {
+				return true
+			}
+		}
+	case PredReceivedJunkAgg:
+		if s.level != p.Pos {
+			return false
+		}
+		for _, t := range s.recvAgg {
+			if t.record.ID() == p.MsgID && t.childLevel == p.Pos+1 &&
+				t.inKey >= p.KeyLo && t.inKey <= p.KeyHi {
+				return true
+			}
+		}
+	case PredSentJunkVeto:
+		if s.id < p.IDLo || s.id > p.IDHi || s.vetoSent == nil {
+			return false
+		}
+		if s.vetoSent.veto.ID() != p.MsgID || s.vetoSent.interval != p.Pos {
+			return false
+		}
+		if testedPool == NoKey {
+			return true
+		}
+		for _, k := range s.vetoSent.outKeys {
+			if k == testedPool {
+				return true
+			}
+		}
+	case PredReceivedJunkVeto:
+		if s.vetoSent == nil || s.vetoSent.inKey == NoKey {
+			return false
+		}
+		// A forwarder that sent in interval i received the veto in
+		// interval i-1 = p.Pos.
+		return s.vetoSent.veto.ID() == p.MsgID &&
+			s.vetoSent.interval-1 == p.Pos &&
+			s.vetoSent.inKey >= p.KeyLo && s.vetoSent.inKey <= p.KeyHi
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// EventKind classifies execution trace events.
+type EventKind int
+
+const (
+	// EventPhase marks a protocol phase starting.
+	EventPhase EventKind = iota + 1
+	// EventMinReceived reports a per-instance winning record at the base
+	// station after aggregation.
+	EventMinReceived
+	// EventVetoReceived reports a veto arriving at the base station.
+	EventVetoReceived
+	// EventPredicateTest reports one keyed predicate test and its result.
+	EventPredicateTest
+	// EventWalkStep reports one hop of a pinpointing walk.
+	EventWalkStep
+	// EventRevocation reports a key or sensor revocation.
+	EventRevocation
+	// EventOutcome reports the execution's final outcome.
+	EventOutcome
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventPhase:
+		return "phase"
+	case EventMinReceived:
+		return "min-received"
+	case EventVetoReceived:
+		return "veto-received"
+	case EventPredicateTest:
+		return "predicate-test"
+	case EventWalkStep:
+		return "walk-step"
+	case EventRevocation:
+		return "revocation"
+	case EventOutcome:
+		return "outcome"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one trace record. Field meaning depends on Kind; unused fields
+// are zero.
+type Event struct {
+	Kind EventKind
+	// Slot is the network slot at which the event was emitted.
+	Slot int
+	// Label carries the phase name, walk direction, or outcome name.
+	Label string
+	// Node is the sensor involved (vetoer, revoked sensor, walk subject).
+	Node topology.NodeID
+	// Instance is the MIN instance involved.
+	Instance int
+	// Value is the record or veto value.
+	Value float64
+	// KeyIndex is the pool key involved (tested or revoked); NoKey when
+	// not applicable.
+	KeyIndex int
+	// OK reports a predicate test's result or a veto's validity.
+	OK bool
+}
+
+// String renders the event compactly for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventPhase:
+		return fmt.Sprintf("[%4d] phase %s", e.Slot, e.Label)
+	case EventMinReceived:
+		return fmt.Sprintf("[%4d] min inst=%d value=%g origin=%d valid=%v", e.Slot, e.Instance, e.Value, e.Node, e.OK)
+	case EventVetoReceived:
+		return fmt.Sprintf("[%4d] veto from=%d inst=%d value=%g valid=%v", e.Slot, e.Node, e.Instance, e.Value, e.OK)
+	case EventPredicateTest:
+		return fmt.Sprintf("[%4d] test %s key=%d node=%d -> %v", e.Slot, e.Label, e.KeyIndex, e.Node, e.OK)
+	case EventWalkStep:
+		return fmt.Sprintf("[%4d] walk %s node=%d key=%d pos=%d", e.Slot, e.Label, e.Node, e.KeyIndex, e.Instance)
+	case EventRevocation:
+		if e.Node == NoNode {
+			return fmt.Sprintf("[%4d] revoke key %d", e.Slot, e.KeyIndex)
+		}
+		return fmt.Sprintf("[%4d] revoke sensor %d", e.Slot, e.Node)
+	case EventOutcome:
+		return fmt.Sprintf("[%4d] outcome %s", e.Slot, e.Label)
+	default:
+		return fmt.Sprintf("[%4d] %v", e.Slot, e.Kind)
+	}
+}
+
+// emit sends an event to the configured tracer, stamping the current
+// slot. It is a no-op without a tracer.
+func (e *Engine) emit(ev Event) {
+	if e.cfg.Trace == nil {
+		return
+	}
+	ev.Slot = e.net.Slot()
+	e.cfg.Trace(ev)
+}

@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func collectEvents(t *testing.T, cfg core.Config) []core.Event {
+	t.Helper()
+	var events []core.Event
+	cfg.Trace = func(ev core.Event) { events = append(events, ev) }
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func kinds(events []core.Event, k core.EventKind) []core.Event {
+	var out []core.Event
+	for _, ev := range events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestTraceHonestRunSequence(t *testing.T) {
+	f := newFixture(t, topology.Grid(3, 4), 80)
+	events := collectEvents(t, f.config(80))
+
+	var phases []string
+	for _, ev := range kinds(events, core.EventPhase) {
+		phases = append(phases, ev.Label)
+	}
+	want := []string{"announce", "tree-formation", "aggregation", "confirmation"}
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+
+	mins := kinds(events, core.EventMinReceived)
+	if len(mins) != 1 || !mins[0].OK {
+		t.Fatalf("min events = %+v, want one valid", mins)
+	}
+	outs := kinds(events, core.EventOutcome)
+	if len(outs) != 1 || outs[0].Label != "result" {
+		t.Fatalf("outcome events = %+v", outs)
+	}
+	if len(kinds(events, core.EventVetoReceived)) != 0 {
+		t.Fatal("honest run produced veto events")
+	}
+	if len(kinds(events, core.EventPredicateTest)) != 0 {
+		t.Fatal("honest run produced predicate-test events")
+	}
+	// Slots are monotone non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].Slot < events[i-1].Slot {
+			t.Fatalf("event slots not monotone: %v then %v", events[i-1], events[i])
+		}
+	}
+}
+
+func TestTraceAttackedRunSequence(t *testing.T) {
+	f := newFixture(t, bypassGraph(), 81)
+	f.readings[4] = 1
+	cfg := f.config(81)
+	cfg.Malicious = maliciousSet(2)
+	cfg.Adversary = adversary.NewDropper(50)
+	events := collectEvents(t, cfg)
+
+	vetoEvents := kinds(events, core.EventVetoReceived)
+	if len(vetoEvents) != 1 || !vetoEvents[0].OK || vetoEvents[0].Node != 4 {
+		t.Fatalf("veto events = %+v, want one valid from node 4", vetoEvents)
+	}
+	if len(kinds(events, core.EventWalkStep)) == 0 {
+		t.Fatal("no walk steps traced")
+	}
+	tests := kinds(events, core.EventPredicateTest)
+	if len(tests) == 0 {
+		t.Fatal("no predicate tests traced")
+	}
+	revs := kinds(events, core.EventRevocation)
+	if len(revs) == 0 {
+		t.Fatal("no revocation traced")
+	}
+	outs := kinds(events, core.EventOutcome)
+	if len(outs) != 1 || outs[0].Label != "veto-revocation" {
+		t.Fatalf("outcome = %+v", outs)
+	}
+}
+
+func TestEventStringsRender(t *testing.T) {
+	samples := []core.Event{
+		{Kind: core.EventPhase, Label: "tree-formation"},
+		{Kind: core.EventMinReceived, Instance: 1, Value: 2.5, Node: 3, OK: true},
+		{Kind: core.EventVetoReceived, Node: 4, Value: 1, OK: false},
+		{Kind: core.EventPredicateTest, Label: "pool-key", KeyIndex: 9, OK: true},
+		{Kind: core.EventWalkStep, Label: "veto-walk", Node: 4, Instance: 3},
+		{Kind: core.EventRevocation, KeyIndex: 9, Node: core.NoNode},
+		{Kind: core.EventRevocation, Node: 7},
+		{Kind: core.EventOutcome, Label: "result"},
+		{Kind: core.EventKind(42)},
+	}
+	for _, ev := range samples {
+		if ev.String() == "" {
+			t.Fatalf("event %v rendered empty", ev.Kind)
+		}
+	}
+	if core.EventKind(42).String() == "" {
+		t.Fatal("unknown kind rendered empty")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+// TestPropertyHonestTreeLevelsEqualBFSDepth checks the tree-formation
+// invariant on random topologies: with no adversary, every sensor's
+// timestamp level equals its BFS depth from the base station, and all
+// levels lie in [1, L].
+func TestPropertyHonestTreeLevelsEqualBFSDepth(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := crypto.NewStreamFromSeed(seed)
+		n := 15 + rng.Intn(40)
+		g, _ := topology.RandomGeometric(n, 0.3, rng.Fork([]byte("topo")))
+		dep, err := keydist.NewDeployment(n, keydist.Params{PoolSize: 400, RingSize: 120},
+			crypto.KeyFromUint64(seed), rng.Fork([]byte("keys")))
+		if err != nil {
+			return false
+		}
+		e, err := NewEngine(Config{Graph: g, Deployment: dep, Seed: seed})
+		if err != nil {
+			return false
+		}
+		levels, err := e.TreeLevels()
+		if err != nil {
+			return false
+		}
+		depths := g.Depths(topology.BaseStation)
+		for id := 1; id < n; id++ {
+			if levels[id] != depths[id] {
+				t.Logf("seed %d: node %d level %d != depth %d", seed, id, levels[id], depths[id])
+				return false
+			}
+			if levels[id] < 1 || levels[id] > e.L() {
+				t.Logf("seed %d: node %d level %d outside [1, %d]", seed, id, levels[id], e.L())
+				return false
+			}
+		}
+		return levels[0] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyByzantineTreeLevelsBounded checks the paper's structural
+// guarantee under arbitrary rushing adversaries: whatever malicious nodes
+// do during tree formation, every honest non-partitioned sensor ends up
+// with a level in [1, L] — wormholes can only shrink levels, never
+// inflate them past L.
+func TestPropertyByzantineTreeLevelsBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := crypto.NewStreamFromSeed(seed)
+		n := 20 + rng.Intn(30)
+		g, _ := topology.RandomGeometric(n, 0.3, rng.Fork([]byte("topo")))
+		dep, err := keydist.NewDeployment(n, keydist.Params{PoolSize: 400, RingSize: 120},
+			crypto.KeyFromUint64(seed), rng.Fork([]byte("keys")))
+		if err != nil {
+			return false
+		}
+		malicious := map[topology.NodeID]bool{}
+		for len(malicious) < 3 {
+			cand := topology.NodeID(rng.Intn(n-1) + 1)
+			malicious[cand] = true
+			if !g.ConnectedExcluding(topology.BaseStation, malicious) {
+				delete(malicious, cand)
+			}
+		}
+		e, err := NewEngine(Config{
+			Graph: g, Deployment: dep, Seed: seed,
+			Malicious:        malicious,
+			Adversary:        treeRusher{},
+			AdversaryFavored: true,
+		})
+		if err != nil {
+			return false
+		}
+		levels, err := e.TreeLevels()
+		if err != nil {
+			return false
+		}
+		for id := 1; id < n; id++ {
+			nid := topology.NodeID(id)
+			if malicious[nid] {
+				continue
+			}
+			if levels[id] < 1 || levels[id] > e.L() {
+				t.Logf("seed %d: honest node %d level %d outside [1, %d]", seed, id, levels[id], e.L())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// treeRusher floods tree messages to every neighbor and colluding peer on
+// every slot of the tree phase — the most aggressive level-warping
+// behavior available without breaking MACs.
+type treeRusher struct{ HonestAdversary }
+
+func (treeRusher) Step(phase Phase, a *AdvContext) {
+	if phase != PhaseTree {
+		a.ActHonestly()
+		return
+	}
+	a.ActHonestly()
+	for _, nb := range a.Neighbors() {
+		if key, ok := a.EdgeKeyWith(nb); ok {
+			a.SendSealed(nb, key, TreeFormMsg{})
+		}
+	}
+}

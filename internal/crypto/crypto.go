@@ -1,0 +1,133 @@
+// Package crypto provides the symmetric-key primitives VMAT relies on:
+// keys, truncated HMAC message authentication codes, a one-way hash, key
+// derivation, and deterministic pseudo-random streams.
+//
+// The paper's system model (Section III) restricts sensors to symmetric-key
+// cryptography. Every sensor shares a unique sensor key with the base
+// station, and pairs of neighboring sensors authenticate each other with
+// edge keys drawn from an Eschenauer-Gligor key pool (package keydist).
+// MACs are modelled as 8-byte truncated HMAC-SHA256, matching the 8-byte
+// MAC size the paper assumes in its communication-cost analysis
+// (Section IX).
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// KeySize is the byte length of every symmetric key in the system.
+const KeySize = 16
+
+// MACSize is the byte length of a truncated MAC. The paper assumes 8-byte
+// MACs when accounting for message sizes (Section IX).
+const MACSize = 8
+
+// HashSize is the byte length of the one-way hash H() used by the keyed
+// predicate test to pre-publish H(MAC_K(N)).
+const HashSize = 32
+
+// Key is a symmetric key. Keys are comparable so they can be used as map
+// keys when tracking key rings and revocation sets.
+type Key [KeySize]byte
+
+// MAC is a truncated message authentication code.
+type MAC [MACSize]byte
+
+// Hash is a SHA-256 digest, used as the one-way hash H() of the keyed
+// predicate test protocol.
+type Hash [HashSize]byte
+
+// String renders a short hex prefix of the key for logs and debugging.
+func (k Key) String() string { return fmt.Sprintf("key:%x", k[:4]) }
+
+// String renders the MAC in hex.
+func (m MAC) String() string { return fmt.Sprintf("mac:%x", m[:]) }
+
+// ComputeMAC computes the truncated HMAC-SHA256 of the concatenation of
+// parts under key k. Parts are length-prefixed before concatenation so
+// that distinct part boundaries can never collide (MAC(a||b) differs from
+// MAC(ab) when split differently).
+func ComputeMAC(k Key, parts ...[]byte) MAC {
+	h := hmac.New(sha256.New, k[:])
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var m MAC
+	copy(m[:], h.Sum(nil))
+	return m
+}
+
+// VerifyMAC reports whether mac is the MAC of parts under key k, in
+// constant time with respect to the MAC bytes.
+func VerifyMAC(k Key, mac MAC, parts ...[]byte) bool {
+	want := ComputeMAC(k, parts...)
+	return hmac.Equal(want[:], mac[:])
+}
+
+// HashOf computes the publicly known one-way hash H() over the
+// concatenation of parts, with the same length-prefixing as ComputeMAC.
+func HashOf(parts ...[]byte) Hash {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// HashMAC returns H(mac), the pre-image commitment the base station
+// broadcasts in a keyed predicate test so that every sensor can recognize
+// the unique valid "yes" reply without holding the key.
+func HashMAC(mac MAC) Hash { return HashOf(mac[:]) }
+
+// DeriveKey derives a subkey from a master key, a domain-separation label,
+// and a numeric index. It is used to expand a key-pool seed into the pool's
+// keys and a ring seed into ring membership, mirroring the paper's remark
+// that a sensor's ring can be revoked wholesale by announcing "the
+// associated random seed used for the selection" (Section VI-A).
+func DeriveKey(master Key, label string, index uint64) Key {
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], index)
+	h := hmac.New(sha256.New, master[:])
+	h.Write([]byte(label))
+	h.Write(idx[:])
+	var k Key
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+// KeyFromUint64 builds a key whose first eight bytes encode v. It is a
+// convenience for tests and deterministic fixtures.
+func KeyFromUint64(v uint64) Key {
+	var k Key
+	binary.BigEndian.PutUint64(k[:8], v)
+	return k
+}
+
+// Uint64 encodes v in big-endian order, a helper for building MAC inputs.
+func Uint64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// Int64 encodes v in big-endian two's-complement order.
+func Int64(v int64) []byte { return Uint64(uint64(v)) }
+
+// Float64 encodes the IEEE-754 bits of v in big-endian order, a helper for
+// MACing sensor readings and synopses.
+func Float64(v float64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], floatBits(v))
+	return b[:]
+}

@@ -1,0 +1,246 @@
+package crypto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeMACDeterministic(t *testing.T) {
+	k := KeyFromUint64(42)
+	m1 := ComputeMAC(k, []byte("hello"), []byte("world"))
+	m2 := ComputeMAC(k, []byte("hello"), []byte("world"))
+	if m1 != m2 {
+		t.Fatalf("same inputs produced different MACs: %v vs %v", m1, m2)
+	}
+}
+
+func TestComputeMACKeySeparation(t *testing.T) {
+	m1 := ComputeMAC(KeyFromUint64(1), []byte("msg"))
+	m2 := ComputeMAC(KeyFromUint64(2), []byte("msg"))
+	if m1 == m2 {
+		t.Fatal("different keys produced the same MAC")
+	}
+}
+
+func TestComputeMACPartBoundaries(t *testing.T) {
+	// MAC("ab", "c") must differ from MAC("a", "bc"): the length-prefixed
+	// encoding makes part boundaries significant.
+	k := KeyFromUint64(7)
+	m1 := ComputeMAC(k, []byte("ab"), []byte("c"))
+	m2 := ComputeMAC(k, []byte("a"), []byte("bc"))
+	if m1 == m2 {
+		t.Fatal("part boundary collision: MAC(ab|c) == MAC(a|bc)")
+	}
+}
+
+func TestVerifyMAC(t *testing.T) {
+	k := KeyFromUint64(9)
+	mac := ComputeMAC(k, []byte("payload"))
+	if !VerifyMAC(k, mac, []byte("payload")) {
+		t.Fatal("valid MAC rejected")
+	}
+	if VerifyMAC(k, mac, []byte("tampered")) {
+		t.Fatal("MAC accepted for tampered message")
+	}
+	if VerifyMAC(KeyFromUint64(10), mac, []byte("payload")) {
+		t.Fatal("MAC accepted under wrong key")
+	}
+}
+
+func TestVerifyMACPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64, msg []byte) bool {
+		k := KeyFromUint64(seed)
+		return VerifyMAC(k, ComputeMAC(k, msg), msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyMACPropertyForgeryFails(t *testing.T) {
+	f := func(seed uint64, msg, other []byte) bool {
+		if string(msg) == string(other) {
+			return true
+		}
+		k := KeyFromUint64(seed)
+		return !VerifyMAC(k, ComputeMAC(k, msg), other)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashOfBoundaries(t *testing.T) {
+	h1 := HashOf([]byte("ab"), []byte("c"))
+	h2 := HashOf([]byte("a"), []byte("bc"))
+	if h1 == h2 {
+		t.Fatal("hash part boundary collision")
+	}
+}
+
+func TestHashMACCommitment(t *testing.T) {
+	k := KeyFromUint64(3)
+	mac := ComputeMAC(k, []byte("nonce"))
+	h := HashMAC(mac)
+	// Anyone holding the commitment can recognize the true reply.
+	if HashMAC(mac) != h {
+		t.Fatal("commitment not reproducible")
+	}
+	// A different MAC does not match the commitment.
+	other := ComputeMAC(k, []byte("other"))
+	if HashMAC(other) == h {
+		t.Fatal("distinct MACs mapped to same commitment")
+	}
+}
+
+func TestDeriveKeyIndependence(t *testing.T) {
+	master := KeyFromUint64(99)
+	seen := make(map[Key]bool)
+	for i := uint64(0); i < 100; i++ {
+		k := DeriveKey(master, "pool", i)
+		if seen[k] {
+			t.Fatalf("duplicate derived key at index %d", i)
+		}
+		seen[k] = true
+	}
+	if DeriveKey(master, "pool", 0) == DeriveKey(master, "ring", 0) {
+		t.Fatal("label does not separate derivation domains")
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream([]byte("seed"))
+	b := NewStream([]byte("seed"))
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestStreamSeparation(t *testing.T) {
+	a := NewStream([]byte("seed-a"))
+	b := NewStream([]byte("seed-b"))
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("independent streams collided %d times in 64 draws", same)
+	}
+}
+
+func TestStreamIntnBounds(t *testing.T) {
+	s := NewStreamFromSeed(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+	}
+}
+
+func TestStreamIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewStreamFromSeed(1).Intn(0)
+}
+
+func TestStreamFloat64Range(t *testing.T) {
+	s := NewStreamFromSeed(2)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", v)
+		}
+	}
+}
+
+func TestStreamExpFloat64MeanAndPositivity(t *testing.T) {
+	s := NewStreamFromSeed(3)
+	const n = 200000
+	const mean = 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.ExpFloat64(mean)
+		if v < 0 {
+			t.Fatalf("negative exponential sample: %g", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if got < mean*0.97 || got > mean*1.03 {
+		t.Fatalf("empirical mean %g too far from %g", got, mean)
+	}
+}
+
+func TestStreamPermIsPermutation(t *testing.T) {
+	s := NewStreamFromSeed(4)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestStreamForkDistinct(t *testing.T) {
+	s := NewStreamFromSeed(5)
+	a := s.Fork([]byte("x"))
+	b := s.Fork([]byte("x"))
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("successive forks with same label produced identical streams")
+	}
+}
+
+func TestStreamForkLabelled(t *testing.T) {
+	mk := func() *Stream { return NewStreamFromSeed(6) }
+	a := mk().Fork([]byte("a"))
+	b := mk().Fork([]byte("b"))
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("forks with different labels produced identical first draw")
+	}
+	// Same parent state and same label must reproduce the same child.
+	c := mk().Fork([]byte("a"))
+	d := mk().Fork([]byte("a"))
+	for i := 0; i < 10; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("fork not deterministic")
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := NewStreamFromSeed(7)
+	vals := make([]int, 20)
+	for i := range vals {
+		vals[i] = i
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, 20)
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("shuffle corrupted values: %v", vals)
+		}
+		seen[v] = true
+	}
+}
+
+func TestEncodingHelpers(t *testing.T) {
+	if len(Uint64(1)) != 8 || len(Int64(-1)) != 8 || len(Float64(1.5)) != 8 {
+		t.Fatal("encoding helpers must produce 8-byte outputs")
+	}
+	if string(Uint64(1)) == string(Uint64(2)) {
+		t.Fatal("Uint64 encodings collide")
+	}
+	if string(Float64(1.0)) == string(Float64(1.5)) {
+		t.Fatal("Float64 encodings collide")
+	}
+}

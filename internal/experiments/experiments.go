@@ -1,0 +1,89 @@
+// Package experiments regenerates every quantitative artifact of the
+// paper's evaluation (Section IX) and complexity claims (Sections I and
+// VII): Figure 7 (mis-revocation vs theta), Figure 8 (synopsis
+// approximation error), the communication-complexity comparison, the
+// flooding-round comparison against sampling-based aggregation, the
+// pinpointing cost of Theorem 6, the revocation-campaign economics, the
+// Figure 2(c) wormhole demonstration, and the SOF choking analysis.
+//
+// Each experiment has a config with paper-faithful defaults, a Run
+// function returning typed rows, and a writer that prints the same series
+// the paper plots. cmd/vmat-bench and the repository's benchmark suite
+// are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Table is a generic printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Write renders the table as aligned text.
+func (t *Table) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		for i, cell := range cells {
+			pad := widths[i] - len(cell)
+			if _, err := fmt.Fprintf(w, "%s%*s", cell, pad+2, ""); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// percentile returns the p-th percentile (0..100) of values.
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range values {
+		total += v
+	}
+	return total / float64(len(values))
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

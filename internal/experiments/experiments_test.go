@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/keydist"
+)
+
+// Reduced-scale configs keep the suite fast; the cmd tool runs the
+// paper-scale defaults.
+
+func TestRunFig7ShapeMatchesPaper(t *testing.T) {
+	cfg := Fig7Config{
+		NetworkSizes:    []int{1000},
+		MaliciousCounts: []int{1, 20},
+		Thetas:          []int{1, 7, 27},
+		Trials:          5,
+		Params:          keydist.PaperParams(),
+		Seed:            7,
+	}
+	rows, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]int]map[int]float64{}
+	for _, r := range rows {
+		k := [2]int{r.N, r.F}
+		if byKey[k] == nil {
+			byKey[k] = map[int]float64{}
+		}
+		byKey[k][r.Theta] = r.AvgMisRevoked
+	}
+	f1 := byKey[[2]int{1000, 1}]
+	f20 := byKey[[2]int{1000, 20}]
+	// Paper: with f=1, theta around 7 already gives near-zero
+	// mis-revocation; with f=20, theta=27 keeps the average below 1.
+	if f1[7] > 0.5 {
+		t.Fatalf("f=1 theta=7 mis-revocation %.3f, paper expects near zero", f1[7])
+	}
+	if f20[27] >= 1.5 {
+		t.Fatalf("f=20 theta=27 mis-revocation %.3f, paper expects below ~1", f20[27])
+	}
+	// Monotonicity: higher theta cannot mis-revoke more; larger f cannot
+	// mis-revoke less at fixed theta.
+	if f1[1] < f1[7] || f20[1] < f20[27] {
+		t.Fatal("mis-revocation not monotone in theta")
+	}
+	if f20[7] < f1[7] {
+		t.Fatal("mis-revocation not monotone in f")
+	}
+	// f=20 at low theta must be dramatically worse than f=1 (the figure's
+	// visual spread).
+	if f20[1] < f1[1] {
+		t.Fatalf("f=20 curve (%.1f) below f=1 curve (%.1f) at theta=1", f20[1], f1[1])
+	}
+}
+
+func TestRunFig8ShapeMatchesPaper(t *testing.T) {
+	cfg := Fig8Config{
+		Synopses: 100,
+		Counts:   []int{10, 100, 1000},
+		Trials:   60,
+		Seed:     8,
+	}
+	rows := RunFig8(cfg)
+	for _, r := range rows {
+		// Paper headline: 100 synopses give average relative error below
+		// 10% (allow slack for the reduced trial count).
+		if r.Average > 0.14 {
+			t.Fatalf("count %d: avg rel err %.3f, paper expects <~0.10", r.Count, r.Average)
+		}
+		if r.P50 > r.P90 || r.P90 > r.P95 || r.P95 > r.P99 {
+			t.Fatalf("count %d: percentiles not monotone: %+v", r.Count, r)
+		}
+	}
+	// Error must be roughly flat across count values (the scheme is
+	// scale-free).
+	if rows[0].Average > 3*rows[len(rows)-1].Average && rows[0].Average > 0.05 {
+		t.Fatalf("error not scale-free: %+v", rows)
+	}
+}
+
+func TestRunMSweepErrorShrinksWithM(t *testing.T) {
+	rows := RunMSweep(MSweepConfig{Count: 300, Ms: []int{25, 400}, Trials: 120, Seed: 10})
+	small, big := rows[0], rows[1]
+	// Error scales like 1/sqrt(m): 16x more synopses should cut the
+	// average error by roughly 4x (allow down to 2.2x for noise).
+	if big.Average*2.2 > small.Average {
+		t.Fatalf("error did not shrink with m: m=25 -> %.4f, m=400 -> %.4f",
+			small.Average, big.Average)
+	}
+	if big.Bytes != 400*24 || small.Bytes != 25*24 {
+		t.Fatal("message-size accounting wrong")
+	}
+}
+
+func TestFig8UnbiasedVariantNoWorse(t *testing.T) {
+	base := Fig8Config{Synopses: 50, Counts: []int{200}, Trials: 150, Seed: 9}
+	biased := RunFig8(base)
+	base.Unbiased = true
+	unbiased := RunFig8(base)
+	if unbiased[0].Average > biased[0].Average*1.15 {
+		t.Fatalf("unbiased estimator notably worse: %.4f vs %.4f",
+			unbiased[0].Average, biased[0].Average)
+	}
+}
+
+func TestRunCommShowsScalingGap(t *testing.T) {
+	// The paper's comparison point is n=10,000 (80KB naive vs 2.4KB
+	// aggregates). The testable shape at reduced scale: VMAT's
+	// per-sensor traffic is roughly flat in n, the naive bottleneck
+	// grows linearly, so the ratio grows with n.
+	rows, err := RunComm(CommConfig{NetworkSizes: []int{100, 1000}, Synopses: 100, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := rows[0], rows[1]
+	if !small.VMATAnswered || !big.VMATAnswered {
+		t.Fatal("VMAT count did not answer")
+	}
+	if small.VMATAggMsgBytes != 2400 {
+		t.Fatalf("aggregate message %d bytes, want the paper's 2400", small.VMATAggMsgBytes)
+	}
+	if big.Ratio <= small.Ratio {
+		t.Fatalf("naive/VMAT ratio did not grow with n: %.2f -> %.2f", small.Ratio, big.Ratio)
+	}
+	if float64(big.VMATMaxNodeBytes) > 4*float64(small.VMATMaxNodeBytes) {
+		t.Fatalf("VMAT per-sensor traffic grew with n: %d -> %d",
+			small.VMATMaxNodeBytes, big.VMATMaxNodeBytes)
+	}
+	if float64(big.NaiveMaxNodeBytes) < 5*float64(small.NaiveMaxNodeBytes) {
+		t.Fatalf("naive bottleneck did not scale linearly: %d -> %d",
+			small.NaiveMaxNodeBytes, big.NaiveMaxNodeBytes)
+	}
+}
+
+func TestRunRoundsSeparatesComplexityClasses(t *testing.T) {
+	rows, err := RunRounds(RoundsConfig{NetworkSizes: []int{50, 400}, Repeats: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := rows[0], rows[1]
+	if big.VMATRounds > 3*small.VMATRounds {
+		t.Fatalf("VMAT rounds grew with n: %.1f -> %.1f", small.VMATRounds, big.VMATRounds)
+	}
+	if big.SamplingRounds <= small.SamplingRounds {
+		t.Fatalf("sampling rounds did not grow with n: %d -> %d",
+			small.SamplingRounds, big.SamplingRounds)
+	}
+	if float64(big.SamplingRounds) < 2*big.VMATRounds {
+		t.Fatalf("sampling (%d) should cost well above VMAT (%.1f) at n=400",
+			big.SamplingRounds, big.VMATRounds)
+	}
+}
+
+func TestRunPinpointAllSound(t *testing.T) {
+	rows, err := RunPinpoint(PinpointConfig{NetworkSizes: []int{40}, Trials: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Sound != r.Triggered {
+			t.Fatalf("%s at n=%d: %d/%d sound revocations (Theorem 6 violated)",
+				r.Strategy, r.N, r.Sound, r.Triggered)
+		}
+		if r.Triggered == 0 {
+			t.Fatalf("%s at n=%d never corrupted an execution; placement is broken", r.Strategy, r.N)
+		}
+	}
+}
+
+func TestRunCampaignThresholdSavesAnnouncements(t *testing.T) {
+	rows, err := RunCampaign(CampaignConfig{
+		N: 40, Thetas: []int{0, 5}, MaxExecutions: 120, Trials: 2, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq, thresh *CampaignRow
+	for i := range rows {
+		switch rows[i].Theta {
+		case 0:
+			seq = &rows[i]
+		case 5:
+			thresh = &rows[i]
+		}
+	}
+	if seq == nil || thresh == nil {
+		t.Fatal("missing campaign rows")
+	}
+	if thresh.FullyRevoked == 0 {
+		t.Fatal("threshold campaign never fully revoked the attacker")
+	}
+	// The paper's claim: whole-sensor revocation leaves all but a small
+	// fraction of the ring to the seed announcement.
+	if thresh.AvgRingCoverage > 0.2 {
+		t.Fatalf("threshold campaign revoked %.0f%% of the ring individually, want <20%%",
+			thresh.AvgRingCoverage*100)
+	}
+	if seq.FullyRevoked != 0 {
+		t.Fatal("sequential campaign cannot fully revoke (theta disabled)")
+	}
+}
+
+func TestRunWormholeBreaksOnlyHopCount(t *testing.T) {
+	rows, err := RunWormhole(WormholeConfig{NetworkSizes: []int{60}, Trials: 4, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.TimestampInvalid != 0 {
+		t.Fatalf("VMAT timestamp formation produced %v invalid levels", r.TimestampInvalid)
+	}
+	if r.TimestampUnleveled != 0 {
+		t.Fatalf("VMAT timestamp formation left %v honest sensors unleveled", r.TimestampUnleveled)
+	}
+	if r.HopCountInvalid == 0 {
+		t.Fatal("wormhole never broke the hop-count baseline; the comparison is vacuous")
+	}
+}
+
+func TestRunChokingLemma1(t *testing.T) {
+	rows, err := RunChoking(ChokingConfig{N: 40, MaliciousCounts: []int{2}, Trials: 4, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.VetoDelivered != r.Trials {
+		t.Fatalf("Lemma 1 violated: veto delivered in %d/%d trials", r.VetoDelivered, r.Trials)
+	}
+	if r.SoundRevocations+r.Trials-r.VetoDelivered < r.SoundRevocations {
+		t.Fatal("bookkeeping inconsistency")
+	}
+}
+
+func TestRunAvailabilityRevocationRecovers(t *testing.T) {
+	rows, err := RunAvailability(AvailabilityConfig{
+		N: 50, Executions: 25, Trials: 2, Theta: 7, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vmat, alarm *AvailabilityRow
+	for i := range rows {
+		switch rows[i].Mode {
+		case "vmat-revocation":
+			vmat = &rows[i]
+		case "alarm-only":
+			alarm = &rows[i]
+		}
+	}
+	if vmat == nil || alarm == nil {
+		t.Fatal("missing modes")
+	}
+	if alarm.AnsweredFraction != 0 {
+		t.Fatalf("alarm-only answered %.2f of executions under a persistent dropper, want 0",
+			alarm.AnsweredFraction)
+	}
+	if vmat.AnsweredFraction < 0.4 {
+		t.Fatalf("vmat answered only %.2f of executions; revocation is not restoring availability",
+			vmat.AnsweredFraction)
+	}
+	if vmat.AvgFirstAnswer == 0 {
+		t.Fatal("vmat never answered")
+	}
+}
+
+func TestRunLossMultipathHelps(t *testing.T) {
+	rows, err := RunLoss(LossConfig{
+		N: 80, LossRates: []float64{0, 0.1}, Trials: 8, Seed: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, lossy := rows[0], rows[1]
+	if clean.SingleCorrect != clean.Trials || clean.MultiCorrect != clean.Trials {
+		t.Fatalf("lossless trials not all correct: %+v", clean)
+	}
+	if lossy.MultiCorrect < lossy.SingleCorrect {
+		t.Fatalf("multi-path (%d) worse than single-path (%d) at 10%% loss",
+			lossy.MultiCorrect, lossy.SingleCorrect)
+	}
+}
+
+func TestTableWriter(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "longer"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# demo") || !strings.Contains(out, "longer") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("table output has wrong line count:\n%s", out)
+	}
+}
+
+func TestPercentileAndMean(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if p := percentile(vals, 50); p != 3 {
+		t.Fatalf("p50 = %g, want 3", p)
+	}
+	if p := percentile(vals, 100); p != 5 {
+		t.Fatalf("p100 = %g, want 5", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("p50 of empty = %g", p)
+	}
+	if m := mean(vals); m != 3 {
+		t.Fatalf("mean = %g, want 3", m)
+	}
+	if m := mean(nil); m != 0 {
+		t.Fatalf("mean of empty = %g", m)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/topology"
+)
+
+// Fig7Config parameterizes the Figure 7 reproduction: the average number
+// of honest sensors mis-revoked under various thresholds theta, when the
+// adversary exposes (and frames with) the union of the key rings of f
+// malicious sensors.
+type Fig7Config struct {
+	// NetworkSizes are the sensor counts (the paper uses 1,000 and
+	// 10,000).
+	NetworkSizes []int
+	// MaliciousCounts are the f values.
+	MaliciousCounts []int
+	// Thetas are the thresholds to sweep.
+	Thetas []int
+	// Trials is the number of independent deployments (the paper uses
+	// 100).
+	Trials int
+	// Params is the key pre-distribution (the paper uses rings of 250
+	// from a pool of 100,000).
+	Params keydist.Params
+	// Seed drives the simulation.
+	Seed uint64
+}
+
+// DefaultFig7 returns the paper's configuration.
+func DefaultFig7() Fig7Config {
+	return Fig7Config{
+		NetworkSizes:    []int{1000, 10000},
+		MaliciousCounts: []int{1, 5, 10, 20},
+		Thetas:          []int{1, 3, 5, 7, 10, 15, 20, 27, 35},
+		Trials:          100,
+		Params:          keydist.PaperParams(),
+		Seed:            2011,
+	}
+}
+
+// Fig7Row is one point of Figure 7.
+type Fig7Row struct {
+	N     int
+	F     int
+	Theta int
+	// AvgMisRevoked is the average number of honest sensors whose ring
+	// overlaps the adversary's combined key material in at least Theta
+	// keys.
+	AvgMisRevoked float64
+}
+
+// RunFig7 reproduces Figure 7. For each trial it draws a fresh
+// deployment, picks f malicious sensors, pools their rings (the paper:
+// "the adversary can use the edge keys held by different malicious
+// sensors to frame honest sensors"), and counts honest sensors whose
+// overlap with that pool reaches theta. All f values and thetas are
+// evaluated on the same per-trial deployment with nested malicious sets,
+// so series are directly comparable.
+func RunFig7(cfg Fig7Config) ([]Fig7Row, error) {
+	rng := crypto.NewStreamFromSeed(cfg.Seed)
+	var rows []Fig7Row
+	for _, n := range cfg.NetworkSizes {
+		// sums[fIdx][thetaIdx] accumulates mis-revocation counts.
+		sums := make([][]float64, len(cfg.MaliciousCounts))
+		for i := range sums {
+			sums[i] = make([]float64, len(cfg.Thetas))
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			dep, err := keydist.NewDeployment(n, cfg.Params,
+				crypto.KeyFromUint64(cfg.Seed^uint64(n)), rng.Fork([]byte("trial")))
+			if err != nil {
+				return nil, err
+			}
+			perm := rng.Perm(n)
+			for fIdx, f := range cfg.MaliciousCounts {
+				malicious := make([]topology.NodeID, f)
+				isMalicious := make(map[topology.NodeID]bool, f)
+				for i := 0; i < f; i++ {
+					malicious[i] = topology.NodeID(perm[i])
+					isMalicious[malicious[i]] = true
+				}
+				union := dep.UnionOfRings(malicious)
+				for id := 0; id < n; id++ {
+					nid := topology.NodeID(id)
+					if isMalicious[nid] {
+						continue
+					}
+					overlap := dep.OverlapWithUnion(nid, union)
+					for tIdx, theta := range cfg.Thetas {
+						if overlap >= theta {
+							sums[fIdx][tIdx]++
+						}
+					}
+				}
+			}
+		}
+		for fIdx, f := range cfg.MaliciousCounts {
+			for tIdx, theta := range cfg.Thetas {
+				rows = append(rows, Fig7Row{
+					N:             n,
+					F:             f,
+					Theta:         theta,
+					AvgMisRevoked: sums[fIdx][tIdx] / float64(cfg.Trials),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Table renders the rows as the paper's figure series.
+func Fig7Table(rows []Fig7Row) *Table {
+	t := &Table{
+		Title:   "Figure 7: avg # of honest sensors mis-revoked vs threshold theta",
+		Columns: []string{"n", "f", "theta", "avg_mis_revoked"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{d(r.N), d(r.F), d(r.Theta), f4(r.AvgMisRevoked)})
+	}
+	return t
+}

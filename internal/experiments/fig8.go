@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/crypto"
+	"repro/internal/synopsis"
+	"repro/internal/topology"
+)
+
+// Fig8Config parameterizes the Figure 8 reproduction: the relative error
+// of converting a predicate COUNT to MIN queries over m exponential
+// synopses.
+type Fig8Config struct {
+	// Synopses is m (the paper uses 100).
+	Synopses int
+	// Counts are the true predicate-count values to sweep.
+	Counts []int
+	// Trials per count value (the paper uses 200).
+	Trials int
+	// Unbiased switches to the (m-1)/sum estimator (ablation).
+	Unbiased bool
+	// Seed drives the per-trial nonces.
+	Seed uint64
+}
+
+// DefaultFig8 returns the paper's configuration.
+func DefaultFig8() Fig8Config {
+	return Fig8Config{
+		Synopses: 100,
+		Counts:   []int{10, 30, 100, 300, 1000, 3000, 10000},
+		Trials:   200,
+		Seed:     2011,
+	}
+}
+
+// Fig8Row is one point of Figure 8: the error distribution for one true
+// count value.
+type Fig8Row struct {
+	Count   int
+	Average float64
+	P50     float64
+	P90     float64
+	P95     float64
+	P99     float64
+}
+
+// RunFig8 reproduces Figure 8 by direct simulation of the synopsis
+// scheme: per trial, every one of Count sensors derives its m
+// deterministic Exp(1) synopses from a fresh query nonce; the estimator
+// runs on the per-instance minima and the relative error is recorded.
+func RunFig8(cfg Fig8Config) []Fig8Row {
+	rng := crypto.NewStreamFromSeed(cfg.Seed)
+	rows := make([]Fig8Row, 0, len(cfg.Counts))
+	for _, count := range cfg.Counts {
+		errs := make([]float64, 0, cfg.Trials)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			nonce := crypto.Uint64(rng.Uint64())
+			mins := make([]float64, cfg.Synopses)
+			for i := range mins {
+				mins[i] = math.Inf(1)
+			}
+			for id := 1; id <= count; id++ {
+				synopsis.MergeMins(mins, synopsis.Vector(nonce, topology.NodeID(id), 1, cfg.Synopses))
+			}
+			est := synopsis.EstimateSum(mins)
+			if cfg.Unbiased {
+				est = synopsis.EstimateSumUnbiased(mins)
+			}
+			errs = append(errs, synopsis.RelativeError(est, float64(count)))
+		}
+		rows = append(rows, Fig8Row{
+			Count:   count,
+			Average: mean(errs),
+			P50:     percentile(errs, 50),
+			P90:     percentile(errs, 90),
+			P95:     percentile(errs, 95),
+			P99:     percentile(errs, 99),
+		})
+	}
+	return rows
+}
+
+// MSweepConfig parameterizes the synopsis-count ablation: how the
+// COUNT->MIN approximation error scales with m, the knob behind the
+// paper's m = Theta(eps^-2 log delta^-1) guarantee (Section VIII).
+type MSweepConfig struct {
+	// Count is the fixed true predicate count.
+	Count int
+	// Ms are the synopsis counts to sweep.
+	Ms []int
+	// Trials per m.
+	Trials int
+	Seed   uint64
+}
+
+// DefaultMSweep returns the default ablation.
+func DefaultMSweep() MSweepConfig {
+	return MSweepConfig{Count: 500, Ms: []int{25, 50, 100, 200, 400}, Trials: 200, Seed: 2011}
+}
+
+// MSweepRow is one synopsis count's error distribution.
+type MSweepRow struct {
+	M       int
+	Average float64
+	P90     float64
+	// Bytes is the resulting aggregation-message size (24 bytes per
+	// synopsis), the cost side of the tradeoff.
+	Bytes int
+}
+
+// RunMSweep executes the ablation. The expected shape is the standard
+// sketch behavior: error shrinks like 1/sqrt(m) while message size grows
+// linearly in m.
+func RunMSweep(cfg MSweepConfig) []MSweepRow {
+	rows := make([]MSweepRow, 0, len(cfg.Ms))
+	for _, m := range cfg.Ms {
+		sub := RunFig8(Fig8Config{
+			Synopses: m,
+			Counts:   []int{cfg.Count},
+			Trials:   cfg.Trials,
+			Seed:     cfg.Seed + uint64(m),
+		})
+		rows = append(rows, MSweepRow{
+			M:       m,
+			Average: sub[0].Average,
+			P90:     sub[0].P90,
+			Bytes:   24 * m,
+		})
+	}
+	return rows
+}
+
+// MSweepTable renders the ablation.
+func MSweepTable(rows []MSweepRow, count int) *Table {
+	t := &Table{
+		Title:   "Section VIII ablation: error vs synopsis count m (true count " + d(count) + ")",
+		Columns: []string{"m", "avg_rel_err", "p90", "agg_msg_bytes"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{d(r.M), f4(r.Average), f4(r.P90), d(r.Bytes)})
+	}
+	return t
+}
+
+// Fig8Table renders the rows as the paper's figure series.
+func Fig8Table(rows []Fig8Row, synopses int) *Table {
+	t := &Table{
+		Title:   "Figure 8: COUNT->MIN approximation error (" + d(synopses) + " synopses)",
+		Columns: []string{"count", "avg_rel_err", "p50", "p90", "p95", "p99"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			d(r.Count), f4(r.Average), f4(r.P50), f4(r.P90), f4(r.P95), f4(r.P99),
+		})
+	}
+	return t
+}

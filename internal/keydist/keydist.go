@@ -1,0 +1,278 @@
+// Package keydist implements the Eschenauer-Gligor random key
+// pre-distribution scheme the paper assumes for pair-wise sensor
+// authentication (Section III), plus the revocation bookkeeping VMAT's
+// pinpointing builds on (Section VI-C).
+//
+// Each sensor is loaded with a key ring of r keys drawn uniformly at
+// random from a global pool of u symmetric keys. Two neighboring sensors
+// that share a pool key use it as their edge key. Key rings are derived
+// from per-sensor seeds so that revoking an entire sensor only requires
+// announcing its seed, exactly as the paper notes in Section VI-A.
+//
+// The base station knows the full assignment: which sensor holds which
+// pool keys and, symmetrically, the exact holder set of every pool key.
+// Figures 5 and 6 of the paper rely on that knowledge for the binary
+// searches of the pinpointing protocol.
+package keydist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/crypto"
+	"repro/internal/topology"
+)
+
+// Params configures an Eschenauer-Gligor deployment.
+type Params struct {
+	// PoolSize is u, the size of the global key pool.
+	PoolSize int
+	// RingSize is r, the number of pool keys loaded onto each sensor.
+	RingSize int
+}
+
+// PaperParams returns the parameters of the paper's Section IX evaluation:
+// rings of 250 keys drawn from a pool of 100,000, which give two sensors a
+// common key with probability around 0.5.
+func PaperParams() Params { return Params{PoolSize: 100000, RingSize: 250} }
+
+// DenseParams returns parameters with a high key-share probability
+// (r = 3*sqrt(u), share probability roughly 1-e^-9 > 0.999), suitable for
+// protocol simulations where the secure graph should closely track the
+// radio graph. The paper notes (Section III) that r = c*sqrt(u) yields
+// share probability at least 1-e^{-c^2}.
+func DenseParams() Params { return Params{PoolSize: 10000, RingSize: 300} }
+
+// Validate checks the parameters for basic sanity.
+func (p Params) Validate() error {
+	if p.PoolSize <= 0 {
+		return fmt.Errorf("keydist: pool size must be positive, got %d", p.PoolSize)
+	}
+	if p.RingSize <= 0 || p.RingSize > p.PoolSize {
+		return fmt.Errorf("keydist: ring size %d out of range (pool %d)", p.RingSize, p.PoolSize)
+	}
+	return nil
+}
+
+// Deployment is a concrete key assignment for n nodes (node 0 is the base
+// station, which also carries a ring so it can receive edge-authenticated
+// messages from its radio neighbors). A Deployment is immutable after
+// construction and safe for concurrent reads.
+type Deployment struct {
+	params  Params
+	master  crypto.Key
+	n       int
+	rings   [][]int                   // per-node sorted pool indices
+	ringSet []map[int]bool            // per-node membership
+	holders map[int][]topology.NodeID // pool index -> sorted holder IDs
+	seeds   []crypto.Key              // per-node ring seed (announcing it revokes the ring)
+}
+
+// NewDeployment draws a ring for each of n nodes using rng. The master key
+// seeds the key pool; each node's ring seed is derived from the master and
+// the node ID so the base station can reconstruct or announce it.
+func NewDeployment(n int, params Params, master crypto.Key, rng *crypto.Stream) (*Deployment, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("keydist: need at least one node, got %d", n)
+	}
+	d := &Deployment{
+		params:  params,
+		master:  master,
+		n:       n,
+		rings:   make([][]int, n),
+		ringSet: make([]map[int]bool, n),
+		holders: make(map[int][]topology.NodeID),
+		seeds:   make([]crypto.Key, n),
+	}
+	// The trial randomness is folded into the per-node seed itself, so the
+	// ring is a pure function of its seed: announcing the seed is enough
+	// for every sensor to reconstruct (and ignore) the revoked ring.
+	salt := crypto.DeriveKey(master, "deployment-salt", rng.Uint64())
+	for id := 0; id < n; id++ {
+		d.seeds[id] = crypto.DeriveKey(salt, "ring-seed", uint64(id))
+		ringRNG := crypto.NewStream(d.seeds[id][:])
+		ring := sampleDistinct(params.PoolSize, params.RingSize, ringRNG)
+		d.rings[id] = ring
+		set := make(map[int]bool, len(ring))
+		for _, idx := range ring {
+			set[idx] = true
+			d.holders[idx] = append(d.holders[idx], topology.NodeID(id))
+		}
+		d.ringSet[id] = set
+	}
+	return d, nil
+}
+
+// sampleDistinct draws k distinct integers from [0, u) via Floyd's
+// algorithm and returns them sorted.
+func sampleDistinct(u, k int, rng *crypto.Stream) []int {
+	chosen := make(map[int]bool, k)
+	for j := u - k; j < u; j++ {
+		t := rng.Intn(j + 1)
+		if chosen[t] {
+			chosen[j] = true
+		} else {
+			chosen[t] = true
+		}
+	}
+	out := make([]int, 0, k)
+	for idx := range chosen {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumNodes returns the number of nodes in the deployment.
+func (d *Deployment) NumNodes() int { return d.n }
+
+// Params returns the deployment parameters.
+func (d *Deployment) Params() Params { return d.params }
+
+// SensorKey returns the unique symmetric key the given node shares with
+// the base station (the paper's "sensor key").
+func (d *Deployment) SensorKey(id topology.NodeID) crypto.Key {
+	return crypto.DeriveKey(d.master, "sensor-key", uint64(id))
+}
+
+// PoolKey returns the pool key with the given index.
+func (d *Deployment) PoolKey(index int) crypto.Key {
+	return crypto.DeriveKey(d.master, "pool-key", uint64(index))
+}
+
+// Ring returns the sorted pool indices held by id. The returned slice is
+// shared and must not be modified.
+func (d *Deployment) Ring(id topology.NodeID) []int {
+	if int(id) < 0 || int(id) >= d.n {
+		return nil
+	}
+	return d.rings[id]
+}
+
+// RingSeed returns the seed from which id's ring was derived. Announcing
+// this seed revokes the whole ring (Section VI-A).
+func (d *Deployment) RingSeed(id topology.NodeID) crypto.Key { return d.seeds[id] }
+
+// Holds reports whether id's ring contains the pool key with this index.
+func (d *Deployment) Holds(id topology.NodeID, index int) bool {
+	if int(id) < 0 || int(id) >= d.n {
+		return false
+	}
+	return d.ringSet[id][index]
+}
+
+// Holders returns the sorted IDs of all nodes holding the pool key with
+// the given index. The returned slice is shared and must not be modified.
+// The base station uses this set in the Figure 6 binary search.
+func (d *Deployment) Holders(index int) []topology.NodeID {
+	return d.holders[index]
+}
+
+// SharedIndices returns the sorted pool indices common to the rings of a
+// and b — their candidate edge keys.
+func (d *Deployment) SharedIndices(a, b topology.NodeID) []int {
+	ra, rb := d.Ring(a), d.Ring(b)
+	var out []int
+	i, j := 0, 0
+	for i < len(ra) && j < len(rb) {
+		switch {
+		case ra[i] == rb[j]:
+			out = append(out, ra[i])
+			i++
+			j++
+		case ra[i] < rb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// EdgeKeyIndex returns the pool index of the edge key a and b use: the
+// lowest-indexed common key not filtered out by revoked (which may be
+// nil). The second result reports whether a usable edge key exists. Both
+// endpoints compute the same answer, so no negotiation is needed.
+func (d *Deployment) EdgeKeyIndex(a, b topology.NodeID, revoked func(index int) bool) (int, bool) {
+	for _, idx := range d.SharedIndices(a, b) {
+		if revoked != nil && revoked(idx) {
+			continue
+		}
+		return idx, true
+	}
+	return 0, false
+}
+
+// SecureGraph returns the subgraph of physical containing only edges whose
+// endpoints share at least one non-revoked pool key. VMAT's protocols run
+// over this graph: without a common edge key two radio neighbors cannot
+// authenticate each other (Section III).
+func (d *Deployment) SecureGraph(physical *topology.Graph, revoked func(index int) bool) *topology.Graph {
+	return physical.Subgraph(func(a, b topology.NodeID) bool {
+		_, ok := d.EdgeKeyIndex(a, b, revoked)
+		return ok
+	})
+}
+
+// OverlapWithUnion returns, for the given node, how many of its ring keys
+// appear in the union set. Figure 7's mis-revocation analysis asks, for
+// each honest sensor, how many of its keys the adversary's combined rings
+// cover.
+func (d *Deployment) OverlapWithUnion(id topology.NodeID, union map[int]bool) int {
+	count := 0
+	for _, idx := range d.Ring(id) {
+		if union[idx] {
+			count++
+		}
+	}
+	return count
+}
+
+// SuggestTheta returns the smallest whole-sensor revocation threshold
+// theta such that the expected number of honest sensors mis-revoked — out
+// of n sensors, against an adversary controlling f rings — stays below
+// maxExpected. The ring overlap of an honest sensor with the adversary's
+// combined key material is approximately Poisson with mean
+// r * min(f*r, u) / u, so the threshold is the Poisson tail's crossing
+// point. This is the calibration behind the paper's Figure 7 readings
+// (theta around 7 for f=1, around 27 for f=20 at r=250, u=100,000); for
+// denser rings the threshold must grow with the innocent overlap mean.
+func SuggestTheta(p Params, f, n int, maxExpected float64) int {
+	if maxExpected <= 0 {
+		maxExpected = 0.1
+	}
+	adversaryKeys := float64(f * p.RingSize)
+	if adversaryKeys > float64(p.PoolSize) {
+		adversaryKeys = float64(p.PoolSize)
+	}
+	lambda := float64(p.RingSize) * adversaryKeys / float64(p.PoolSize)
+	// Walk the Poisson pmf upward accumulating the tail from above.
+	pmf := math.Exp(-lambda)
+	cdf := pmf
+	for theta := 1; theta <= p.RingSize; theta++ {
+		tail := 1 - cdf // P(X >= theta)
+		if float64(n)*tail <= maxExpected {
+			return theta
+		}
+		pmf *= lambda / float64(theta)
+		cdf += pmf
+	}
+	return p.RingSize
+}
+
+// UnionOfRings returns the set union of the rings of the given nodes: the
+// full set of edge keys an adversary controlling those nodes can use,
+// including for framing honest sensors (Section VI-C).
+func (d *Deployment) UnionOfRings(ids []topology.NodeID) map[int]bool {
+	union := make(map[int]bool)
+	for _, id := range ids {
+		for _, idx := range d.Ring(id) {
+			union[idx] = true
+		}
+	}
+	return union
+}

@@ -1,0 +1,129 @@
+package keydist
+
+import (
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Registry tracks revocation state for a deployment: individually revoked
+// pool keys and wholly revoked sensors. It implements the threshold rule
+// of Section VI-C: once at least Theta of a sensor's ring keys have been
+// revoked, the whole sensor is revoked by announcing its ring seed, which
+// in turn revokes every key in its ring. Because those keys may push other
+// sensors past the threshold, revocation cascades; the cascade is exactly
+// what makes mis-revocation of honest sensors possible when the adversary
+// frames them, which Figure 7 quantifies.
+//
+// A Theta of 0 disables threshold-based sensor revocation (pure sequential
+// edge-key revocation, the baseline the paper's ">90% fewer individually
+// revoked keys" claim is measured against).
+//
+// Registry is not safe for concurrent mutation.
+type Registry struct {
+	deployment *Deployment
+	theta      int
+
+	revokedKeys  map[int]bool
+	revokedNodes map[topology.NodeID]bool
+	counts       map[topology.NodeID]int // revoked keys per node ring
+
+	keyRevocations int // number of individual key-revocation announcements
+}
+
+// NewRegistry creates an empty registry with the given threshold.
+func NewRegistry(d *Deployment, theta int) *Registry {
+	return &Registry{
+		deployment:   d,
+		theta:        theta,
+		revokedKeys:  make(map[int]bool),
+		revokedNodes: make(map[topology.NodeID]bool),
+		counts:       make(map[topology.NodeID]int),
+	}
+}
+
+// Theta returns the sensor-revocation threshold.
+func (r *Registry) Theta() int { return r.theta }
+
+// KeyRevoked reports whether the pool key with this index is revoked.
+func (r *Registry) KeyRevoked(index int) bool { return r.revokedKeys[index] }
+
+// NodeRevoked reports whether the node has been wholly revoked.
+func (r *Registry) NodeRevoked(id topology.NodeID) bool { return r.revokedNodes[id] }
+
+// RevokedKeyCount returns the number of distinct revoked pool keys.
+func (r *Registry) RevokedKeyCount() int { return len(r.revokedKeys) }
+
+// KeyRevocationAnnouncements returns how many individual key revocations
+// were announced (excluding keys revoked wholesale via a ring seed). This
+// is the cost metric for the sequential-vs-threshold comparison.
+func (r *Registry) KeyRevocationAnnouncements() int { return r.keyRevocations }
+
+// RevokedNodes returns the sorted list of wholly revoked nodes.
+func (r *Registry) RevokedNodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(r.revokedNodes))
+	for id := range r.revokedNodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RevokedCountFor returns how many of id's ring keys are revoked.
+func (r *Registry) RevokedCountFor(id topology.NodeID) int { return r.counts[id] }
+
+// RevokeKey revokes a single pool key (the base station announces its
+// index). It returns the nodes newly revoked by the threshold cascade, in
+// the order they crossed the threshold.
+func (r *Registry) RevokeKey(index int) []topology.NodeID {
+	if r.revokedKeys[index] {
+		return nil
+	}
+	r.keyRevocations++
+	return r.revokeAll(r.markKey(index))
+}
+
+// RevokeNode wholly revokes a node (the base station announces its ring
+// seed), revoking every key in its ring. It returns all nodes newly
+// revoked, starting with id itself, including any cascade victims.
+func (r *Registry) RevokeNode(id topology.NodeID) []topology.NodeID {
+	return r.revokeAll([]topology.NodeID{id})
+}
+
+// markKey marks one key revoked and returns nodes that just crossed the
+// threshold.
+func (r *Registry) markKey(index int) []topology.NodeID {
+	if r.revokedKeys[index] {
+		return nil
+	}
+	r.revokedKeys[index] = true
+	var crossed []topology.NodeID
+	for _, holder := range r.deployment.Holders(index) {
+		r.counts[holder]++
+		if r.theta > 0 && !r.revokedNodes[holder] && r.counts[holder] == r.theta {
+			crossed = append(crossed, holder)
+		}
+	}
+	return crossed
+}
+
+// revokeAll wholly revokes each pending node, marking its ring keys
+// revoked and following threshold crossings transitively. The base
+// station is never revoked (it is trusted and its "ring" keys stay valid
+// for its honest peers).
+func (r *Registry) revokeAll(pending []topology.NodeID) []topology.NodeID {
+	var revoked []topology.NodeID
+	for len(pending) > 0 {
+		id := pending[0]
+		pending = pending[1:]
+		if id == topology.BaseStation || r.revokedNodes[id] {
+			continue
+		}
+		r.revokedNodes[id] = true
+		revoked = append(revoked, id)
+		for _, idx := range r.deployment.Ring(id) {
+			pending = append(pending, r.markKey(idx)...)
+		}
+	}
+	return revoked
+}

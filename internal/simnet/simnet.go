@@ -1,0 +1,380 @@
+// Package simnet is a slot-synchronous message-passing simulator for
+// multi-hop sensor networks. It is the substrate every VMAT phase runs on.
+//
+// The paper's protocols are interval-slotted by construction: tree
+// formation, aggregation, and the SOF confirmation flood all divide time
+// into L intervals and prescribe, per interval, what each sensor sends
+// (Sections IV-A through IV-C). A slot-faithful simulator therefore
+// preserves every property the paper proves — flooding-round counts,
+// audit-trail lengths, per-sensor communication complexity — without
+// modelling radio-level detail. Clock skew is absorbed exactly as in the
+// paper: the bounded-error guard band reduces to "transmit mid-interval",
+// an additive constant the evaluation never depends on.
+//
+// Within a slot, every node's step function runs concurrently (one
+// goroutine per node, joined at a barrier), matching the physical reality
+// that sensors act independently; determinism is preserved by collecting
+// outgoing messages at the barrier in node order and sorting inboxes with
+// a configurable delivery order. Experiments install an adversary-favoring
+// order to model worst-case message timing.
+//
+// Message delivery takes one slot. Messages are delivered only over edges
+// of the supplied graph (optionally restricted by a live link filter, used
+// for key revocation) or over explicitly configured out-of-band links
+// (used for wormhole collusion between malicious sensors).
+package simnet
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/crypto"
+	"repro/internal/topology"
+)
+
+// Payload is any message body. WireSize returns the payload's size in
+// bytes as transmitted over the radio, used for the paper's
+// communication-complexity accounting (total bits sent and received per
+// sensor, Section VII).
+type Payload interface {
+	WireSize() int
+}
+
+// Message is a payload in flight or delivered.
+type Message struct {
+	// From is the transmitting node. Receivers may use it only as "which
+	// radio link delivered this" — trust derives from MACs, not From.
+	From topology.NodeID
+	// To is the receiving node.
+	To topology.NodeID
+	// Slot is the slot in which the message is delivered.
+	Slot int
+	// Payload is the message body.
+	Payload Payload
+
+	seq uint64 // global send order, for deterministic default sorting
+}
+
+// Orderer rearranges a node's inbox for one slot, in place. The default
+// order is (From, send sequence). Experiments may install an order that
+// places adversary-originated messages first to model worst-case arrival
+// timing.
+type Orderer func(inbox []Message)
+
+// Config configures a Network.
+type Config struct {
+	// MaxSendsPerSlot caps how many messages one node can transmit in a
+	// single slot; sends beyond the cap are dropped and counted. Zero
+	// means unlimited. A finite cap models the limited forwarding
+	// capacity that choking attacks exhaust (Section III).
+	MaxSendsPerSlot int
+
+	// Order, if non-nil, rearranges each node's inbox every slot.
+	Order Orderer
+
+	// LinkFilter, if non-nil, can veto delivery over a graph edge. It is
+	// consulted live each slot, so a closure over revocation state makes
+	// revoked edge keys take effect immediately.
+	LinkFilter func(from, to topology.NodeID) bool
+
+	// ExtraLink, if non-nil, allows delivery between nodes with no graph
+	// edge. VMAT's attack model lets colluding malicious sensors
+	// communicate out of band (e.g. the wormhole of Figure 2(c)).
+	ExtraLink func(from, to topology.NodeID) bool
+
+	// Sequential disables the per-slot goroutine fan-out and runs node
+	// steps in node order on the calling goroutine. Useful for debugging.
+	Sequential bool
+
+	// DropRate, with DropRNG, drops each delivered message independently
+	// with the given probability. The paper assumes reliable links after
+	// retransmission; this models the residual loss that motivates the
+	// multi-path aggregation of Section IV-D. Zero disables losses.
+	DropRate float64
+	// DropRNG drives the loss coin flips; required when DropRate > 0.
+	DropRNG *crypto.Stream
+}
+
+// Stats holds per-node and aggregate accounting for one Network.
+type Stats struct {
+	BytesSent        []int64
+	BytesReceived    []int64
+	MessagesSent     []int64
+	MessagesReceived []int64
+	DroppedCapacity  int64
+	DroppedNoLink    int64
+	DroppedLoss      int64
+	Slots            int
+}
+
+// TotalBytes returns the total bytes sent plus received across all nodes
+// (the paper's communication complexity summed over sensors).
+func (s *Stats) TotalBytes() int64 {
+	var total int64
+	for i := range s.BytesSent {
+		total += s.BytesSent[i] + s.BytesReceived[i]
+	}
+	return total
+}
+
+// NodeBytes returns bytes sent plus received for one node.
+func (s *Stats) NodeBytes(id topology.NodeID) int64 {
+	return s.BytesSent[id] + s.BytesReceived[id]
+}
+
+// MaxNodeBytes returns the maximum per-node communication complexity.
+func (s *Stats) MaxNodeBytes() int64 {
+	var max int64
+	for i := range s.BytesSent {
+		if b := s.BytesSent[i] + s.BytesReceived[i]; b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// Network is a slot-synchronous simulated network over a fixed node set.
+// It is not safe for concurrent use; a single Run drives all nodes.
+type Network struct {
+	graph   *topology.Graph
+	cfg     Config
+	pending []Message
+	slot    int
+	seq     uint64
+	stats   Stats
+	dropMu  sync.Mutex // guards the drop counters, hit from step goroutines
+}
+
+// New creates a network over the given graph.
+func New(g *topology.Graph, cfg Config) *Network {
+	n := g.NumNodes()
+	return &Network{
+		graph: g,
+		cfg:   cfg,
+		stats: Stats{
+			BytesSent:        make([]int64, n),
+			BytesReceived:    make([]int64, n),
+			MessagesSent:     make([]int64, n),
+			MessagesReceived: make([]int64, n),
+		},
+	}
+}
+
+// Graph returns the underlying physical graph.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// Stats returns a snapshot copy of the accounting counters.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	s.BytesSent = append([]int64(nil), n.stats.BytesSent...)
+	s.BytesReceived = append([]int64(nil), n.stats.BytesReceived...)
+	s.MessagesSent = append([]int64(nil), n.stats.MessagesSent...)
+	s.MessagesReceived = append([]int64(nil), n.stats.MessagesReceived...)
+	return s
+}
+
+// Slot returns the index of the next slot to execute.
+func (n *Network) Slot() int { return n.slot }
+
+// Pending returns the number of messages awaiting delivery next slot.
+func (n *Network) Pending() int { return len(n.pending) }
+
+// StepFunc is one node's behavior for one slot: it receives the node's
+// inbox for the slot and sends messages through the context. Step
+// functions for different nodes run concurrently; a step function must
+// only touch state owned by its node (or synchronize explicitly).
+type StepFunc func(ctx *Context)
+
+// Context is handed to a StepFunc; it carries the node identity, the slot
+// inbox, and buffers outgoing sends until the slot barrier.
+type Context struct {
+	net   *Network
+	node  topology.NodeID
+	slot  int
+	Inbox []Message
+	out   []Message
+	sends int
+}
+
+// Node returns the node this context belongs to.
+func (c *Context) Node() topology.NodeID { return c.node }
+
+// Slot returns the current slot index.
+func (c *Context) Slot() int { return c.slot }
+
+// Neighbors returns the node's graph neighbors (shared slice; do not
+// modify).
+func (c *Context) Neighbors() []topology.NodeID { return c.net.graph.Neighbors(c.node) }
+
+// Send transmits payload to a single node, to be delivered next slot. It
+// returns false if the node's per-slot send capacity is exhausted or there
+// is no usable link; such messages are dropped and counted.
+func (c *Context) Send(to topology.NodeID, p Payload) bool {
+	if limit := c.net.cfg.MaxSendsPerSlot; limit > 0 && c.sends >= limit {
+		c.net.noteCapacityDrop()
+		return false
+	}
+	if !c.net.linkAllowed(c.node, to) {
+		c.net.noteLinkDrop()
+		return false
+	}
+	c.sends++
+	c.out = append(c.out, Message{From: c.node, To: to, Payload: p})
+	return true
+}
+
+// Broadcast transmits payload to every neighbor, as individual sends (the
+// paper notes a sensor must send distinct edge MACs to distinct neighbors,
+// so a local broadcast is d unicasts). It returns how many sends went out.
+func (c *Context) Broadcast(p Payload) int {
+	sent := 0
+	for _, nb := range c.Neighbors() {
+		if c.Send(nb, p) {
+			sent++
+		}
+	}
+	return sent
+}
+
+func (n *Network) linkAllowed(from, to topology.NodeID) bool {
+	if from == to {
+		return false
+	}
+	if n.graph.HasEdge(from, to) {
+		if n.cfg.LinkFilter == nil || n.cfg.LinkFilter(from, to) {
+			return true
+		}
+	}
+	return n.cfg.ExtraLink != nil && n.cfg.ExtraLink(from, to)
+}
+
+func (n *Network) noteCapacityDrop() {
+	n.dropMu.Lock()
+	n.stats.DroppedCapacity++
+	n.dropMu.Unlock()
+}
+
+func (n *Network) noteLinkDrop() {
+	n.dropMu.Lock()
+	n.stats.DroppedNoLink++
+	n.dropMu.Unlock()
+}
+
+// RunSlots executes exactly count slots, invoking step once per node per
+// slot.
+func (n *Network) RunSlots(count int, step StepFunc) {
+	for i := 0; i < count; i++ {
+		n.runOneSlot(step)
+	}
+}
+
+// RunUntilQuiescent executes slots until a slot begins with no messages in
+// flight (but always runs at least one slot, so initiators can act), or
+// until maxSlots have run. It returns the number of slots executed.
+// Protocols whose non-initial behavior is purely reactive (such as the
+// keyed predicate test's reply relay) terminate as soon as the network
+// drains, which keeps long binary-search pinpointing runs cheap.
+func (n *Network) RunUntilQuiescent(maxSlots int, step StepFunc) int {
+	ran := 0
+	for ran < maxSlots {
+		if ran > 0 && len(n.pending) == 0 {
+			break
+		}
+		n.runOneSlot(step)
+		ran++
+	}
+	return ran
+}
+
+func (n *Network) runOneSlot(step StepFunc) {
+	numNodes := n.graph.NumNodes()
+
+	// Deliver pending messages into per-node inboxes.
+	inboxes := make([][]Message, numNodes)
+	for _, m := range n.pending {
+		if n.cfg.DropRate > 0 && n.cfg.DropRNG != nil && n.cfg.DropRNG.Float64() < n.cfg.DropRate {
+			n.stats.DroppedLoss++
+			continue
+		}
+		m.Slot = n.slot
+		inboxes[m.To] = append(inboxes[m.To], m)
+		n.stats.BytesReceived[m.To] += int64(m.Payload.WireSize())
+		n.stats.MessagesReceived[m.To]++
+	}
+	n.pending = n.pending[:0]
+	for id := range inboxes {
+		box := inboxes[id]
+		sort.Slice(box, func(i, j int) bool {
+			if box[i].From != box[j].From {
+				return box[i].From < box[j].From
+			}
+			return box[i].seq < box[j].seq
+		})
+		if n.cfg.Order != nil {
+			n.cfg.Order(box)
+		}
+	}
+
+	// Run every node's step, concurrently unless configured otherwise.
+	ctxs := make([]*Context, numNodes)
+	for id := 0; id < numNodes; id++ {
+		ctxs[id] = &Context{net: n, node: topology.NodeID(id), slot: n.slot, Inbox: inboxes[id]}
+	}
+	if n.cfg.Sequential || numNodes == 1 {
+		for _, ctx := range ctxs {
+			step(ctx)
+		}
+	} else {
+		var wg sync.WaitGroup
+		workers := runtime.GOMAXPROCS(0)
+		if workers > numNodes {
+			workers = numNodes
+		}
+		stride := (numNodes + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * stride
+			hi := lo + stride
+			if hi > numNodes {
+				hi = numNodes
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(ctxs []*Context) {
+				defer wg.Done()
+				for _, ctx := range ctxs {
+					step(ctx)
+				}
+			}(ctxs[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	// Merge outgoing messages in node order for determinism, stamping
+	// sequence numbers and sender-side accounting.
+	for _, ctx := range ctxs {
+		for _, m := range ctx.out {
+			m.seq = n.seq
+			n.seq++
+			n.stats.BytesSent[m.From] += int64(m.Payload.WireSize())
+			n.stats.MessagesSent[m.From]++
+			n.pending = append(n.pending, m)
+		}
+	}
+	n.slot++
+	n.stats.Slots++
+}
+
+// MaliciousFirstOrder returns an Orderer that moves messages originated by
+// malicious nodes to the front of each inbox, modelling the worst case
+// where the adversary's transmissions always beat honest ones within a
+// slot (the "first veto wins" races of the SOF protocol).
+func MaliciousFirstOrder(malicious map[topology.NodeID]bool) Orderer {
+	return func(inbox []Message) {
+		sort.SliceStable(inbox, func(i, j int) bool {
+			return malicious[inbox[i].From] && !malicious[inbox[j].From]
+		})
+	}
+}
