@@ -1,0 +1,41 @@
+GO ?= go
+BENCH_JSON ?= BENCH_PR1.json
+
+.PHONY: all build test race vet bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Runs every testing.B wrapper once with -benchmem and records the
+# results as machine-readable JSON (one object per benchmark with
+# ns/op, B/op, allocs/op) in $(BENCH_JSON). The raw go output is kept
+# alongside in $(BENCH_JSON:.json=.txt).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 1 . | tee $(BENCH_JSON:.json=.txt)
+	awk 'BEGIN { print "[" } \
+	  /^Benchmark/ { \
+	    if (seen++) printf ",\n"; \
+	    name = $$1; sub(/-[0-9]+$$/, "", name); \
+	    printf "  {\"name\": \"%s\", \"iterations\": %s", name, $$2; \
+	    for (i = 3; i < NF; i += 2) { \
+	      unit = $$(i + 1); gsub(/\//, "_per_", unit); \
+	      printf ", \"%s\": %s", unit, $$i; \
+	    } \
+	    printf "}"; \
+	  } \
+	  END { print "\n]" }' $(BENCH_JSON:.json=.txt) > $(BENCH_JSON)
+
+clean:
+	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt)
+	$(GO) clean ./...

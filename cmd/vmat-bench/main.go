@@ -34,22 +34,23 @@ func run(args []string, w io.Writer) error {
 	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|all")
 	quick := fs.Bool("quick", false, "reduced scale (fewer trials, smaller networks)")
 	seed := fs.Uint64("seed", 2011, "simulation seed")
+	workers := fs.Int("workers", 0, "parallel trial workers (0 = all cores); results are identical for any value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	runners := map[string]func() error{
-		"fig7":     func() error { return runFig7(w, *quick, *seed) },
-		"fig8":     func() error { return runFig8(w, *quick, *seed) },
-		"comm":     func() error { return runComm(w, *quick, *seed) },
-		"rounds":   func() error { return runRounds(w, *quick, *seed) },
-		"pinpoint": func() error { return runPinpoint(w, *quick, *seed) },
-		"campaign": func() error { return runCampaign(w, *quick, *seed) },
-		"wormhole": func() error { return runWormhole(w, *quick, *seed) },
-		"choking":  func() error { return runChoking(w, *quick, *seed) },
-		"loss":     func() error { return runLoss(w, *quick, *seed) },
-		"avail":    func() error { return runAvailability(w, *quick, *seed) },
-		"msweep":   func() error { return runMSweep(w, *quick, *seed) },
+		"fig7":     func() error { return runFig7(w, *quick, *seed, *workers) },
+		"fig8":     func() error { return runFig8(w, *quick, *seed, *workers) },
+		"comm":     func() error { return runComm(w, *quick, *seed, *workers) },
+		"rounds":   func() error { return runRounds(w, *quick, *seed, *workers) },
+		"pinpoint": func() error { return runPinpoint(w, *quick, *seed, *workers) },
+		"campaign": func() error { return runCampaign(w, *quick, *seed, *workers) },
+		"wormhole": func() error { return runWormhole(w, *quick, *seed, *workers) },
+		"choking":  func() error { return runChoking(w, *quick, *seed, *workers) },
+		"loss":     func() error { return runLoss(w, *quick, *seed, *workers) },
+		"avail":    func() error { return runAvailability(w, *quick, *seed, *workers) },
+		"msweep":   func() error { return runMSweep(w, *quick, *seed, *workers) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail"} {
@@ -67,9 +68,10 @@ func run(args []string, w io.Writer) error {
 	return r()
 }
 
-func runFig7(w io.Writer, quick bool, seed uint64) error {
+func runFig7(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultFig7()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.NetworkSizes = []int{1000}
 		cfg.Trials = 10
@@ -81,9 +83,10 @@ func runFig7(w io.Writer, quick bool, seed uint64) error {
 	return experiments.Fig7Table(rows).Write(w)
 }
 
-func runFig8(w io.Writer, quick bool, seed uint64) error {
+func runFig8(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultFig8()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.Trials = 50
 		cfg.Counts = []int{10, 100, 1000}
@@ -92,9 +95,10 @@ func runFig8(w io.Writer, quick bool, seed uint64) error {
 	return experiments.Fig8Table(rows, cfg.Synopses).Write(w)
 }
 
-func runMSweep(w io.Writer, quick bool, seed uint64) error {
+func runMSweep(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultMSweep()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.Trials = 40
 	}
@@ -102,9 +106,10 @@ func runMSweep(w io.Writer, quick bool, seed uint64) error {
 	return experiments.MSweepTable(rows, cfg.Count).Write(w)
 }
 
-func runComm(w io.Writer, quick bool, seed uint64) error {
+func runComm(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultComm()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.NetworkSizes = []int{100, 1000}
 	}
@@ -115,9 +120,10 @@ func runComm(w io.Writer, quick bool, seed uint64) error {
 	return experiments.CommTable(rows).Write(w)
 }
 
-func runRounds(w io.Writer, quick bool, seed uint64) error {
+func runRounds(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultRounds()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.NetworkSizes = []int{50, 100, 400}
 	}
@@ -128,9 +134,10 @@ func runRounds(w io.Writer, quick bool, seed uint64) error {
 	return experiments.RoundsTable(rows).Write(w)
 }
 
-func runPinpoint(w io.Writer, quick bool, seed uint64) error {
+func runPinpoint(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultPinpoint()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.NetworkSizes = []int{50}
 		cfg.Trials = 4
@@ -142,9 +149,10 @@ func runPinpoint(w io.Writer, quick bool, seed uint64) error {
 	return experiments.PinpointTable(rows).Write(w)
 }
 
-func runCampaign(w io.Writer, quick bool, seed uint64) error {
+func runCampaign(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultCampaign()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.Thetas = []int{0, 7}
 		cfg.Trials = 2
@@ -157,9 +165,10 @@ func runCampaign(w io.Writer, quick bool, seed uint64) error {
 	return experiments.CampaignTable(rows, ringSize).Write(w)
 }
 
-func runWormhole(w io.Writer, quick bool, seed uint64) error {
+func runWormhole(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultWormhole()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.NetworkSizes = []int{60}
 		cfg.Trials = 4
@@ -171,9 +180,10 @@ func runWormhole(w io.Writer, quick bool, seed uint64) error {
 	return experiments.WormholeTable(rows).Write(w)
 }
 
-func runLoss(w io.Writer, quick bool, seed uint64) error {
+func runLoss(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultLoss()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.N = 60
 		cfg.Trials = 5
@@ -185,9 +195,10 @@ func runLoss(w io.Writer, quick bool, seed uint64) error {
 	return experiments.LossTable(rows).Write(w)
 }
 
-func runAvailability(w io.Writer, quick bool, seed uint64) error {
+func runAvailability(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultAvailability()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.Trials = 2
 		cfg.Executions = 20
@@ -199,9 +210,10 @@ func runAvailability(w io.Writer, quick bool, seed uint64) error {
 	return experiments.AvailabilityTable(rows).Write(w)
 }
 
-func runChoking(w io.Writer, quick bool, seed uint64) error {
+func runChoking(w io.Writer, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultChoking()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if quick {
 		cfg.N = 50
 		cfg.Trials = 5

@@ -60,3 +60,11 @@ func TestBenchSeedFlag(t *testing.T) {
 		t.Fatal("same seed produced different tables")
 	}
 }
+
+func TestBenchWorkersFlagInvisibleInOutput(t *testing.T) {
+	a := runBench(t, "-exp", "choking", "-quick", "-workers", "1")
+	b := runBench(t, "-exp", "choking", "-quick", "-workers", "8")
+	if a != b {
+		t.Fatalf("worker count changed the table:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -46,6 +46,7 @@ func run(args []string, w io.Writer) error {
 	malicious := fs.Int("malicious", 1, "number of malicious sensors (ignored for -attack none)")
 	multipath := fs.Bool("multipath", false, "use ring-based multi-path aggregation")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	workers := fs.Int("workers", 0, "per-slot step goroutines (0 = all cores); results are identical for any value")
 	verbose := fs.Bool("v", false, "print the execution event trace")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +98,7 @@ func run(args []string, w io.Writer) error {
 		Multipath:  *multipath,
 		LossRate:   *loss,
 		Seed:       *seed,
+		Workers:    *workers,
 		Readings: func(id topology.NodeID, _ int) float64 {
 			if id == topology.BaseStation {
 				return core.Inf()

@@ -118,3 +118,11 @@ func TestSimDeterministicForSeed(t *testing.T) {
 		t.Fatal("same seed produced different output")
 	}
 }
+
+func TestSimWorkersFlagInvisibleInOutput(t *testing.T) {
+	a := runCLI(t, "-n", "30", "-attack", "drop", "-seed", "9", "-workers", "1")
+	b := runCLI(t, "-n", "30", "-attack", "drop", "-seed", "9", "-workers", "8")
+	if a != b {
+		t.Fatal("worker count changed the execution output")
+	}
+}

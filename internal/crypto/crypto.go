@@ -46,20 +46,82 @@ func (k Key) String() string { return fmt.Sprintf("key:%x", k[:4]) }
 // String renders the MAC in hex.
 func (m MAC) String() string { return fmt.Sprintf("mac:%x", m[:]) }
 
+// blockSize is the SHA-256 block size, the padding width of HMAC.
+const blockSize = 64
+
+// stackLimit is the largest assembled message the MAC/hash fast paths
+// keep on the stack. Protocol messages (records, vetoes, envelopes for
+// MIN queries) fit comfortably; only multi-kilobyte synopsis aggregates
+// take the streaming fallback.
+const stackLimit = 512
+
+// appendLenPrefixed appends each part to b preceded by its 64-bit length,
+// the domain-separating encoding shared by ComputeMAC and HashOf.
+func appendLenPrefixed(b []byte, parts [][]byte) []byte {
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		b = append(b, lenBuf[:]...)
+		b = append(b, p...)
+	}
+	return b
+}
+
+// hmacFinish computes HMAC-SHA256 over a message assembled in buf, whose
+// first blockSize bytes are reserved for the inner padding (they are
+// overwritten here). Building the padded block in the caller's buffer
+// keeps the whole computation allocation-free: sha256.Sum256 is a plain
+// function, so nothing escapes to the heap.
+func hmacFinish(k Key, buf []byte) [sha256.Size]byte {
+	for i := 0; i < blockSize; i++ {
+		var kb byte
+		if i < KeySize {
+			kb = k[i]
+		}
+		buf[i] = kb ^ 0x36
+	}
+	inner := sha256.Sum256(buf)
+	var outer [blockSize + sha256.Size]byte
+	for i := 0; i < blockSize; i++ {
+		var kb byte
+		if i < KeySize {
+			kb = k[i]
+		}
+		outer[i] = kb ^ 0x5c
+	}
+	copy(outer[blockSize:], inner[:])
+	return sha256.Sum256(outer[:])
+}
+
 // ComputeMAC computes the truncated HMAC-SHA256 of the concatenation of
 // parts under key k. Parts are length-prefixed before concatenation so
 // that distinct part boundaries can never collide (MAC(a||b) differs from
 // MAC(ab) when split differently).
 func ComputeMAC(k Key, parts ...[]byte) MAC {
-	h := hmac.New(sha256.New, k[:])
+	total := 0
+	for _, p := range parts {
+		total += 8 + len(p)
+	}
+	var m MAC
+	if total <= stackLimit {
+		var buf [blockSize + stackLimit]byte
+		b := appendLenPrefixed(buf[:blockSize], parts)
+		sum := hmacFinish(k, b)
+		copy(m[:], sum[:])
+		return m
+	}
+	// The key is copied into a branch-local so the interface calls below
+	// cannot force k (and with it the fast path) onto the heap.
+	kc := k
+	h := hmac.New(sha256.New, kc[:])
 	var lenBuf [8]byte
 	for _, p := range parts {
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
 		h.Write(lenBuf[:])
 		h.Write(p)
 	}
-	var m MAC
-	copy(m[:], h.Sum(nil))
+	var sum [sha256.Size]byte
+	copy(m[:], h.Sum(sum[:0]))
 	return m
 }
 
@@ -73,6 +135,15 @@ func VerifyMAC(k Key, mac MAC, parts ...[]byte) bool {
 // HashOf computes the publicly known one-way hash H() over the
 // concatenation of parts, with the same length-prefixing as ComputeMAC.
 func HashOf(parts ...[]byte) Hash {
+	total := 0
+	for _, p := range parts {
+		total += 8 + len(p)
+	}
+	if total <= stackLimit {
+		var buf [stackLimit]byte
+		b := appendLenPrefixed(buf[:0], parts)
+		return Hash(sha256.Sum256(b))
+	}
 	h := sha256.New()
 	var lenBuf [8]byte
 	for _, p := range parts {
@@ -81,7 +152,7 @@ func HashOf(parts ...[]byte) Hash {
 		h.Write(p)
 	}
 	var out Hash
-	copy(out[:], h.Sum(nil))
+	copy(out[:], h.Sum(out[:0]))
 	return out
 }
 
@@ -96,13 +167,25 @@ func HashMAC(mac MAC) Hash { return HashOf(mac[:]) }
 // that a sensor's ring can be revoked wholesale by announcing "the
 // associated random seed used for the selection" (Section VI-A).
 func DeriveKey(master Key, label string, index uint64) Key {
+	var k Key
+	if len(label)+8 <= stackLimit {
+		var buf [blockSize + stackLimit]byte
+		b := append(buf[:blockSize], label...)
+		var idx [8]byte
+		binary.BigEndian.PutUint64(idx[:], index)
+		b = append(b, idx[:]...)
+		sum := hmacFinish(master, b)
+		copy(k[:], sum[:])
+		return k
+	}
+	mc := master
+	h := hmac.New(sha256.New, mc[:])
+	h.Write([]byte(label))
 	var idx [8]byte
 	binary.BigEndian.PutUint64(idx[:], index)
-	h := hmac.New(sha256.New, master[:])
-	h.Write([]byte(label))
 	h.Write(idx[:])
-	var k Key
-	copy(k[:], h.Sum(nil))
+	var sum [sha256.Size]byte
+	copy(k[:], h.Sum(sum[:0]))
 	return k
 }
 

@@ -1,6 +1,9 @@
 package crypto
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 )
@@ -242,5 +245,92 @@ func TestEncodingHelpers(t *testing.T) {
 	}
 	if string(Float64(1.0)) == string(Float64(1.5)) {
 		t.Fatal("Float64 encodings collide")
+	}
+}
+
+// refMAC is the straightforward crypto/hmac implementation ComputeMAC's
+// stack fast path must match bit for bit, across the stack/streaming
+// boundary.
+func refMAC(k Key, parts ...[]byte) MAC {
+	h := hmac.New(sha256.New, k[:])
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write(p)
+	}
+	var m MAC
+	copy(m[:], h.Sum(nil))
+	return m
+}
+
+func TestComputeMACMatchesHMACReference(t *testing.T) {
+	k := KeyFromUint64(42)
+	sizes := []int{0, 1, 8, 63, 64, 65, 200, stackLimit - 8, stackLimit - 7, 1000, 4096}
+	for _, size := range sizes {
+		msg := make([]byte, size)
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		if got, want := ComputeMAC(k, msg), refMAC(k, msg); got != want {
+			t.Fatalf("size %d: ComputeMAC %v != reference %v", size, got, want)
+		}
+		if got, want := ComputeMAC(k, msg, msg), refMAC(k, msg, msg); got != want {
+			t.Fatalf("size %d (two parts): ComputeMAC %v != reference %v", size, got, want)
+		}
+	}
+	if got, want := ComputeMAC(k), refMAC(k); got != want {
+		t.Fatalf("no parts: ComputeMAC %v != reference %v", got, want)
+	}
+}
+
+func TestHashOfMatchesStreamingReference(t *testing.T) {
+	for _, size := range []int{0, 13, stackLimit - 8, stackLimit, 2048} {
+		msg := make([]byte, size)
+		for i := range msg {
+			msg[i] = byte(i)
+		}
+		h := sha256.New()
+		var lenBuf [8]byte
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(msg)))
+		h.Write(lenBuf[:])
+		h.Write(msg)
+		var want Hash
+		copy(want[:], h.Sum(nil))
+		if got := HashOf(msg); got != want {
+			t.Fatalf("size %d: HashOf %v != reference %v", size, got, want)
+		}
+	}
+}
+
+func TestDeriveKeyMatchesHMACReference(t *testing.T) {
+	master := KeyFromUint64(9)
+	for _, label := range []string{"", "pool-key", "a-much-longer-derivation-label-for-boundary-checks"} {
+		for _, idx := range []uint64{0, 1, 1 << 40} {
+			h := hmac.New(sha256.New, master[:])
+			h.Write([]byte(label))
+			var ib [8]byte
+			binary.BigEndian.PutUint64(ib[:], idx)
+			h.Write(ib[:])
+			var want Key
+			copy(want[:], h.Sum(nil))
+			if got := DeriveKey(master, label, idx); got != want {
+				t.Fatalf("label %q idx %d: DeriveKey %v != reference %v", label, idx, got, want)
+			}
+		}
+	}
+}
+
+func TestHotPrimitivesAllocationFree(t *testing.T) {
+	k := KeyFromUint64(3)
+	msg := make([]byte, 64)
+	if n := testing.AllocsPerRun(200, func() { ComputeMAC(k, msg) }); n != 0 {
+		t.Fatalf("ComputeMAC fast path allocates %.1f times per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { HashOf(msg) }); n != 0 {
+		t.Fatalf("HashOf fast path allocates %.1f times per op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() { DeriveKey(k, "pool-key", 5) }); n != 0 {
+		t.Fatalf("DeriveKey allocates %.1f times per op", n)
 	}
 }

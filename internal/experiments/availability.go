@@ -26,6 +26,9 @@ type AvailabilityConfig struct {
 	// Theta is VMAT's whole-sensor revocation threshold.
 	Theta int
 	Seed  uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultAvailability returns the default configuration.
@@ -70,48 +73,21 @@ func RunAvailability(cfg AvailabilityConfig) ([]AvailabilityRow, error) {
 			rows = append(rows, row)
 			continue
 		}
+		trials, err := RunTrials(subSeed(cfg.Seed, "availability-"+mode.name, 0),
+			cfg.Trials, cfg.Workers,
+			func(trial int, rng *crypto.Stream) (availTrial, error) {
+				return runAvailabilityTrial(cfg, mode.alarmOnly, trial, rng)
+			})
+		if err != nil {
+			return nil, err
+		}
 		var answered, firstSum, corrupted float64
 		firstCount := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*131+7))
-			if err != nil {
-				return nil, err
-			}
-			rng := crypto.NewStreamFromSeed(cfg.Seed ^ uint64(trial))
-			attacker, minHolder, ok := placeCampaignAttack(env.graph, rng)
-			if !ok {
-				continue
-			}
-			registry := keydist.NewRegistry(env.dep, cfg.Theta)
-			strat := adversary.NewDropper(50)
-			first := 0
-			for exec := 1; exec <= cfg.Executions; exec++ {
-				base := env.baseConfig(minHolder, 1)
-				base.Malicious = map[topology.NodeID]bool{attacker: true}
-				base.Adversary = strat
-				base.Registry = registry
-				base.AlarmOnly = mode.alarmOnly
-				base.AdversaryFavored = true
-				base.Seed = env.seed + uint64(exec)
-				eng, err := core.NewEngine(base)
-				if err != nil {
-					return nil, err
-				}
-				out, err := eng.Run()
-				if err != nil {
-					return nil, err
-				}
-				if out.Kind == core.OutcomeResult {
-					answered++
-					if first == 0 {
-						first = exec
-					}
-				} else {
-					corrupted++
-				}
-			}
-			if first > 0 {
-				firstSum += float64(first)
+		for _, tr := range trials {
+			answered += tr.answered
+			corrupted += tr.corrupted
+			if tr.first > 0 {
+				firstSum += float64(tr.first)
 				firstCount++
 			}
 		}
@@ -129,44 +105,103 @@ func RunAvailability(cfg AvailabilityConfig) ([]AvailabilityRow, error) {
 	return rows, nil
 }
 
+// availTrial is one campaign's contribution to an availability row.
+type availTrial struct {
+	answered  float64
+	corrupted float64
+	first     int
+}
+
+// runAvailabilityTrial runs one persistent-attacker campaign against the
+// VMAT machinery (with or without pinpointing).
+func runAvailabilityTrial(cfg AvailabilityConfig, alarmOnly bool, trial int, rng *crypto.Stream) (availTrial, error) {
+	var tr availTrial
+	env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*131+7))
+	if err != nil {
+		return tr, err
+	}
+	attacker, minHolder, ok := placeCampaignAttack(env.graph, rng)
+	if !ok {
+		return tr, nil
+	}
+	registry := keydist.NewRegistry(env.dep, cfg.Theta)
+	strat := adversary.NewDropper(50)
+	for exec := 1; exec <= cfg.Executions; exec++ {
+		base := env.baseConfig(minHolder, 1)
+		base.Malicious = map[topology.NodeID]bool{attacker: true}
+		base.Adversary = strat
+		base.Registry = registry
+		base.AlarmOnly = alarmOnly
+		base.AdversaryFavored = true
+		base.Seed = env.seed + uint64(exec)
+		eng, err := core.NewEngine(base)
+		if err != nil {
+			return tr, err
+		}
+		out, err := eng.Run()
+		if err != nil {
+			return tr, err
+		}
+		if out.Kind == core.OutcomeResult {
+			tr.answered++
+			if tr.first == 0 {
+				tr.first = exec
+			}
+		} else {
+			tr.corrupted++
+		}
+	}
+	return tr, nil
+}
+
 // runSHIAAvailability runs the persistent attacker against the SHIA
 // baseline: the attacker drops its subtree in every execution; SHIA
 // detects each time (alarm) but never identifies or revokes, so
 // availability never recovers.
 func runSHIAAvailability(cfg AvailabilityConfig) (AvailabilityRow, error) {
+	trials, err := RunTrials(subSeed(cfg.Seed, "availability-shia", 0),
+		cfg.Trials, cfg.Workers,
+		func(trial int, _ *crypto.Stream) (availTrial, error) {
+			var tr availTrial
+			env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*131+7))
+			if err != nil {
+				return tr, err
+			}
+			attacker, ok := shiaAttackerWithChildren(env.graph)
+			if !ok {
+				return tr, nil
+			}
+			for exec := 1; exec <= cfg.Executions; exec++ {
+				s := &baseline.SHIA{
+					Graph:      env.graph,
+					Deployment: env.dep,
+					Readings:   func(id topology.NodeID) int64 { return int64(id) },
+					Malicious:  map[topology.NodeID]bool{attacker: true},
+					Tamper:     baseline.SHIADropSubtree,
+					Seed:       env.seed + uint64(exec),
+				}
+				res := s.Run()
+				if !res.Alarm {
+					tr.answered++
+					if tr.first == 0 {
+						tr.first = exec
+					}
+				} else {
+					tr.corrupted++
+				}
+			}
+			return tr, nil
+		})
+	if err != nil {
+		return AvailabilityRow{}, err
+	}
 	var answered, firstSum, corrupted float64
 	firstCount := 0
-	for trial := 0; trial < cfg.Trials; trial++ {
-		env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*131+7))
-		if err != nil {
-			return AvailabilityRow{}, err
-		}
-		attacker, ok := shiaAttackerWithChildren(env.graph)
-		if !ok {
-			continue
-		}
-		first := 0
-		for exec := 1; exec <= cfg.Executions; exec++ {
-			s := &baseline.SHIA{
-				Graph:      env.graph,
-				Deployment: env.dep,
-				Readings:   func(id topology.NodeID) int64 { return int64(id) },
-				Malicious:  map[topology.NodeID]bool{attacker: true},
-				Tamper:     baseline.SHIADropSubtree,
-				Seed:       env.seed + uint64(exec),
-			}
-			res := s.Run()
-			if !res.Alarm {
-				answered++
-				if first == 0 {
-					first = exec
-				}
-			} else {
-				corrupted++
-			}
-		}
-		if first > 0 {
-			firstSum += float64(first)
+	for _, tr := range trials {
+		answered += tr.answered
+		corrupted += tr.corrupted
+		if tr.first > 0 {
+			firstSum += float64(tr.first)
 			firstCount++
 		}
 	}

@@ -26,6 +26,9 @@ type CampaignConfig struct {
 	// Trials with fresh placements per theta.
 	Trials int
 	Seed   uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultCampaign returns the default configuration.
@@ -67,52 +70,26 @@ type CampaignRow struct {
 func RunCampaign(cfg CampaignConfig) ([]CampaignRow, error) {
 	rows := make([]CampaignRow, 0, len(cfg.Thetas))
 	for _, theta := range cfg.Thetas {
+		trials, err := RunTrials(subSeed(cfg.Seed, "campaign", uint64(theta)),
+			cfg.Trials, cfg.Workers,
+			func(trial int, rng *crypto.Stream) (campaignTrial, error) {
+				return runCampaignTrial(cfg, theta, trial, rng)
+			})
+		if err != nil {
+			return nil, err
+		}
 		row := CampaignRow{Theta: theta}
 		var execs, announcements, coverage float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*7919))
-			if err != nil {
-				return nil, err
+		for _, tr := range trials {
+			execs += tr.execs
+			announcements += tr.announcements
+			coverage += tr.coverage
+			if tr.fullyRevoked {
+				row.FullyRevoked++
 			}
-			rng := crypto.NewStreamFromSeed(cfg.Seed ^ uint64(theta*100+trial))
-			attacker, minHolder, ok := placeCampaignAttack(env.graph, rng)
-			if !ok {
-				continue
+			if tr.neutralized {
+				row.Neutralized++
 			}
-			mal := map[topology.NodeID]bool{attacker: true}
-			registry := keydist.NewRegistry(env.dep, theta)
-			strat := adversary.NewDropper(50)
-
-			ran := 0
-			for exec := 0; exec < cfg.MaxExecutions; exec++ {
-				base := env.baseConfig(minHolder, 1)
-				base.Malicious = mal
-				base.Adversary = strat
-				base.Registry = registry
-				base.AdversaryFavored = true
-				base.Seed = env.seed + uint64(exec+1)
-				eng, err := core.NewEngine(base)
-				if err != nil {
-					return nil, err
-				}
-				out, err := eng.Run()
-				if err != nil {
-					return nil, err
-				}
-				ran = exec + 1
-				if out.Kind == core.OutcomeResult {
-					row.Neutralized++
-					break
-				}
-				if registry.NodeRevoked(attacker) {
-					row.FullyRevoked++
-					break
-				}
-			}
-			execs += float64(ran)
-			ann := float64(registry.KeyRevocationAnnouncements())
-			announcements += ann
-			coverage += ann / float64(len(env.dep.Ring(attacker)))
 		}
 		row.AvgExecutions = execs / float64(cfg.Trials)
 		row.AvgKeyAnnouncements = announcements / float64(cfg.Trials)
@@ -120,6 +97,63 @@ func RunCampaign(cfg CampaignConfig) ([]CampaignRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// campaignTrial is one campaign's contribution to a theta row.
+type campaignTrial struct {
+	execs         float64
+	announcements float64
+	coverage      float64
+	fullyRevoked  bool
+	neutralized   bool
+}
+
+// runCampaignTrial engages one persistent dropper until it is fully
+// revoked, neutralized, or the execution budget runs out.
+func runCampaignTrial(cfg CampaignConfig, theta, trial int, rng *crypto.Stream) (campaignTrial, error) {
+	var tr campaignTrial
+	env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*7919))
+	if err != nil {
+		return tr, err
+	}
+	attacker, minHolder, ok := placeCampaignAttack(env.graph, rng)
+	if !ok {
+		return tr, nil
+	}
+	mal := map[topology.NodeID]bool{attacker: true}
+	registry := keydist.NewRegistry(env.dep, theta)
+	strat := adversary.NewDropper(50)
+
+	ran := 0
+	for exec := 0; exec < cfg.MaxExecutions; exec++ {
+		base := env.baseConfig(minHolder, 1)
+		base.Malicious = mal
+		base.Adversary = strat
+		base.Registry = registry
+		base.AdversaryFavored = true
+		base.Seed = env.seed + uint64(exec+1)
+		eng, err := core.NewEngine(base)
+		if err != nil {
+			return tr, err
+		}
+		out, err := eng.Run()
+		if err != nil {
+			return tr, err
+		}
+		ran = exec + 1
+		if out.Kind == core.OutcomeResult {
+			tr.neutralized = true
+			break
+		}
+		if registry.NodeRevoked(attacker) {
+			tr.fullyRevoked = true
+			break
+		}
+	}
+	tr.execs = float64(ran)
+	tr.announcements = float64(registry.KeyRevocationAnnouncements())
+	tr.coverage = tr.announcements / float64(len(env.dep.Ring(attacker)))
+	return tr, nil
 }
 
 // placeCampaignAttack picks a malicious node that sits on the minimum

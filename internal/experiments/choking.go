@@ -19,6 +19,9 @@ type ChokingConfig struct {
 	// Trials per f with fresh placements.
 	Trials int
 	Seed   uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultChoking returns the default sweep.
@@ -45,45 +48,64 @@ type ChokingRow struct {
 
 // RunChoking executes the sweep.
 func RunChoking(cfg ChokingConfig) ([]ChokingRow, error) {
+	type chokingTrial struct {
+		vetoDelivered bool
+		spuriousWon   bool
+		sound         bool
+	}
 	rows := make([]ChokingRow, 0, len(cfg.MaliciousCounts))
 	for _, f := range cfg.MaliciousCounts {
+		trials, err := RunTrials(subSeed(cfg.Seed, "choking", uint64(f)),
+			cfg.Trials, cfg.Workers,
+			func(trial int, rng *crypto.Stream) (chokingTrial, error) {
+				var tr chokingTrial
+				env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(f*1000+trial))
+				if err != nil {
+					return tr, err
+				}
+				mal := pickMalicious(env.graph, rng, f)
+				minHolder := farthestHonest(env, mal)
+				base := env.baseConfig(minHolder, 1)
+				base.Malicious = mal
+				base.Adversary = adversary.NewDropAndChoke(50)
+				base.AdversaryFavored = true
+				eng, err := core.NewEngine(base)
+				if err != nil {
+					return tr, err
+				}
+				out, err := eng.Run()
+				if err != nil {
+					return tr, err
+				}
+				switch out.Kind {
+				case core.OutcomeResult:
+					// The droppers never sat on the minimum's path: the
+					// execution was simply correct; no veto was needed.
+					tr.vetoDelivered = true
+					return tr, nil
+				case core.OutcomeJunkConfRevocation:
+					tr.vetoDelivered = true
+					tr.spuriousWon = true
+				case core.OutcomeVetoRevocation:
+					tr.vetoDelivered = true
+				case core.OutcomeJunkAggRevocation:
+					tr.vetoDelivered = true
+				}
+				tr.sound = revokedSound(out, env, mal)
+				return tr, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		row := ChokingRow{F: f, Trials: cfg.Trials}
-		rng := crypto.NewStreamFromSeed(cfg.Seed ^ uint64(f)<<16)
-		for trial := 0; trial < cfg.Trials; trial++ {
-			env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(f*1000+trial))
-			if err != nil {
-				return nil, err
-			}
-			mal := pickMalicious(env.graph, rng, f)
-			minHolder := farthestHonest(env, mal)
-			base := env.baseConfig(minHolder, 1)
-			base.Malicious = mal
-			base.Adversary = adversary.NewDropAndChoke(50)
-			base.AdversaryFavored = true
-			eng, err := core.NewEngine(base)
-			if err != nil {
-				return nil, err
-			}
-			out, err := eng.Run()
-			if err != nil {
-				return nil, err
-			}
-			switch out.Kind {
-			case core.OutcomeResult:
-				// The droppers never sat on the minimum's path: the
-				// execution was simply correct. Count as delivered-not-
-				// applicable by skipping.
-				row.VetoDelivered++ // no veto was needed
-				continue
-			case core.OutcomeJunkConfRevocation:
+		for _, tr := range trials {
+			if tr.vetoDelivered {
 				row.VetoDelivered++
+			}
+			if tr.spuriousWon {
 				row.SpuriousWon++
-			case core.OutcomeVetoRevocation:
-				row.VetoDelivered++
-			case core.OutcomeJunkAggRevocation:
-				row.VetoDelivered++
 			}
-			if revokedSound(out, env, mal) {
+			if tr.sound {
 				row.SoundRevocations++
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/crypto"
 	"repro/internal/topology"
 )
 
@@ -19,6 +20,9 @@ type CommConfig struct {
 	Synopses int
 	// Seed drives the topologies.
 	Seed uint64
+	// Workers caps parallelism across network sizes; 0 uses GOMAXPROCS.
+	// Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultComm returns the paper-scale configuration.
@@ -53,36 +57,39 @@ type CommRow struct {
 
 // RunComm executes the comparison.
 func RunComm(cfg CommConfig) ([]CommRow, error) {
-	rows := make([]CommRow, 0, len(cfg.NetworkSizes))
-	for _, n := range cfg.NetworkSizes {
-		env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n))
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.RunCount(env.baseConfig(0, 0),
-			func(id topology.NodeID) bool { return true }, cfg.Synopses)
-		if err != nil {
-			return nil, fmt.Errorf("n=%d: %w", n, err)
-		}
-		naive := baseline.RunNaiveUpload(env.graph, 8*n)
-		row := CommRow{
-			N:                      n,
-			VMATAggMsgBytes:        core.AggMsgWireSize(cfg.Synopses),
-			VMATAggMedianNodeBytes: res.Outcome.AggMedianNodeBytes,
-			VMATAggMaxNodeBytes:    res.Outcome.AggMaxNodeBytes,
-			VMATMaxNodeBytes:       res.Outcome.Stats.MaxNodeBytes(),
-			VMATEstimate:           res.Estimate,
-			VMATAnswered:           res.Answered(),
-			NaiveMaxNodeBytes:      naive.Stats.MaxNodeBytes(),
-		}
-		if row.VMATAggMedianNodeBytes > 0 {
-			// The paper's comparison: a typical sensor's aggregation
-			// traffic vs the naive bottleneck.
-			row.Ratio = float64(row.NaiveMaxNodeBytes) / float64(row.VMATAggMedianNodeBytes)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	// One "trial" per network size: the sizes are independent runs, so
+	// they fan out across workers like Monte-Carlo trials do.
+	return RunTrials(subSeed(cfg.Seed, "comm", 0),
+		len(cfg.NetworkSizes), cfg.Workers,
+		func(i int, _ *crypto.Stream) (CommRow, error) {
+			n := cfg.NetworkSizes[i]
+			env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n))
+			if err != nil {
+				return CommRow{}, err
+			}
+			res, err := core.RunCount(env.baseConfig(0, 0),
+				func(id topology.NodeID) bool { return true }, cfg.Synopses)
+			if err != nil {
+				return CommRow{}, fmt.Errorf("n=%d: %w", n, err)
+			}
+			naive := baseline.RunNaiveUpload(env.graph, 8*n)
+			row := CommRow{
+				N:                      n,
+				VMATAggMsgBytes:        core.AggMsgWireSize(cfg.Synopses),
+				VMATAggMedianNodeBytes: res.Outcome.AggMedianNodeBytes,
+				VMATAggMaxNodeBytes:    res.Outcome.AggMaxNodeBytes,
+				VMATMaxNodeBytes:       res.Outcome.Stats.MaxNodeBytes(),
+				VMATEstimate:           res.Estimate,
+				VMATAnswered:           res.Answered(),
+				NaiveMaxNodeBytes:      naive.Stats.MaxNodeBytes(),
+			}
+			if row.VMATAggMedianNodeBytes > 0 {
+				// The paper's comparison: a typical sensor's aggregation
+				// traffic vs the naive bottleneck.
+				row.Ratio = float64(row.NaiveMaxNodeBytes) / float64(row.VMATAggMedianNodeBytes)
+			}
+			return row, nil
+		})
 }
 
 // CommTable renders the comparison.

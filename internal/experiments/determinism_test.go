@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+)
+
+// The trial-runner's contract is that worker count is invisible in the
+// results: every driver must produce bit-identical row slices whether its
+// trials run on one goroutine or eight. These tests run each driver at
+// reduced scale under both settings and compare with reflect.DeepEqual,
+// which on float fields demands exact bit equality — any scheduling
+// dependence in RNG consumption or merge order fails loudly.
+
+// assertSameRows runs fn at workers=1 and workers=8 and compares.
+func assertSameRows[T any](t *testing.T, name string, fn func(workers int) (T, error)) {
+	t.Helper()
+	sequential, err := fn(1)
+	if err != nil {
+		t.Fatalf("%s workers=1: %v", name, err)
+	}
+	parallel, err := fn(8)
+	if err != nil {
+		t.Fatalf("%s workers=8: %v", name, err)
+	}
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Fatalf("%s rows differ between workers=1 and workers=8:\n%+v\nvs\n%+v",
+			name, sequential, parallel)
+	}
+}
+
+func TestFig7Deterministic(t *testing.T) {
+	assertSameRows(t, "fig7", func(workers int) ([]Fig7Row, error) {
+		return RunFig7(Fig7Config{
+			NetworkSizes:    []int{300},
+			MaliciousCounts: []int{1, 5},
+			Thetas:          []int{1, 7, 27},
+			Trials:          6,
+			Params:          keydist.Params{PoolSize: 5000, RingSize: 60},
+			Seed:            21,
+			Workers:         workers,
+		})
+	})
+}
+
+func TestFig8Deterministic(t *testing.T) {
+	assertSameRows(t, "fig8", func(workers int) ([]Fig8Row, error) {
+		return RunFig8(Fig8Config{
+			Synopses: 50,
+			Counts:   []int{10, 100},
+			Trials:   12,
+			Seed:     22,
+			Workers:  workers,
+		}), nil
+	})
+}
+
+func TestMSweepDeterministic(t *testing.T) {
+	assertSameRows(t, "msweep", func(workers int) ([]MSweepRow, error) {
+		return RunMSweep(MSweepConfig{
+			Count: 100, Ms: []int{25, 50}, Trials: 12, Seed: 23, Workers: workers,
+		}), nil
+	})
+}
+
+func TestAvailabilityDeterministic(t *testing.T) {
+	assertSameRows(t, "availability", func(workers int) ([]AvailabilityRow, error) {
+		return RunAvailability(AvailabilityConfig{
+			N: 40, Executions: 8, Trials: 3, Theta: 7, Seed: 24, Workers: workers,
+		})
+	})
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	assertSameRows(t, "campaign", func(workers int) ([]CampaignRow, error) {
+		return RunCampaign(CampaignConfig{
+			N: 40, Thetas: []int{0, 5}, MaxExecutions: 40, Trials: 3, Seed: 25,
+			Workers: workers,
+		})
+	})
+}
+
+func TestChokingDeterministic(t *testing.T) {
+	assertSameRows(t, "choking", func(workers int) ([]ChokingRow, error) {
+		return RunChoking(ChokingConfig{
+			N: 40, MaliciousCounts: []int{1, 2}, Trials: 4, Seed: 26, Workers: workers,
+		})
+	})
+}
+
+func TestLossDeterministic(t *testing.T) {
+	assertSameRows(t, "loss", func(workers int) ([]LossRow, error) {
+		return RunLoss(LossConfig{
+			N: 50, LossRates: []float64{0, 0.1}, Trials: 4, Seed: 27, Workers: workers,
+		})
+	})
+}
+
+func TestPinpointDeterministic(t *testing.T) {
+	assertSameRows(t, "pinpoint", func(workers int) ([]PinpointRow, error) {
+		return RunPinpoint(PinpointConfig{
+			NetworkSizes: []int{40}, Trials: 3, Seed: 28, Workers: workers,
+		})
+	})
+}
+
+func TestRoundsDeterministic(t *testing.T) {
+	assertSameRows(t, "rounds", func(workers int) ([]RoundsRow, error) {
+		return RunRounds(RoundsConfig{
+			NetworkSizes: []int{50, 100}, Repeats: 2, Seed: 29, Workers: workers,
+		})
+	})
+}
+
+func TestWormholeDeterministic(t *testing.T) {
+	assertSameRows(t, "wormhole", func(workers int) ([]WormholeRow, error) {
+		return RunWormhole(WormholeConfig{
+			NetworkSizes: []int{50}, Trials: 3, Seed: 30, Workers: workers,
+		})
+	})
+}
+
+func TestCommDeterministic(t *testing.T) {
+	assertSameRows(t, "comm", func(workers int) ([]CommRow, error) {
+		return RunComm(CommConfig{
+			NetworkSizes: []int{50, 100}, Synopses: 50, Seed: 31, Workers: workers,
+		})
+	})
+}
+
+func TestRunTrialsOrderAndErrors(t *testing.T) {
+	// Results come back in trial order regardless of workers.
+	for _, workers := range []int{1, 3, 8} {
+		got, err := RunTrials(99, 17, workers, func(trial int, _ *crypto.Stream) (int, error) {
+			return trial * trial, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	// The lowest-index failing trial wins, regardless of which worker
+	// finishes first.
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		_, err := RunTrials(99, 20, workers, func(trial int, _ *crypto.Stream) (int, error) {
+			if trial >= 5 {
+				return 0, fmt.Errorf("trial-%d: %w", trial, sentinel)
+			}
+			return trial, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) || err.Error() != "trial 5: trial-5: boom" {
+			t.Fatalf("workers=%d: error = %v, want first failing trial 5", workers, err)
+		}
+	}
+}
+
+func TestRunTrialsStreamsIndependentOfWorkers(t *testing.T) {
+	draw := func(workers int) ([]uint64, error) {
+		return RunTrials(7, 9, workers, func(_ int, rng *crypto.Stream) (uint64, error) {
+			return rng.Uint64(), nil
+		})
+	}
+	one, err := draw(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := draw(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("per-trial streams depend on worker count:\n%v\nvs\n%v", one, eight)
+	}
+	seen := map[uint64]bool{}
+	for _, v := range one {
+		if seen[v] {
+			t.Fatalf("duplicate stream draw %d across trials", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"math"
+
 	"repro/internal/crypto"
 	"repro/internal/keydist"
 	"repro/internal/topology"
@@ -26,6 +28,9 @@ type Fig7Config struct {
 	Params keydist.Params
 	// Seed drives the simulation.
 	Seed uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultFig7 returns the paper's configuration.
@@ -59,41 +64,22 @@ type Fig7Row struct {
 // evaluated on the same per-trial deployment with nested malicious sets,
 // so series are directly comparable.
 func RunFig7(cfg Fig7Config) ([]Fig7Row, error) {
-	rng := crypto.NewStreamFromSeed(cfg.Seed)
 	var rows []Fig7Row
 	for _, n := range cfg.NetworkSizes {
-		// sums[fIdx][thetaIdx] accumulates mis-revocation counts.
-		sums := make([][]float64, len(cfg.MaliciousCounts))
-		for i := range sums {
-			sums[i] = make([]float64, len(cfg.Thetas))
+		counts, err := RunTrials(subSeed(cfg.Seed, "fig7", uint64(n)),
+			cfg.Trials, cfg.Workers,
+			func(_ int, rng *crypto.Stream) ([]int64, error) {
+				return fig7Trial(cfg, n, rng)
+			})
+		if err != nil {
+			return nil, err
 		}
-		for trial := 0; trial < cfg.Trials; trial++ {
-			dep, err := keydist.NewDeployment(n, cfg.Params,
-				crypto.KeyFromUint64(cfg.Seed^uint64(n)), rng.Fork([]byte("trial")))
-			if err != nil {
-				return nil, err
-			}
-			perm := rng.Perm(n)
-			for fIdx, f := range cfg.MaliciousCounts {
-				malicious := make([]topology.NodeID, f)
-				isMalicious := make(map[topology.NodeID]bool, f)
-				for i := 0; i < f; i++ {
-					malicious[i] = topology.NodeID(perm[i])
-					isMalicious[malicious[i]] = true
-				}
-				union := dep.UnionOfRings(malicious)
-				for id := 0; id < n; id++ {
-					nid := topology.NodeID(id)
-					if isMalicious[nid] {
-						continue
-					}
-					overlap := dep.OverlapWithUnion(nid, union)
-					for tIdx, theta := range cfg.Thetas {
-						if overlap >= theta {
-							sums[fIdx][tIdx]++
-						}
-					}
-				}
+		// sums[fIdx][thetaIdx] accumulates mis-revocation counts, merged
+		// in trial order.
+		sums := make([]int64, len(cfg.MaliciousCounts)*len(cfg.Thetas))
+		for _, c := range counts {
+			for i, v := range c {
+				sums[i] += v
 			}
 		}
 		for fIdx, f := range cfg.MaliciousCounts {
@@ -102,12 +88,84 @@ func RunFig7(cfg Fig7Config) ([]Fig7Row, error) {
 					N:             n,
 					F:             f,
 					Theta:         theta,
-					AvgMisRevoked: sums[fIdx][tIdx] / float64(cfg.Trials),
+					AvgMisRevoked: float64(sums[fIdx*len(cfg.Thetas)+tIdx]) / float64(cfg.Trials),
 				})
 			}
 		}
 	}
 	return rows, nil
+}
+
+// fig7Trial draws one deployment and counts, for every (f, theta) cell,
+// the honest sensors whose ring overlaps the union of the first f
+// malicious rings in at least theta keys. The malicious sets are nested
+// (prefixes of one permutation), so instead of materializing a union set
+// per f it computes, for every pool key, the smallest malicious-prefix
+// length that covers it; a sensor's overlap at f is then the number of
+// its ring keys covered by a prefix shorter than f. One pass over all
+// rings replaces len(MaliciousCounts) union rebuilds.
+func fig7Trial(cfg Fig7Config, n int, rng *crypto.Stream) ([]int64, error) {
+	dep, err := keydist.NewDeployment(n, cfg.Params,
+		crypto.KeyFromUint64(cfg.Seed^uint64(n)), rng.Fork([]byte("deployment")))
+	if err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(n)
+	maxF := 0
+	for _, f := range cfg.MaliciousCounts {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	const unset = int32(math.MaxInt32)
+	// minPrefix[key] = smallest i such that perm[i]'s ring holds key.
+	minPrefix := make([]int32, cfg.Params.PoolSize)
+	for i := range minPrefix {
+		minPrefix[i] = unset
+	}
+	for i := maxF - 1; i >= 0; i-- {
+		for _, idx := range dep.Ring(topology.NodeID(perm[i])) {
+			minPrefix[idx] = int32(i)
+		}
+	}
+	// permPos[id] = id's position in the permutation (only the first maxF
+	// positions matter: they decide maliciousness per f).
+	permPos := make([]int32, n)
+	for i := range permPos {
+		permPos[i] = unset
+	}
+	for i := 0; i < maxF; i++ {
+		permPos[perm[i]] = int32(i)
+	}
+	counts := make([]int64, len(cfg.MaliciousCounts)*len(cfg.Thetas))
+	overlap := make([]int, len(cfg.MaliciousCounts))
+	for id := 0; id < n; id++ {
+		for i := range overlap {
+			overlap[i] = 0
+		}
+		for _, idx := range dep.Ring(topology.NodeID(id)) {
+			p := minPrefix[idx]
+			if p == unset {
+				continue
+			}
+			for fIdx, f := range cfg.MaliciousCounts {
+				if p < int32(f) {
+					overlap[fIdx]++
+				}
+			}
+		}
+		for fIdx, f := range cfg.MaliciousCounts {
+			if permPos[id] < int32(f) {
+				continue // malicious at this coalition size
+			}
+			for tIdx, theta := range cfg.Thetas {
+				if overlap[fIdx] >= theta {
+					counts[fIdx*len(cfg.Thetas)+tIdx]++
+				}
+			}
+		}
+	}
+	return counts, nil
 }
 
 // Fig7Table renders the rows as the paper's figure series.

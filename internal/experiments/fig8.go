@@ -22,6 +22,9 @@ type Fig8Config struct {
 	Unbiased bool
 	// Seed drives the per-trial nonces.
 	Seed uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultFig8 returns the paper's configuration.
@@ -50,25 +53,28 @@ type Fig8Row struct {
 // deterministic Exp(1) synopses from a fresh query nonce; the estimator
 // runs on the per-instance minima and the relative error is recorded.
 func RunFig8(cfg Fig8Config) []Fig8Row {
-	rng := crypto.NewStreamFromSeed(cfg.Seed)
 	rows := make([]Fig8Row, 0, len(cfg.Counts))
 	for _, count := range cfg.Counts {
-		errs := make([]float64, 0, cfg.Trials)
-		for trial := 0; trial < cfg.Trials; trial++ {
-			nonce := crypto.Uint64(rng.Uint64())
-			mins := make([]float64, cfg.Synopses)
-			for i := range mins {
-				mins[i] = math.Inf(1)
-			}
-			for id := 1; id <= count; id++ {
-				synopsis.MergeMins(mins, synopsis.Vector(nonce, topology.NodeID(id), 1, cfg.Synopses))
-			}
-			est := synopsis.EstimateSum(mins)
-			if cfg.Unbiased {
-				est = synopsis.EstimateSumUnbiased(mins)
-			}
-			errs = append(errs, synopsis.RelativeError(est, float64(count)))
-		}
+		// The per-trial closure is a pure function of its pre-derived
+		// stream, so the error below is impossible; RunTrials is still the
+		// single scheduling path for every driver.
+		errs, _ := RunTrials(subSeed(cfg.Seed, "fig8", uint64(count)),
+			cfg.Trials, cfg.Workers,
+			func(_ int, rng *crypto.Stream) (float64, error) {
+				nonce := crypto.Uint64(rng.Uint64())
+				mins := make([]float64, cfg.Synopses)
+				for i := range mins {
+					mins[i] = math.Inf(1)
+				}
+				for id := 1; id <= count; id++ {
+					synopsis.MergeMins(mins, synopsis.Vector(nonce, topology.NodeID(id), 1, cfg.Synopses))
+				}
+				est := synopsis.EstimateSum(mins)
+				if cfg.Unbiased {
+					est = synopsis.EstimateSumUnbiased(mins)
+				}
+				return synopsis.RelativeError(est, float64(count)), nil
+			})
 		rows = append(rows, Fig8Row{
 			Count:   count,
 			Average: mean(errs),
@@ -92,6 +98,8 @@ type MSweepConfig struct {
 	// Trials per m.
 	Trials int
 	Seed   uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS.
+	Workers int
 }
 
 // DefaultMSweep returns the default ablation.
@@ -120,6 +128,7 @@ func RunMSweep(cfg MSweepConfig) []MSweepRow {
 			Counts:   []int{cfg.Count},
 			Trials:   cfg.Trials,
 			Seed:     cfg.Seed + uint64(m),
+			Workers:  cfg.Workers,
 		})
 		rows = append(rows, MSweepRow{
 			M:       m,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/core"
+	"repro/internal/crypto"
 )
 
 // LossConfig parameterizes the multi-path ablation of Section IV-D: how
@@ -17,6 +18,9 @@ type LossConfig struct {
 	// Trials per (rate, mode) cell.
 	Trials int
 	Seed   uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultLoss returns the default sweep.
@@ -44,38 +48,56 @@ type LossRow struct {
 
 // RunLoss executes the ablation.
 func RunLoss(cfg LossConfig) ([]LossRow, error) {
+	type lossTrial struct {
+		singleCorrect bool
+		multiCorrect  bool
+	}
 	rows := make([]LossRow, 0, len(cfg.LossRates))
-	for _, rate := range cfg.LossRates {
+	for rateIdx, rate := range cfg.LossRates {
+		trials, err := RunTrials(subSeed(cfg.Seed, "loss", uint64(rateIdx)),
+			cfg.Trials, cfg.Workers,
+			func(trial int, _ *crypto.Stream) (lossTrial, error) {
+				var tr lossTrial
+				env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*31+1))
+				if err != nil {
+					return tr, err
+				}
+				// Plant the minimum at the deepest sensor: its value
+				// crosses the most lossy hops, which is where multi-path
+				// redundancy matters.
+				minHolder := farthestHonest(env, nil)
+				for _, multipath := range []bool{false, true} {
+					base := env.baseConfig(minHolder, 1)
+					base.Multipath = multipath
+					base.LossRate = rate
+					base.Seed = env.seed ^ uint64(trial)
+					eng, err := core.NewEngine(base)
+					if err != nil {
+						return tr, err
+					}
+					out, err := eng.Run()
+					if err != nil {
+						return tr, err
+					}
+					correct := out.Kind == core.OutcomeResult && out.Mins[0] == 1
+					if multipath {
+						tr.multiCorrect = correct
+					} else {
+						tr.singleCorrect = correct
+					}
+				}
+				return tr, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		row := LossRow{LossRate: rate, Trials: cfg.Trials}
-		for trial := 0; trial < cfg.Trials; trial++ {
-			env, err := newProtoEnv(cfg.N, denseProtoParams, cfg.Seed+uint64(trial*31+1))
-			if err != nil {
-				return nil, err
+		for _, tr := range trials {
+			if tr.singleCorrect {
+				row.SingleCorrect++
 			}
-			// Plant the minimum at the deepest sensor: its value crosses
-			// the most lossy hops, which is where multi-path redundancy
-			// matters.
-			minHolder := farthestHonest(env, nil)
-			for _, multipath := range []bool{false, true} {
-				base := env.baseConfig(minHolder, 1)
-				base.Multipath = multipath
-				base.LossRate = rate
-				base.Seed = env.seed ^ uint64(trial)
-				eng, err := core.NewEngine(base)
-				if err != nil {
-					return nil, err
-				}
-				out, err := eng.Run()
-				if err != nil {
-					return nil, err
-				}
-				correct := out.Kind == core.OutcomeResult && out.Mins[0] == 1
-				if multipath && correct {
-					row.MultiCorrect++
-				}
-				if !multipath && correct {
-					row.SingleCorrect++
-				}
+			if tr.multiCorrect {
+				row.MultiCorrect++
 			}
 		}
 		rows = append(rows, row)

@@ -18,6 +18,9 @@ type PinpointConfig struct {
 	// placement.
 	Trials int
 	Seed   uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultPinpoint returns the default sweep.
@@ -67,43 +70,67 @@ func RunPinpoint(cfg PinpointConfig) ([]PinpointRow, error) {
 		}, placeUpstream},
 	}
 
+	type pinpointTrial struct {
+		triggered bool
+		sound     bool
+		tests     float64
+		rounds    float64
+		maxKB     float64
+	}
 	var rows []PinpointRow
 	for _, n := range cfg.NetworkSizes {
-		for _, st := range strategies {
+		for stIdx, st := range strategies {
+			trials, err := RunTrials(
+				subSeed(cfg.Seed, "pinpoint-"+st.name, uint64(n)*64+uint64(stIdx)),
+				cfg.Trials, cfg.Workers,
+				func(trial int, rng *crypto.Stream) (pinpointTrial, error) {
+					var tr pinpointTrial
+					env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n*1000+trial))
+					if err != nil {
+						return tr, err
+					}
+					mal, minHolder, ok := place(env.graph, rng, st.place)
+					if !ok {
+						return tr, nil
+					}
+					base := env.baseConfig(minHolder, 1)
+					base.Malicious = mal
+					base.Adversary = st.mk()
+					base.AdversaryFavored = true
+					eng, err := core.NewEngine(base)
+					if err != nil {
+						return tr, err
+					}
+					out, err := eng.Run()
+					if err != nil {
+						return tr, fmt.Errorf("%s n=%d trial %d: %w", st.name, n, trial, err)
+					}
+					if out.Kind == core.OutcomeResult {
+						return tr, nil
+					}
+					tr.triggered = true
+					tr.sound = revokedSound(out, env, mal)
+					tr.tests = float64(out.PredicateTests)
+					tr.rounds = out.FloodingRounds
+					tr.maxKB = float64(out.Stats.MaxNodeBytes()) / 1024
+					return tr, nil
+				})
+			if err != nil {
+				return nil, err
+			}
 			row := PinpointRow{N: n, Strategy: st.name}
 			var tests, rounds, maxKB float64
-			rng := crypto.NewStreamFromSeed(cfg.Seed ^ uint64(n)<<8)
-			for trial := 0; trial < cfg.Trials; trial++ {
-				env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n*1000+trial))
-				if err != nil {
-					return nil, err
-				}
-				mal, minHolder, ok := place(env.graph, rng, st.place)
-				if !ok {
-					continue
-				}
-				base := env.baseConfig(minHolder, 1)
-				base.Malicious = mal
-				base.Adversary = st.mk()
-				base.AdversaryFavored = true
-				eng, err := core.NewEngine(base)
-				if err != nil {
-					return nil, err
-				}
-				out, err := eng.Run()
-				if err != nil {
-					return nil, fmt.Errorf("%s n=%d trial %d: %w", st.name, n, trial, err)
-				}
-				if out.Kind == core.OutcomeResult {
+			for _, tr := range trials {
+				if !tr.triggered {
 					continue
 				}
 				row.Triggered++
-				if revokedSound(out, env, mal) {
+				if tr.sound {
 					row.Sound++
 				}
-				tests += float64(out.PredicateTests)
-				rounds += out.FloodingRounds
-				maxKB += float64(out.Stats.MaxNodeBytes()) / 1024
+				tests += tr.tests
+				rounds += tr.rounds
+				maxKB += tr.maxKB
 			}
 			if row.Triggered > 0 {
 				row.AvgTests = tests / float64(row.Triggered)

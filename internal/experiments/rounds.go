@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/crypto"
 	"repro/internal/topology"
 )
 
@@ -14,6 +15,9 @@ type RoundsConfig struct {
 	// Repeats is the set-sampling repeat budget per density level.
 	Repeats int
 	Seed    uint64
+	// Workers caps parallelism across network sizes; 0 uses GOMAXPROCS.
+	// Results are identical for every worker count.
+	Workers int
 }
 
 // DefaultRounds returns the default sweep.
@@ -37,31 +41,34 @@ type RoundsRow struct {
 
 // RunRounds executes the comparison.
 func RunRounds(cfg RoundsConfig) ([]RoundsRow, error) {
-	rows := make([]RoundsRow, 0, len(cfg.NetworkSizes))
-	for _, n := range cfg.NetworkSizes {
-		env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n))
-		if err != nil {
-			return nil, err
-		}
-		eng, err := core.NewEngine(env.baseConfig(topology.NodeID(n-1), 1))
-		if err != nil {
-			return nil, err
-		}
-		out, err := eng.Run()
-		if err != nil {
-			return nil, err
-		}
-		ss := &baseline.SetSampling{Graph: env.graph, RepeatsPerLevel: cfg.Repeats, Seed: cfg.Seed}
-		sres := ss.Run(func(id topology.NodeID) bool { return id != topology.BaseStation })
-		rows = append(rows, RoundsRow{
-			N:              n,
-			L:              eng.L(),
-			VMATRounds:     out.FloodingRounds,
-			SamplingRounds: sres.FloodingRounds,
-			SamplingTests:  sres.Tests,
+	// One "trial" per network size: the sizes are independent runs, so
+	// they fan out across workers like Monte-Carlo trials do.
+	return RunTrials(subSeed(cfg.Seed, "rounds", 0),
+		len(cfg.NetworkSizes), cfg.Workers,
+		func(i int, _ *crypto.Stream) (RoundsRow, error) {
+			n := cfg.NetworkSizes[i]
+			env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n))
+			if err != nil {
+				return RoundsRow{}, err
+			}
+			eng, err := core.NewEngine(env.baseConfig(topology.NodeID(n-1), 1))
+			if err != nil {
+				return RoundsRow{}, err
+			}
+			out, err := eng.Run()
+			if err != nil {
+				return RoundsRow{}, err
+			}
+			ss := &baseline.SetSampling{Graph: env.graph, RepeatsPerLevel: cfg.Repeats, Seed: cfg.Seed}
+			sres := ss.Run(func(id topology.NodeID) bool { return id != topology.BaseStation })
+			return RoundsRow{
+				N:              n,
+				L:              eng.L(),
+				VMATRounds:     out.FloodingRounds,
+				SamplingRounds: sres.FloodingRounds,
+				SamplingTests:  sres.Tests,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // RoundsTable renders the comparison.

@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/crypto"
 	"repro/internal/topology"
 )
 
@@ -15,6 +16,9 @@ type WormholeConfig struct {
 	// Trials per size with fresh wormhole placements.
 	Trials int
 	Seed   uint64
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultWormhole returns the default sweep.
@@ -42,58 +46,80 @@ type WormholeRow struct {
 // to the base station; the exit is placed at maximum depth, the paper's
 // Figure 2(c) geometry.
 func RunWormhole(cfg WormholeConfig) ([]WormholeRow, error) {
+	type wormholeTrial struct {
+		counted            bool
+		hopCountInvalid    float64
+		timestampInvalid   float64
+		timestampUnleveled float64
+	}
 	rows := make([]WormholeRow, 0, len(cfg.NetworkSizes))
 	for _, n := range cfg.NetworkSizes {
+		trials, err := RunTrials(subSeed(cfg.Seed, "wormhole", uint64(n)),
+			cfg.Trials, cfg.Workers,
+			func(trial int, _ *crypto.Stream) (wormholeTrial, error) {
+				var tr wormholeTrial
+				env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n*100+trial))
+				if err != nil {
+					return tr, err
+				}
+				g := env.graph
+				entry, exit, ok := placeWormhole(g)
+				if !ok {
+					// No placement keeps the honest subgraph connected (the
+					// paper's model assumption); skip this topology draw.
+					return tr, nil
+				}
+				tr.counted = true
+				l := g.Depth(topology.BaseStation)
+				w := &baseline.WormholeConfig{
+					Pairs:        [][2]topology.NodeID{{entry, exit}},
+					InflatedHops: 3 * l,
+				}
+				hres := baseline.RunHopCountTree(g, l, w, 6*l+20)
+				tr.hopCountInvalid = float64(hres.Invalid)
+
+				// The same adversary against VMAT: wormhole endpoints rush
+				// the tree-formation flood through their tunnel. Timestamp
+				// levels only ever shrink, so nothing exceeds L.
+				mal := map[topology.NodeID]bool{entry: true, exit: true}
+				base := env.baseConfig(0, 0)
+				base.Malicious = mal
+				base.Adversary = &wormholeRusher{exit: exit}
+				base.AdversaryFavored = true
+				eng, err := core.NewEngine(base)
+				if err != nil {
+					return tr, err
+				}
+				levels, err := eng.TreeLevels()
+				if err != nil {
+					return tr, err
+				}
+				for id, lvl := range levels {
+					if mal[topology.NodeID(id)] || id == 0 {
+						continue
+					}
+					if lvl > eng.L() {
+						tr.timestampInvalid++
+					}
+					if lvl == -1 {
+						tr.timestampUnleveled++
+					}
+				}
+				return tr, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		row := WormholeRow{N: n}
 		counted := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			env, err := newProtoEnv(n, denseProtoParams, cfg.Seed+uint64(n*100+trial))
-			if err != nil {
-				return nil, err
-			}
-			g := env.graph
-			entry, exit, ok := placeWormhole(g)
-			if !ok {
-				// No placement keeps the honest subgraph connected (the
-				// paper's model assumption); skip this topology draw.
+		for _, tr := range trials {
+			if !tr.counted {
 				continue
 			}
 			counted++
-			l := g.Depth(topology.BaseStation)
-			w := &baseline.WormholeConfig{
-				Pairs:        [][2]topology.NodeID{{entry, exit}},
-				InflatedHops: 3 * l,
-			}
-			hres := baseline.RunHopCountTree(g, l, w, 6*l+20)
-			row.HopCountInvalid += float64(hres.Invalid)
-
-			// The same adversary against VMAT: wormhole endpoints rush
-			// the tree-formation flood through their tunnel. Timestamp
-			// levels only ever shrink, so nothing exceeds L.
-			mal := map[topology.NodeID]bool{entry: true, exit: true}
-			base := env.baseConfig(0, 0)
-			base.Malicious = mal
-			base.Adversary = &wormholeRusher{exit: exit}
-			base.AdversaryFavored = true
-			eng, err := core.NewEngine(base)
-			if err != nil {
-				return nil, err
-			}
-			levels, err := eng.TreeLevels()
-			if err != nil {
-				return nil, err
-			}
-			for id, lvl := range levels {
-				if mal[topology.NodeID(id)] || id == 0 {
-					continue
-				}
-				if lvl > eng.L() {
-					row.TimestampInvalid++
-				}
-				if lvl == -1 {
-					row.TimestampUnleveled++
-				}
-			}
+			row.HopCountInvalid += tr.hopCountInvalid
+			row.TimestampInvalid += tr.timestampInvalid
+			row.TimestampUnleveled += tr.timestampUnleveled
 		}
 		if counted > 0 {
 			row.HopCountInvalid /= float64(counted)

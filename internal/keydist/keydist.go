@@ -18,6 +18,7 @@ package keydist
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/crypto"
@@ -60,13 +61,18 @@ func (p Params) Validate() error {
 // messages from its radio neighbors). A Deployment is immutable after
 // construction and safe for concurrent reads.
 type Deployment struct {
-	params  Params
-	master  crypto.Key
-	n       int
-	rings   [][]int                   // per-node sorted pool indices
-	ringSet []map[int]bool            // per-node membership
-	holders map[int][]topology.NodeID // pool index -> sorted holder IDs
-	seeds   []crypto.Key              // per-node ring seed (announcing it revokes the ring)
+	params Params
+	master crypto.Key
+	n      int
+	rings  [][]int // per-node sorted pool indices
+	// The holder sets of all pool keys share one flat backing array:
+	// holderIDs[holderOff[i]:holderOff[i+1]] are the sorted holders of pool
+	// index i. A flat layout replaces a map of u small slices, which
+	// dominated deployment construction time and allocations at paper scale
+	// (u = 100,000).
+	holderOff []int32
+	holderIDs []topology.NodeID
+	seeds     []crypto.Key // per-node ring seed (announcing it revokes the ring)
 }
 
 // NewDeployment draws a ring for each of n nodes using rng. The master key
@@ -80,51 +86,73 @@ func NewDeployment(n int, params Params, master crypto.Key, rng *crypto.Stream) 
 		return nil, fmt.Errorf("keydist: need at least one node, got %d", n)
 	}
 	d := &Deployment{
-		params:  params,
-		master:  master,
-		n:       n,
-		rings:   make([][]int, n),
-		ringSet: make([]map[int]bool, n),
-		holders: make(map[int][]topology.NodeID),
-		seeds:   make([]crypto.Key, n),
+		params: params,
+		master: master,
+		n:      n,
+		rings:  make([][]int, n),
+		seeds:  make([]crypto.Key, n),
 	}
 	// The trial randomness is folded into the per-node seed itself, so the
 	// ring is a pure function of its seed: announcing the seed is enough
 	// for every sensor to reconstruct (and ignore) the revoked ring.
 	salt := crypto.DeriveKey(master, "deployment-salt", rng.Uint64())
+	scratch := make([]uint64, (params.PoolSize+63)/64)
+	ringBacking := make([]int, n*params.RingSize)
 	for id := 0; id < n; id++ {
 		d.seeds[id] = crypto.DeriveKey(salt, "ring-seed", uint64(id))
 		ringRNG := crypto.NewStream(d.seeds[id][:])
-		ring := sampleDistinct(params.PoolSize, params.RingSize, ringRNG)
+		ring := ringBacking[id*params.RingSize : (id+1)*params.RingSize : (id+1)*params.RingSize]
+		sampleDistinct(ring, params.PoolSize, ringRNG, scratch)
 		d.rings[id] = ring
-		set := make(map[int]bool, len(ring))
+	}
+	// Build the holder sets with a counting pass: sizes first, then one
+	// flat fill. Appending in node-ID order keeps every holder set sorted.
+	d.holderOff = make([]int32, params.PoolSize+1)
+	counts := make([]int32, params.PoolSize)
+	for _, ring := range d.rings {
 		for _, idx := range ring {
-			set[idx] = true
-			d.holders[idx] = append(d.holders[idx], topology.NodeID(id))
+			counts[idx]++
 		}
-		d.ringSet[id] = set
+	}
+	var total int32
+	for i, c := range counts {
+		d.holderOff[i] = total
+		total += c
+	}
+	d.holderOff[params.PoolSize] = total
+	d.holderIDs = make([]topology.NodeID, total)
+	next := counts // reuse as per-key fill cursors
+	copy(next, d.holderOff[:params.PoolSize])
+	for id := 0; id < n; id++ {
+		for _, idx := range d.rings[id] {
+			d.holderIDs[next[idx]] = topology.NodeID(id)
+			next[idx]++
+		}
 	}
 	return d, nil
 }
 
-// sampleDistinct draws k distinct integers from [0, u) via Floyd's
-// algorithm and returns them sorted.
-func sampleDistinct(u, k int, rng *crypto.Stream) []int {
-	chosen := make(map[int]bool, k)
+// sampleDistinct draws len(ring) distinct integers from [0, u) via Floyd's
+// algorithm and stores them in ring, sorted. The scratch bitset must have
+// at least u bits; it is used to test membership and is left cleared on
+// return, so one scratch buffer serves every node of a deployment. The
+// rejection-sampling draws are identical to the earlier map-backed
+// implementation, so rings are unchanged for a given seed.
+func sampleDistinct(ring []int, u int, rng *crypto.Stream, scratch []uint64) {
+	k := len(ring)
+	out := ring[:0]
 	for j := u - k; j < u; j++ {
 		t := rng.Intn(j + 1)
-		if chosen[t] {
-			chosen[j] = true
-		} else {
-			chosen[t] = true
+		if scratch[t>>6]&(1<<(uint(t)&63)) != 0 {
+			t = j
 		}
+		scratch[t>>6] |= 1 << (uint(t) & 63)
+		out = append(out, t)
 	}
-	out := make([]int, 0, k)
-	for idx := range chosen {
-		out = append(out, idx)
+	for _, idx := range out {
+		scratch[idx>>6] &^= 1 << (uint(idx) & 63)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(ring)
 }
 
 // NumNodes returns the number of nodes in the deployment.
@@ -158,18 +186,23 @@ func (d *Deployment) Ring(id topology.NodeID) []int {
 func (d *Deployment) RingSeed(id topology.NodeID) crypto.Key { return d.seeds[id] }
 
 // Holds reports whether id's ring contains the pool key with this index.
+// Rings are sorted, so this is a binary search — no per-node set needed.
 func (d *Deployment) Holds(id topology.NodeID, index int) bool {
 	if int(id) < 0 || int(id) >= d.n {
 		return false
 	}
-	return d.ringSet[id][index]
+	_, found := slices.BinarySearch(d.rings[id], index)
+	return found
 }
 
 // Holders returns the sorted IDs of all nodes holding the pool key with
 // the given index. The returned slice is shared and must not be modified.
 // The base station uses this set in the Figure 6 binary search.
 func (d *Deployment) Holders(index int) []topology.NodeID {
-	return d.holders[index]
+	if index < 0 || index >= d.params.PoolSize {
+		return nil
+	}
+	return d.holderIDs[d.holderOff[index]:d.holderOff[index+1]]
 }
 
 // SharedIndices returns the sorted pool indices common to the rings of a

@@ -265,9 +265,16 @@ func TestSampleDistinctProperty(t *testing.T) {
 		rng := crypto.NewStreamFromSeed(seed)
 		u := 50 + rng.Intn(200)
 		k := 1 + rng.Intn(u)
-		s := sampleDistinct(u, k, rng)
+		s := make([]int, k)
+		scratch := make([]uint64, (u+63)/64)
+		sampleDistinct(s, u, rng, scratch)
 		if len(s) != k {
 			return false
+		}
+		for _, w := range scratch {
+			if w != 0 {
+				return false // scratch must come back cleared
+			}
 		}
 		for i := 1; i < len(s); i++ {
 			if s[i] <= s[i-1] {

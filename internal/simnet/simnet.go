@@ -25,9 +25,11 @@
 package simnet
 
 import (
+	"cmp"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/crypto"
 	"repro/internal/topology"
@@ -87,6 +89,11 @@ type Config struct {
 	// steps in node order on the calling goroutine. Useful for debugging.
 	Sequential bool
 
+	// Workers caps the per-slot step fan-out; 0 uses GOMAXPROCS. Trial-
+	// parallel experiment harnesses set 1 so each simulated network stays
+	// on its own worker instead of oversubscribing the machine.
+	Workers int
+
 	// DropRate, with DropRNG, drops each delivered message independently
 	// with the given probability. The paper assumes reliable links after
 	// retransmission; this models the residual loss that motivates the
@@ -143,15 +150,29 @@ type Network struct {
 	slot    int
 	seq     uint64
 	stats   Stats
-	dropMu  sync.Mutex // guards the drop counters, hit from step goroutines
+
+	// The per-slot hot loop reuses these buffers across slots so steady-
+	// state execution allocates nothing: per-node inboxes, the Context
+	// structs handed to step functions, and the pending buffer all keep
+	// their backing arrays between slots.
+	inboxes [][]Message
+	ctxs    []Context
+
+	// Drop counters are incremented from concurrent step goroutines (via
+	// Context.Send) and read by Stats, so they live outside Stats as
+	// atomics.
+	droppedCapacity atomic.Int64
+	droppedNoLink   atomic.Int64
 }
 
 // New creates a network over the given graph.
 func New(g *topology.Graph, cfg Config) *Network {
 	n := g.NumNodes()
 	return &Network{
-		graph: g,
-		cfg:   cfg,
+		graph:   g,
+		cfg:     cfg,
+		inboxes: make([][]Message, n),
+		ctxs:    make([]Context, n),
 		stats: Stats{
 			BytesSent:        make([]int64, n),
 			BytesReceived:    make([]int64, n),
@@ -164,9 +185,13 @@ func New(g *topology.Graph, cfg Config) *Network {
 // Graph returns the underlying physical graph.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
-// Stats returns a snapshot copy of the accounting counters.
+// Stats returns a snapshot copy of the accounting counters. The drop
+// counters are loaded atomically, so a snapshot is safe even while step
+// goroutines of the current slot are still sending.
 func (n *Network) Stats() Stats {
 	s := n.stats
+	s.DroppedCapacity = n.droppedCapacity.Load()
+	s.DroppedNoLink = n.droppedNoLink.Load()
 	s.BytesSent = append([]int64(nil), n.stats.BytesSent...)
 	s.BytesReceived = append([]int64(nil), n.stats.BytesReceived...)
 	s.MessagesSent = append([]int64(nil), n.stats.MessagesSent...)
@@ -183,11 +208,15 @@ func (n *Network) Pending() int { return len(n.pending) }
 // StepFunc is one node's behavior for one slot: it receives the node's
 // inbox for the slot and sends messages through the context. Step
 // functions for different nodes run concurrently; a step function must
-// only touch state owned by its node (or synchronize explicitly).
+// only touch state owned by its node (or synchronize explicitly). The
+// Context and its Inbox slice are only valid for the duration of the
+// call — both are reused by the network on the next slot, so a step must
+// copy out any Message values it wants to keep.
 type StepFunc func(ctx *Context)
 
 // Context is handed to a StepFunc; it carries the node identity, the slot
-// inbox, and buffers outgoing sends until the slot barrier.
+// inbox, and buffers outgoing sends until the slot barrier. Contexts are
+// pooled per node and recycled every slot.
 type Context struct {
 	net   *Network
 	node  topology.NodeID
@@ -249,17 +278,9 @@ func (n *Network) linkAllowed(from, to topology.NodeID) bool {
 	return n.cfg.ExtraLink != nil && n.cfg.ExtraLink(from, to)
 }
 
-func (n *Network) noteCapacityDrop() {
-	n.dropMu.Lock()
-	n.stats.DroppedCapacity++
-	n.dropMu.Unlock()
-}
+func (n *Network) noteCapacityDrop() { n.droppedCapacity.Add(1) }
 
-func (n *Network) noteLinkDrop() {
-	n.dropMu.Lock()
-	n.stats.DroppedNoLink++
-	n.dropMu.Unlock()
-}
+func (n *Network) noteLinkDrop() { n.droppedNoLink.Add(1) }
 
 // RunSlots executes exactly count slots, invoking step once per node per
 // slot.
@@ -290,8 +311,13 @@ func (n *Network) RunUntilQuiescent(maxSlots int, step StepFunc) int {
 func (n *Network) runOneSlot(step StepFunc) {
 	numNodes := n.graph.NumNodes()
 
-	// Deliver pending messages into per-node inboxes.
-	inboxes := make([][]Message, numNodes)
+	// Deliver pending messages into per-node inboxes. The inbox slices are
+	// reused across slots (truncated, backing arrays kept), so a steady-
+	// state slot performs no allocation here.
+	inboxes := n.inboxes
+	for id := range inboxes {
+		inboxes[id] = inboxes[id][:0]
+	}
 	for _, m := range n.pending {
 		if n.cfg.DropRate > 0 && n.cfg.DropRNG != nil && n.cfg.DropRNG.Float64() < n.cfg.DropRate {
 			n.stats.DroppedLoss++
@@ -305,32 +331,42 @@ func (n *Network) runOneSlot(step StepFunc) {
 	n.pending = n.pending[:0]
 	for id := range inboxes {
 		box := inboxes[id]
-		sort.Slice(box, func(i, j int) bool {
-			if box[i].From != box[j].From {
-				return box[i].From < box[j].From
+		slices.SortFunc(box, func(a, b Message) int {
+			if a.From != b.From {
+				return cmp.Compare(a.From, b.From)
 			}
-			return box[i].seq < box[j].seq
+			return cmp.Compare(a.seq, b.seq)
 		})
 		if n.cfg.Order != nil {
 			n.cfg.Order(box)
 		}
 	}
 
-	// Run every node's step, concurrently unless configured otherwise.
-	ctxs := make([]*Context, numNodes)
+	// Run every node's step, concurrently unless configured otherwise. The
+	// Context structs are reused across slots too; only their per-slot
+	// fields are reset (the out buffers keep their backing arrays).
 	for id := 0; id < numNodes; id++ {
-		ctxs[id] = &Context{net: n, node: topology.NodeID(id), slot: n.slot, Inbox: inboxes[id]}
+		c := &n.ctxs[id]
+		c.net = n
+		c.node = topology.NodeID(id)
+		c.slot = n.slot
+		c.Inbox = inboxes[id]
+		c.out = c.out[:0]
+		c.sends = 0
 	}
-	if n.cfg.Sequential || numNodes == 1 {
-		for _, ctx := range ctxs {
-			step(ctx)
+	workers := n.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numNodes {
+		workers = numNodes
+	}
+	if n.cfg.Sequential || workers == 1 || numNodes == 1 {
+		for id := range n.ctxs {
+			step(&n.ctxs[id])
 		}
 	} else {
 		var wg sync.WaitGroup
-		workers := runtime.GOMAXPROCS(0)
-		if workers > numNodes {
-			workers = numNodes
-		}
 		stride := (numNodes + workers - 1) / workers
 		for w := 0; w < workers; w++ {
 			lo := w * stride
@@ -342,20 +378,20 @@ func (n *Network) runOneSlot(step StepFunc) {
 				break
 			}
 			wg.Add(1)
-			go func(ctxs []*Context) {
+			go func(ctxs []Context) {
 				defer wg.Done()
-				for _, ctx := range ctxs {
-					step(ctx)
+				for i := range ctxs {
+					step(&ctxs[i])
 				}
-			}(ctxs[lo:hi])
+			}(n.ctxs[lo:hi])
 		}
 		wg.Wait()
 	}
 
 	// Merge outgoing messages in node order for determinism, stamping
 	// sequence numbers and sender-side accounting.
-	for _, ctx := range ctxs {
-		for _, m := range ctx.out {
+	for id := range n.ctxs {
+		for _, m := range n.ctxs[id].out {
 			m.seq = n.seq
 			n.seq++
 			n.stats.BytesSent[m.From] += int64(m.Payload.WireSize())
@@ -373,8 +409,16 @@ func (n *Network) runOneSlot(step StepFunc) {
 // slot (the "first veto wins" races of the SOF protocol).
 func MaliciousFirstOrder(malicious map[topology.NodeID]bool) Orderer {
 	return func(inbox []Message) {
-		sort.SliceStable(inbox, func(i, j int) bool {
-			return malicious[inbox[i].From] && !malicious[inbox[j].From]
+		slices.SortStableFunc(inbox, func(a, b Message) int {
+			am, bm := malicious[a.From], malicious[b.From]
+			switch {
+			case am && !bm:
+				return -1
+			case bm && !am:
+				return 1
+			default:
+				return 0
+			}
 		})
 	}
 }
