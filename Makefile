@@ -1,12 +1,16 @@
 GO ?= go
-BENCH_JSON ?= BENCH_PR1.json
+BENCH_JSON ?= BENCH_PR2.json
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X main.version=$(VERSION)"
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race race-focus vet bench run-server clean
 
 all: build test
 
+# Stamps each binary's `version` via -X so `vmat-* -version` reports the
+# commit it was built from.
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -14,8 +18,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The race-sensitive subset: packages with real concurrency (per-slot
+# step goroutines, parallel trial workers, the job queue). CI runs this
+# instead of the full -race sweep to keep the loop fast.
+race-focus:
+	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service
+
 vet:
 	$(GO) vet ./...
+
+# Builds and starts the aggregation service on :8080 (override with
+# ADDR=:9090 make run-server).
+ADDR ?= :8080
+run-server:
+	$(GO) run $(LDFLAGS) ./cmd/vmat-server -addr $(ADDR)
 
 # Runs every testing.B wrapper once with -benchmem and records the
 # results as machine-readable JSON (one object per benchmark with

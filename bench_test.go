@@ -16,6 +16,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adversary"
@@ -24,6 +25,8 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/experiments"
 	"repro/internal/keydist"
+	"repro/internal/metrics"
+	"repro/internal/service"
 	"repro/internal/synopsis"
 	"repro/internal/topology"
 )
@@ -151,6 +154,37 @@ func BenchmarkMultipathLossAblation(b *testing.B) {
 		}
 		b.ReportMetric(float64(rows[0].MultiCorrect), "multi_correct")
 		b.ReportMetric(float64(rows[0].SingleCorrect), "single_correct")
+	}
+}
+
+// BenchmarkServiceSubmitToDone measures the full service round trip:
+// submit a scenario job to the manager's bounded queue, execute it on
+// the worker pool, and observe completion — the latency an HTTP client
+// of vmat-server sees between POST /v1/jobs and the job turning done.
+func BenchmarkServiceSubmitToDone(b *testing.B) {
+	mgr := service.New(service.Config{
+		QueueSize: 8,
+		Workers:   1,
+		Retain:    8,
+		Metrics:   metrics.New(),
+	})
+	defer mgr.Drain(context.Background())
+	spec := service.Spec{ScenarioConfig: experiments.ScenarioConfig{
+		N: 30, Topology: "geometric", Query: "min",
+		Attack: "drop", Malicious: 1,
+		Trials: 2, Seed: 7, Workers: 1,
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, err := mgr.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if job.Status() != service.StatusDone {
+			b.Fatalf("job finished %s: %s", job.Status(), job.Err())
+		}
 	}
 }
 

@@ -22,6 +22,9 @@ import (
 	"repro/internal/keydist"
 )
 
+// version is stamped by the Makefile via -ldflags "-X main.version=...".
+var version = "dev"
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vmat-bench:", err)
@@ -31,12 +34,17 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vmat-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|all")
+	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|scenario|all")
 	quick := fs.Bool("quick", false, "reduced scale (fewer trials, smaller networks)")
 	seed := fs.Uint64("seed", 2011, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel trial workers (0 = all cores); results are identical for any value")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(w, "vmat-bench", version)
+		return nil
 	}
 
 	runners := map[string]func() error{
@@ -51,9 +59,10 @@ func run(args []string, w io.Writer) error {
 		"loss":     func() error { return runLoss(w, *quick, *seed, *workers) },
 		"avail":    func() error { return runAvailability(w, *quick, *seed, *workers) },
 		"msweep":   func() error { return runMSweep(w, *quick, *seed, *workers) },
+		"scenario": func() error { return runScenario(w, *quick, *seed, *workers) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail"} {
+		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail", "scenario"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -104,6 +113,23 @@ func runMSweep(w io.Writer, quick bool, seed uint64, workers int) error {
 	}
 	rows := experiments.RunMSweep(cfg)
 	return experiments.MSweepTable(rows, cfg.Count).Write(w)
+}
+
+// runScenario runs the default service workload (the same driver
+// cmd/vmat-server executes jobs with), printing one row per trial.
+func runScenario(w io.Writer, quick bool, seed uint64, workers int) error {
+	cfg := experiments.DefaultScenario()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	if quick {
+		cfg.N = 40
+		cfg.Trials = 5
+	}
+	rows, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.ScenarioTable(cfg, rows).Write(w)
 }
 
 func runComm(w io.Writer, quick bool, seed uint64, workers int) error {

@@ -68,3 +68,23 @@ func TestBenchWorkersFlagInvisibleInOutput(t *testing.T) {
 		t.Fatalf("worker count changed the table:\n%s\nvs\n%s", a, b)
 	}
 }
+
+func TestBenchVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out := buf.String(); !strings.Contains(out, "vmat-bench") || !strings.Contains(out, version) {
+		t.Fatalf("version output = %q", out)
+	}
+}
+
+func TestBenchScenarioQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "scenario", "-quick"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out := buf.String(); !strings.Contains(out, "trial") {
+		t.Fatalf("scenario output missing trial rows:\n%s", out)
+	}
+}

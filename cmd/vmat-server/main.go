@@ -1,0 +1,111 @@
+// Command vmat-server serves VMAT aggregation as a service: scenario
+// jobs are submitted over HTTP, run on a bounded worker pool through the
+// same deterministic trial-runner as the CLIs, and their results,
+// traces, and metrics are retrievable while the server runs.
+//
+// Usage:
+//
+//	vmat-server -addr :8080 -queue 64 -workers 4
+//
+// API:
+//
+//	POST   /v1/jobs            submit a scenario spec (429 when the queue is full)
+//	GET    /v1/jobs/{id}       status + result rows
+//	GET    /v1/jobs/{id}/trace NDJSON stream of engine events
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /healthz            liveness + version + drain state
+//	GET    /metrics            text metrics exposition
+//
+// On SIGTERM/SIGINT the server drains gracefully: it stops accepting
+// work, finishes queued and running jobs, then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+)
+
+// version is stamped by the Makefile via -ldflags "-X main.version=...".
+var version = "dev"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmat-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmat-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 64, "bounded job-queue capacity (submissions beyond it get 429)")
+	workers := fs.Int("workers", 0, "concurrent job executors (0 = all cores)")
+	retain := fs.Int("retain", 128, "completed jobs kept retrievable before eviction")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "max time to finish in-flight jobs on shutdown")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(w, "vmat-server", version)
+		return nil
+	}
+
+	reg := metrics.New()
+	mgr := service.New(service.Config{
+		QueueSize: *queue,
+		Workers:   *workers,
+		Retain:    *retain,
+		Metrics:   reg,
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(mgr, version),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(w, "vmat-server %s listening on %s (queue %d, workers %d)\n",
+			version, *addr, *queue, *workers)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections and jobs, finish what
+	// is queued and running, then exit. The metrics registry is served
+	// until the very end, so a final scrape sees queue depth 0.
+	fmt.Fprintln(w, "vmat-server: signal received, draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := mgr.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintln(w, "vmat-server: drained, bye")
+	return <-errCh
+}

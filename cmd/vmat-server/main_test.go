@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestVersionFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := buf.String(); !strings.Contains(got, "vmat-server") || !strings.Contains(got, version) {
+		t.Fatalf("version output = %q, want it to name the binary and version %q", got, version)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-no-such-flag"}, &buf); err == nil {
+		t.Fatal("run accepted an unknown flag")
+	}
+}
+
+// freeAddr reserves an ephemeral port and releases it for the server to
+// bind. Marginally racy, but fine for a test on loopback.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestServeSubmitAndSIGTERMDrain runs the real binary entry point,
+// submits a job over HTTP, then delivers SIGTERM and verifies run
+// returns cleanly after draining the in-flight work.
+func TestServeSubmitAndSIGTERMDrain(t *testing.T) {
+	addr := freeAddr(t)
+	var buf strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-queue", "4", "-workers", "2"}, &buf)
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base)
+
+	spec := `{"n":30,"topology":"geometric","query":"min","attack":"drop","malicious":1,"trials":2,"seed":7}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: status %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	// SIGTERM is caught by signal.NotifyContext inside run, so it drains
+	// the job we just submitted instead of killing the test process.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned error after SIGTERM: %v\noutput:\n%s", err, buf.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatalf("server did not drain within 60s\noutput:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"listening on", "draining", "drained, bye"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never became healthy", base)
+}

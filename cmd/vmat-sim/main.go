@@ -23,8 +23,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/keydist"
+	"repro/internal/service"
 	"repro/internal/topology"
 )
+
+// version is stamped by the Makefile via -ldflags "-X main.version=...".
+var version = "dev"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -48,8 +52,14 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	workers := fs.Int("workers", 0, "per-slot step goroutines (0 = all cores); results are identical for any value")
 	verbose := fs.Bool("v", false, "print the execution event trace")
+	trace := fs.Bool("trace", false, "print the execution event trace as NDJSON (same encoding as the server's /trace endpoint)")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(w, "vmat-sim", version)
+		return nil
 	}
 	if *n < 2 {
 		return fmt.Errorf("need at least 2 nodes, got %d", *n)
@@ -109,6 +119,10 @@ func run(args []string, w io.Writer) error {
 	}
 	if *verbose {
 		cfg.Trace = func(ev core.Event) { fmt.Fprintln(w, ev) }
+	}
+	if *trace {
+		enc := service.NewTraceEncoder(w)
+		cfg.Trace = func(ev core.Event) { _ = enc.Encode(0, ev) }
 	}
 
 	fmt.Fprintf(w, "network: %d nodes, %d edges, depth %d, %d malicious\n",

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -124,5 +125,37 @@ func TestSimWorkersFlagInvisibleInOutput(t *testing.T) {
 	b := runCLI(t, "-n", "30", "-attack", "drop", "-seed", "9", "-workers", "8")
 	if a != b {
 		t.Fatal("worker count changed the execution output")
+	}
+}
+
+func TestSimVersionFlag(t *testing.T) {
+	out := runCLI(t, "-version")
+	if !strings.Contains(out, "vmat-sim") || !strings.Contains(out, version) {
+		t.Fatalf("version output = %q", out)
+	}
+}
+
+func TestSimTraceNDJSON(t *testing.T) {
+	out := runCLI(t, "-n", "20", "-seed", "3", "-trace")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var events int
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "{") {
+			continue // human-readable report lines
+		}
+		events++
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line is not JSON: %q: %v", line, err)
+		}
+		if _, ok := ev["kind"]; !ok {
+			t.Fatalf("trace line missing kind: %q", line)
+		}
+		if trial, ok := ev["trial"].(float64); !ok || trial != 0 {
+			t.Fatalf("trace line should carry trial 0: %q", line)
+		}
+	}
+	if events == 0 {
+		t.Fatalf("no NDJSON events in output:\n%s", out)
 	}
 }

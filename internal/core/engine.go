@@ -10,6 +10,7 @@ import (
 	"repro/internal/authbcast"
 	"repro/internal/crypto"
 	"repro/internal/keydist"
+	"repro/internal/metrics"
 	"repro/internal/simnet"
 	"repro/internal/topology"
 )
@@ -65,6 +66,12 @@ type Config struct {
 	// minima, vetoes, predicate tests, walk steps, revocations, the
 	// outcome). It is called from the engine's driver goroutine only.
 	Trace func(Event)
+	// Metrics, when non-nil, receives per-execution counters: executions
+	// by outcome, predicate tests, revocations, and the simnet
+	// byte/slot/drop totals. Counters are flushed once when the execution
+	// finishes, so the per-slot hot loop is untouched; nil keeps the
+	// zero-overhead path.
+	Metrics *metrics.Registry
 	// AdversaryFavored delivers malicious-originated messages ahead of
 	// honest ones within a slot (worst-case timing).
 	AdversaryFavored bool
@@ -80,6 +87,16 @@ type Config struct {
 // does not supply a registry. The paper's Section IX finds theta = 27
 // sufficient for near-zero mis-revocation with up to 20 malicious sensors.
 const DefaultTheta = 27
+
+// Metric names flushed into Config.Metrics when an execution finishes.
+// MetricExecutions additionally gets a per-outcome labeled variant,
+// e.g. `core_executions_total{outcome="result"}`.
+const (
+	MetricExecutions     = "core_executions_total"
+	MetricPredicateTests = "core_predicate_tests_total"
+	MetricRevokedKeys    = "core_revoked_keys_total"
+	MetricRevokedNodes   = "core_revoked_nodes_total"
+)
 
 // OutcomeKind classifies how an execution ended.
 type OutcomeKind int
@@ -435,6 +452,14 @@ func (e *Engine) finish(o *Outcome) *Outcome {
 	o.AggMaxNodeBytes = e.aggMaxNodeBytes
 	o.AggMedianNodeBytes = e.aggMedianNodeBytes
 	o.PhaseSlots = e.phaseSlots
+	if reg := e.cfg.Metrics; reg != nil {
+		o.Stats.ReportTo(reg)
+		reg.Counter(MetricExecutions).Inc()
+		reg.Counter(MetricExecutions + `{outcome="` + o.Kind.String() + `"}`).Inc()
+		reg.Counter(MetricPredicateTests).Add(int64(o.PredicateTests))
+		reg.Counter(MetricRevokedKeys).Add(int64(len(o.RevokedKeys)))
+		reg.Counter(MetricRevokedNodes).Add(int64(len(o.RevokedNodes)))
+	}
 	return o
 }
 

@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// TestMetricsMatchExecutionStats runs one honest execution with a
+// registry attached and checks the flushed simnet counters against the
+// outcome's own Stats (the satellite acceptance: metrics counters match
+// Stats.TotalBytes after an execution).
+func TestMetricsMatchExecutionStats(t *testing.T) {
+	f := newFixture(t, topology.Grid(4, 4), 11)
+	cfg := f.config(11)
+	reg := metrics.New()
+	cfg.Metrics = reg
+	out := run(t, cfg)
+	if out.Kind != core.OutcomeResult {
+		t.Fatalf("outcome = %v, want result", out.Kind)
+	}
+
+	total := reg.Counter(simnet.MetricBytesSent).Value() +
+		reg.Counter(simnet.MetricBytesReceived).Value()
+	if want := out.Stats.TotalBytes(); total != want {
+		t.Fatalf("metrics bytes = %d, want Stats.TotalBytes %d", total, want)
+	}
+	if got := reg.Counter(simnet.MetricSlots).Value(); got != int64(out.Slots) {
+		t.Fatalf("slots counter = %d, want %d", got, out.Slots)
+	}
+	if got := reg.Counter(core.MetricExecutions).Value(); got != 1 {
+		t.Fatalf("executions counter = %d, want 1", got)
+	}
+	if got := reg.Counter(core.MetricExecutions + `{outcome="result"}`).Value(); got != 1 {
+		t.Fatalf("labeled executions counter = %d, want 1", got)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "core_executions_total 1") {
+		t.Fatalf("exposition missing executions counter:\n%s", sb.String())
+	}
+}
+
+// TestMetricsAccumulateAcrossExecutions attaches one registry to two
+// executions (the serving layer's usage) and checks revocation and
+// predicate-test counters flow through on an attacked run.
+func TestMetricsAccumulateAcrossExecutions(t *testing.T) {
+	// Same scenario as TestDroppingAttackTriggersVetoRevocation: the
+	// minimum at node 4 routes through the dropper at node 2; the veto
+	// floods around it and triggers pinpointing.
+	f := newFixture(t, bypassGraph(), 8)
+	reg := metrics.New()
+
+	honest := f.config(7)
+	honest.Metrics = reg
+	run(t, honest)
+
+	f.readings[4] = 1
+	attacked := f.config(8)
+	attacked.Metrics = reg
+	attacked.Malicious = maliciousSet(2)
+	attacked.Adversary = adversary.NewDropper(50)
+	attacked.AdversaryFavored = true
+	out := run(t, attacked)
+
+	if got := reg.Counter(core.MetricExecutions).Value(); got != 2 {
+		t.Fatalf("executions counter = %d, want 2", got)
+	}
+	if got := reg.Counter(core.MetricPredicateTests).Value(); got != int64(out.PredicateTests) {
+		t.Fatalf("predicate tests counter = %d, want %d", got, out.PredicateTests)
+	}
+	if got := reg.Counter(core.MetricRevokedKeys).Value(); got != int64(len(out.RevokedKeys)) {
+		t.Fatalf("revoked keys counter = %d, want %d", got, len(out.RevokedKeys))
+	}
+	if len(out.RevokedKeys) == 0 {
+		t.Fatal("dropper run should revoke at least one key")
+	}
+}

@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/crypto"
+	"repro/internal/keydist"
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+// ScenarioConfig is the service-shaped workload: the vmat-sim scenario
+// (topology, query, attack) run as Trials independent executions through
+// the deterministic trial-runner. It is the job spec cmd/vmat-server
+// accepts over HTTP and the workload `vmat-bench -exp scenario` prints,
+// so both front ends produce bit-identical rows for the same seed and
+// any worker count.
+type ScenarioConfig struct {
+	// N is the node count; node 0 is the base station.
+	N int `json:"n"`
+	// Topology is geometric, grid, or line.
+	Topology string `json:"topology"`
+	// Query is min, count, sum, or average.
+	Query string `json:"query"`
+	// Attack is none, drop, hide, junk, choke, drop-choke, or mute.
+	Attack string `json:"attack"`
+	// Malicious is the number of compromised sensors (ignored for
+	// Attack "none").
+	Malicious int `json:"malicious"`
+	// Multipath enables ring-based multi-path aggregation.
+	Multipath bool `json:"multipath"`
+	// LossRate drops each delivered message with this probability.
+	LossRate float64 `json:"loss_rate"`
+	// Synopses is the instance count for count/sum/average (default 100).
+	Synopses int `json:"synopses"`
+	// Theta is the whole-sensor revocation threshold; 0 auto-calibrates
+	// via keydist.SuggestTheta.
+	Theta int `json:"theta"`
+	// Trials is the number of independent executions.
+	Trials int `json:"trials"`
+	// Seed drives the whole scenario deterministically.
+	Seed uint64 `json:"seed"`
+	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Rows are
+	// identical for every worker count.
+	Workers int `json:"workers"`
+
+	// Context, when non-nil, cancels the run: each trial checks it
+	// before starting and the run returns the context's error. Used by
+	// the job service's DELETE endpoint.
+	Context context.Context `json:"-"`
+	// Trace, when non-nil, receives every engine event of every trial,
+	// tagged with the trial index. Trials run concurrently, so the
+	// callback must be safe for concurrent use.
+	Trace func(trial int, ev core.Event) `json:"-"`
+	// Metrics, when non-nil, receives per-execution engine counters.
+	Metrics *metrics.Registry `json:"-"`
+}
+
+// DefaultScenario returns a small attacked deployment: the drop attack
+// of Section III on a geometric network, MIN query, 20 trials.
+func DefaultScenario() ScenarioConfig {
+	return ScenarioConfig{
+		N:         60,
+		Topology:  "geometric",
+		Query:     "min",
+		Attack:    "drop",
+		Malicious: 2,
+		Synopses:  100,
+		Trials:    20,
+		Seed:      2011,
+	}
+}
+
+// scenarioTopologies and scenarioQueries/scenarioAttacks are the
+// accepted enum values, shared with Validate's error messages.
+var (
+	scenarioTopologies = []string{"geometric", "grid", "line"}
+	scenarioQueries    = []string{"min", "count", "sum", "average"}
+	scenarioAttacks    = []string{"none", "drop", "hide", "junk", "choke", "drop-choke", "mute"}
+)
+
+func oneOf(v string, allowed []string) bool {
+	for _, a := range allowed {
+		if v == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize fills defaulted fields in place (empty topology/query/attack
+// strings, zero synopsis count).
+func (c *ScenarioConfig) Normalize() {
+	if c.Topology == "" {
+		c.Topology = "geometric"
+	}
+	if c.Query == "" {
+		c.Query = "min"
+	}
+	if c.Attack == "" {
+		c.Attack = "none"
+	}
+	if c.Synopses == 0 {
+		c.Synopses = 100
+	}
+	if c.Attack == "none" {
+		c.Malicious = 0
+	}
+}
+
+// Validate reports the first problem with the scenario, or nil. It does
+// not normalize; call Normalize first when accepting external specs.
+func (c *ScenarioConfig) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("scenario: need at least 2 nodes, got %d", c.N)
+	}
+	if c.N > 100_000 {
+		return fmt.Errorf("scenario: n %d exceeds the 100000-node limit", c.N)
+	}
+	if !oneOf(c.Topology, scenarioTopologies) {
+		return fmt.Errorf("scenario: unknown topology %q (want one of %v)", c.Topology, scenarioTopologies)
+	}
+	if !oneOf(c.Query, scenarioQueries) {
+		return fmt.Errorf("scenario: unknown query %q (want one of %v)", c.Query, scenarioQueries)
+	}
+	if !oneOf(c.Attack, scenarioAttacks) {
+		return fmt.Errorf("scenario: unknown attack %q (want one of %v)", c.Attack, scenarioAttacks)
+	}
+	if c.Attack != "none" && (c.Malicious < 1 || c.Malicious >= c.N) {
+		return fmt.Errorf("scenario: malicious count %d out of range [1, n)", c.Malicious)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("scenario: loss rate %g out of range [0, 1)", c.LossRate)
+	}
+	if c.Synopses < 1 || c.Synopses > 10_000 {
+		return fmt.Errorf("scenario: synopsis count %d out of range [1, 10000]", c.Synopses)
+	}
+	if c.Theta < 0 {
+		return fmt.Errorf("scenario: negative theta %d", c.Theta)
+	}
+	if c.Trials < 1 || c.Trials > 100_000 {
+		return fmt.Errorf("scenario: trial count %d out of range [1, 100000]", c.Trials)
+	}
+	return nil
+}
+
+// ScenarioRow is one trial's result. Every field is JSON-safe (no NaN or
+// Inf): Answer is zero when Answered is false.
+type ScenarioRow struct {
+	Trial          int     `json:"trial"`
+	Outcome        string  `json:"outcome"`
+	Answered       bool    `json:"answered"`
+	Answer         float64 `json:"answer"`
+	Slots          int     `json:"slots"`
+	FloodingRounds float64 `json:"flooding_rounds"`
+	PredicateTests int     `json:"predicate_tests"`
+	RevokedKeys    int     `json:"revoked_keys"`
+	RevokedNodes   int     `json:"revoked_nodes"`
+	TotalBytes     int64   `json:"total_bytes"`
+	MaxNodeBytes   int64   `json:"max_node_bytes"`
+}
+
+// RunScenario executes the scenario's trials through RunTrials and
+// returns per-trial rows in trial order. Rows are a pure function of the
+// config's scenario fields for any Workers value.
+func RunScenario(cfg ScenarioConfig) ([]ScenarioRow, error) {
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return RunTrials(subSeed(cfg.Seed, "scenario", uint64(cfg.N)),
+		cfg.Trials, cfg.Workers,
+		func(trial int, rng *crypto.Stream) (ScenarioRow, error) {
+			if cfg.Context != nil && cfg.Context.Err() != nil {
+				return ScenarioRow{}, cfg.Context.Err()
+			}
+			return scenarioTrial(cfg, trial, rng)
+		})
+}
+
+// scenarioTrial runs one independent execution: fresh topology, key
+// material, and malicious set, all drawn from the trial's private
+// stream.
+func scenarioTrial(cfg ScenarioConfig, trial int, rng *crypto.Stream) (ScenarioRow, error) {
+	graph, err := scenarioTopology(cfg.Topology, cfg.N, rng)
+	if err != nil {
+		return ScenarioRow{}, err
+	}
+	dep, err := keydist.NewDeployment(cfg.N, denseProtoParams,
+		crypto.KeyFromUint64(rng.Uint64()), rng.Fork([]byte("keys")))
+	if err != nil {
+		return ScenarioRow{}, err
+	}
+
+	// Malicious placement follows vmat-sim: rejection-sample compromised
+	// sensors that keep the honest component connected, so the attack
+	// tests the protocol rather than a partitioned network.
+	mal := map[topology.NodeID]bool{}
+	if cfg.Attack != "none" {
+		for attempts := 0; len(mal) < cfg.Malicious && attempts < 20*cfg.Malicious+60; attempts++ {
+			cand := topology.NodeID(rng.Intn(cfg.N-1) + 1)
+			if mal[cand] {
+				continue
+			}
+			mal[cand] = true
+			if !graph.ConnectedExcluding(topology.BaseStation, mal) {
+				delete(mal, cand)
+			}
+		}
+	}
+	adv, err := scenarioAttack(cfg.Attack)
+	if err != nil {
+		return ScenarioRow{}, err
+	}
+	theta := cfg.Theta
+	if theta == 0 {
+		theta = keydist.SuggestTheta(denseProtoParams, maxOf(len(mal), 1), cfg.N, 0.05)
+	}
+
+	ecfg := core.Config{
+		Graph:      graph,
+		Deployment: dep,
+		Registry:   keydist.NewRegistry(dep, theta),
+		Malicious:  mal,
+		Adversary:  adv,
+		Multipath:  cfg.Multipath,
+		LossRate:   cfg.LossRate,
+		Seed:       rng.Uint64(),
+		Metrics:    cfg.Metrics,
+		Readings: func(id topology.NodeID, _ int) float64 {
+			if id == topology.BaseStation {
+				return core.Inf()
+			}
+			return 100 + float64(id)
+		},
+		AdversaryFavored: cfg.Attack != "none",
+		// Trials parallelize across RunTrials workers; keep each engine's
+		// per-slot fan-out on its own worker.
+		Workers: 1,
+	}
+	if cfg.Trace != nil {
+		trace := cfg.Trace
+		ecfg.Trace = func(ev core.Event) { trace(trial, ev) }
+	}
+
+	switch cfg.Query {
+	case "min":
+		eng, err := core.NewEngine(ecfg)
+		if err != nil {
+			return ScenarioRow{}, err
+		}
+		out, err := eng.Run()
+		if err != nil {
+			return ScenarioRow{}, err
+		}
+		row := newScenarioRow(trial, out)
+		if out.Kind == core.OutcomeResult {
+			row.Answered = true
+			row.Answer = out.Mins[0]
+		}
+		return row, nil
+	case "count":
+		res, err := core.RunCount(ecfg, func(id topology.NodeID) bool { return id%2 == 0 }, cfg.Synopses)
+		if err != nil {
+			return ScenarioRow{}, err
+		}
+		return aggregateRow(trial, res), nil
+	case "sum":
+		res, err := core.RunSum(ecfg, scenarioSumReading, scenarioSumDomain, cfg.Synopses)
+		if err != nil {
+			return ScenarioRow{}, err
+		}
+		return aggregateRow(trial, res), nil
+	case "average":
+		res, err := core.RunAverageCombined(ecfg, scenarioAvgReading, scenarioAvgDomain, cfg.Synopses)
+		if err != nil {
+			return ScenarioRow{}, err
+		}
+		row := newScenarioRow(trial, res.Sum.Outcome)
+		if !math.IsNaN(res.Estimate) && !math.IsInf(res.Estimate, 0) {
+			row.Answered = true
+			row.Answer = res.Estimate
+		}
+		return row, nil
+	default:
+		return ScenarioRow{}, fmt.Errorf("scenario: unknown query %q", cfg.Query)
+	}
+}
+
+// The deterministic readings of the sum/average queries, shared with
+// vmat-sim's demo workload.
+var (
+	scenarioSumDomain = []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	scenarioAvgDomain = []int64{1, 2, 3, 4, 5}
+)
+
+func scenarioSumReading(id topology.NodeID) int64 {
+	if id == topology.BaseStation {
+		return 0
+	}
+	return int64(id%10) + 1
+}
+
+func scenarioAvgReading(id topology.NodeID) int64 {
+	if id == topology.BaseStation {
+		return 0
+	}
+	return int64(id%5) + 1
+}
+
+func newScenarioRow(trial int, out *core.Outcome) ScenarioRow {
+	return ScenarioRow{
+		Trial:          trial,
+		Outcome:        out.Kind.String(),
+		Slots:          out.Slots,
+		FloodingRounds: out.FloodingRounds,
+		PredicateTests: out.PredicateTests,
+		RevokedKeys:    len(out.RevokedKeys),
+		RevokedNodes:   len(out.RevokedNodes),
+		TotalBytes:     out.Stats.TotalBytes(),
+		MaxNodeBytes:   out.Stats.MaxNodeBytes(),
+	}
+}
+
+func aggregateRow(trial int, res *core.AggregateResult) ScenarioRow {
+	row := newScenarioRow(trial, res.Outcome)
+	if res.Answered() && !math.IsNaN(res.Estimate) && !math.IsInf(res.Estimate, 0) {
+		row.Answered = true
+		row.Answer = res.Estimate
+	}
+	return row
+}
+
+func scenarioTopology(kind string, n int, rng *crypto.Stream) (*topology.Graph, error) {
+	switch kind {
+	case "geometric":
+		g, _ := topology.RandomGeometric(n, connectivityRadius(n, 12), rng.Fork([]byte("topo")))
+		return g, nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return topology.Grid(side, (n+side-1)/side), nil
+	case "line":
+		return topology.Line(n), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology %q", kind)
+	}
+}
+
+func scenarioAttack(name string) (core.Adversary, error) {
+	switch name {
+	case "none":
+		return core.HonestAdversary{}, nil
+	case "drop":
+		return adversary.NewDropper(1000), nil
+	case "hide":
+		return adversary.NewHider(), nil
+	case "junk":
+		return adversary.NewJunkInjector(-1e6), nil
+	case "choke":
+		return adversary.NewChoker(), nil
+	case "drop-choke":
+		return adversary.NewDropAndChoke(1000), nil
+	case "mute":
+		return adversary.NewMute(), nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown attack %q", name)
+	}
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ScenarioTable renders the rows as vmat-bench prints them.
+func ScenarioTable(cfg ScenarioConfig, rows []ScenarioRow) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Scenario: n=%d %s %s query, attack=%s x%d, %d trials, seed %d",
+			cfg.N, cfg.Topology, cfg.Query, cfg.Attack, cfg.Malicious, cfg.Trials, cfg.Seed),
+		Columns: []string{"trial", "outcome", "answered", "answer", "slots", "rounds", "tests", "rev_keys", "rev_nodes", "total_bytes"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			d(r.Trial), r.Outcome, fmt.Sprintf("%v", r.Answered), f2(r.Answer),
+			d(r.Slots), f2(r.FloodingRounds), d(r.PredicateTests),
+			d(r.RevokedKeys), d(r.RevokedNodes), fmt.Sprintf("%d", r.TotalBytes),
+		})
+	}
+	return t
+}

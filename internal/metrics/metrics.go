@@ -1,0 +1,271 @@
+// Package metrics is a small, allocation-conscious metrics registry for
+// the serving layer: counters, gauges, and fixed-bucket histograms, all
+// backed by atomics so the hot paths they instrument never take a lock.
+//
+// The design follows the flush-once discipline the simulator's hot loops
+// require: per-slot code accumulates into its own plain counters (see
+// simnet.Stats) and reports aggregate deltas into a Registry once per
+// execution. Handles returned by Counter/Gauge/Histogram are stable and
+// should be cached by callers on hot paths; the name-to-handle lookup
+// takes a mutex, updates through a handle are a single atomic op.
+//
+// Names follow the Prometheus text convention and may carry a label
+// section, e.g. `vmat_jobs_total{outcome="done"}`. The exposition writer
+// groups metrics by family (the name before the label section) and emits
+// one `# TYPE` line per family, so the output is scrapeable as-is.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative; negative
+// deltas are ignored to keep counters monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a 64-bit value that can go up and down (queue depths,
+// in-flight jobs).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram over int64
+// observations (the unit is the caller's — the serving layer uses
+// microseconds for latencies). Buckets are chosen at creation and never
+// reallocated, so Observe is two atomic adds and a small scan.
+type Histogram struct {
+	bounds []int64        // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64 // len(bounds)+1
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with New. All methods are safe for concurrent use. A nil *Registry is
+// accepted by the instrumented layers and means "don't measure".
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Panics if the name is already registered as another kind.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.mustBeFree(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Panics if the name is already registered as another kind.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.mustBeFree(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (bounds are sorted and
+// deduplicated; later calls may pass nil to reuse the existing one).
+// Panics if the name is already registered as another kind.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	r.mustBeFree(name, "histogram")
+	bs := append([]int64(nil), bounds...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	bs = dedupe(bs)
+	h := &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	r.histograms[name] = h
+	return h
+}
+
+func dedupe(sorted []int64) []int64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// mustBeFree panics when name is taken by a different metric kind; a
+// kind clash is a programming error, not a runtime condition.
+func (r *Registry) mustBeFree(name, kind string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a counter, requested as %s", name, kind))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a gauge, requested as %s", name, kind))
+	}
+	if _, ok := r.histograms[name]; ok {
+		panic(fmt.Sprintf("metrics: %q already registered as a histogram, requested as %s", name, kind))
+	}
+}
+
+// family splits off the label section: `a_total{x="y"}` -> `a_total`.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteText renders every metric in the Prometheus text exposition
+// format, sorted by name, with one # TYPE line per family.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	type entry struct {
+		name string
+		kind string // counter | gauge | histogram
+	}
+	entries := make([]entry, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name := range r.counters {
+		entries = append(entries, entry{name, "counter"})
+	}
+	for name := range r.gauges {
+		entries = append(entries, entry{name, "gauge"})
+	}
+	for name := range r.histograms {
+		entries = append(entries, entry{name, "histogram"})
+	}
+	counters := r.counters
+	gauges := r.gauges
+	histograms := r.histograms
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	lastFamily := ""
+	for _, e := range entries {
+		if f := family(e.name); f != lastFamily {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f, e.kind); err != nil {
+				return err
+			}
+			lastFamily = f
+		}
+		switch e.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, counters[e.name].Value()); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, gauges[e.name].Value()); err != nil {
+				return err
+			}
+		case "histogram":
+			if err := writeHistogram(w, e.name, histograms[e.name]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders cumulative buckets plus _sum and _count. Bucket
+// lines splice the le label into any existing label section.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], strings.TrimSuffix(name[i+1:], "}")
+		labels += ","
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("%d", h.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labels, le, cum); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + strings.TrimSuffix(labels, ",") + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, suffix, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, h.Count())
+	return err
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs_total") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-3)
+	g.Dec()
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_us", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 99, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1+10+11+99+100+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE latency_us histogram",
+		`latency_us_bucket{le="10"} 2`,
+		`latency_us_bucket{le="100"} 5`,
+		`latency_us_bucket{le="1000"} 5`,
+		`latency_us_bucket{le="+Inf"} 6`,
+		"latency_us_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledNamesShareOneTypeLine(t *testing.T) {
+	r := New()
+	r.Counter(`jobs_total{outcome="done"}`).Add(2)
+	r.Counter(`jobs_total{outcome="failed"}`).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "# TYPE jobs_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE line for the jobs_total family:\n%s", out)
+	}
+	if !strings.Contains(out, `jobs_total{outcome="done"} 2`) ||
+		!strings.Contains(out, `jobs_total{outcome="failed"} 1`) {
+		t.Fatalf("missing labeled samples:\n%s", out)
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := New()
+	h := r.Histogram(`dur_us{route="/v1/jobs"}`, []int64{50})
+	h.Observe(10)
+	h.Observe(60)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`dur_us_bucket{route="/v1/jobs",le="50"} 1`,
+		`dur_us_bucket{route="/v1/jobs",le="+Inf"} 2`,
+		`dur_us_sum{route="/v1/jobs"} 70`,
+		`dur_us_count{route="/v1/jobs"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on kind clash")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestConcurrentUse exercises registration and updates from many
+// goroutines; run under -race it proves the lock/atomic split.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("depth").Add(1)
+				r.Gauge("depth").Add(-1)
+				r.Histogram("h_us", []int64{1, 10}).Observe(int64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("h_us", nil).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}

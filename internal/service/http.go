@@ -1,0 +1,195 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP metric names. Both carry route and (for requests) status-code
+// labels, e.g. `http_requests_total{route="POST /v1/jobs",code="202"}`.
+const (
+	MetricHTTPRequests = "http_requests_total"
+	MetricHTTPDuration = "http_request_duration_us"
+)
+
+// maxSpecBytes bounds a job-submission body.
+const maxSpecBytes = 1 << 20
+
+// NewHandler returns the server's HTTP API over a manager:
+//
+//	POST   /v1/jobs            submit a job (202; 400 invalid, 429 full, 503 draining)
+//	GET    /v1/jobs/{id}       job status and, when done, result rows
+//	GET    /v1/jobs/{id}/trace stream buffered engine events as NDJSON
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /healthz            liveness (includes version and drain state)
+//	GET    /metrics            text exposition of the manager's registry
+//
+// Every route is instrumented with a request counter and a latency
+// histogram in the manager's registry.
+func NewHandler(m *Manager, version string) http.Handler {
+	h := &api{m: m, version: version}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", h.instrument("POST /v1/jobs", h.submit))
+	mux.HandleFunc("GET /v1/jobs/{id}", h.instrument("GET /v1/jobs/{id}", h.get))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.instrument("GET /v1/jobs/{id}/trace", h.trace))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", h.instrument("DELETE /v1/jobs/{id}", h.cancel))
+	mux.HandleFunc("GET /healthz", h.instrument("GET /healthz", h.healthz))
+	mux.HandleFunc("GET /metrics", h.metrics) // not instrumented: scrapes shouldn't move the metrics they read
+	return mux
+}
+
+type api struct {
+	m       *Manager
+	version string
+}
+
+// statusRecorder captures the response code for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming works
+// through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (h *api) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	reg := h.m.Registry()
+	dur := reg.Histogram(
+		fmt.Sprintf("%s{route=%q}", MetricHTTPDuration, route),
+		[]int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000})
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		fn(rec, r)
+		dur.Observe(time.Since(start).Microseconds())
+		reg.Counter(fmt.Sprintf("%s{route=%q,code=\"%d\"}", MetricHTTPRequests, route, rec.code)).Inc()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (h *api) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
+		return
+	}
+	job, err := h.m.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{
+			"id":     job.ID(),
+			"status": string(job.Status()),
+		})
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (h *api) get(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (h *api) cancel(w http.ResponseWriter, r *http.Request) {
+	job, err := h.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"id":     job.ID(),
+		"status": string(job.Status()),
+	})
+}
+
+// trace streams the job's buffered engine events as NDJSON, following
+// a still-running job until it finishes (or the client goes away).
+func (h *api) trace(w http.ResponseWriter, r *http.Request) {
+	job, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	if !job.Spec().Trace {
+		writeError(w, http.StatusBadRequest, "job was not submitted with trace enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := NewTraceEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	next := 0
+	for {
+		events, terminal := job.TraceSince(next)
+		for _, te := range events {
+			if err := enc.EncodeEvent(te); err != nil {
+				return
+			}
+		}
+		next += len(events)
+		if flusher != nil && len(events) > 0 {
+			flusher.Flush()
+		}
+		if terminal {
+			// The snapshot was taken under the job lock after the final
+			// transition, so events includes everything: done.
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"version":  h.version,
+		"draining": h.m.Draining(),
+	})
+}
+
+func (h *api) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var sb strings.Builder
+	if err := h.m.Registry().WriteText(&sb); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	_, _ = w.Write([]byte(sb.String()))
+}

@@ -1,0 +1,482 @@
+// Package service is the aggregation-as-a-service layer: a job manager
+// that accepts VMAT scenario specs, runs them on a bounded worker pool,
+// and retains results for retrieval. It is the subsystem cmd/vmat-server
+// fronts over HTTP and later scaling work (sharding, caching,
+// multi-backend) plugs into.
+//
+// Admission control is explicit: jobs wait on a bounded queue and
+// Submit rejects with ErrQueueFull instead of blocking when the queue is
+// at capacity, so overload turns into fast 429s rather than unbounded
+// memory growth. Completed jobs are retained in a bounded FIFO of
+// terminal jobs (an LRU where insertion order is completion order);
+// clients polling old jobs eventually see a 404 and must re-submit.
+//
+// Execution goes through experiments.RunScenario, which is built on the
+// deterministic trial-runner — rows returned over HTTP are bit-identical
+// to what `vmat-bench -exp scenario` prints for the same seed, for any
+// queue pressure or worker count.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// Spec is a job submission: the scenario to run plus service options.
+type Spec struct {
+	experiments.ScenarioConfig
+	// Trace records engine events (bounded; see Config.MaxTraceEvents)
+	// for streaming from GET /v1/jobs/{id}/trace.
+	Trace bool `json:"trace"`
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: queued -> running -> done | failed | cancelled. A job
+// cancelled while still queued skips running entirely.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// terminal reports whether a status is final.
+func (s Status) terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Submission and execution errors. HTTP maps ErrQueueFull to 429 and
+// ErrDraining to 503; validation errors map to 400.
+var (
+	ErrQueueFull = errors.New("service: job queue is full")
+	ErrDraining  = errors.New("service: manager is draining, not accepting jobs")
+	ErrNotFound  = errors.New("service: no such job")
+)
+
+// Metric names the manager reports. Jobs-by-outcome counters carry an
+// outcome label, e.g. `service_jobs_total{outcome="done"}`.
+const (
+	MetricJobsSubmitted = "service_jobs_submitted_total"
+	MetricJobsRejected  = "service_jobs_rejected_total"
+	MetricJobs          = "service_jobs_total"
+	MetricQueueDepth    = "service_queue_depth"
+	MetricJobsRunning   = "service_jobs_running"
+	MetricJobDuration   = "service_job_duration_us"
+)
+
+// Config configures a Manager. Zero values pick serving defaults.
+type Config struct {
+	// QueueSize bounds the number of queued (admitted, not yet running)
+	// jobs. Default 64.
+	QueueSize int
+	// Workers is the number of concurrent job executors. Each job
+	// additionally parallelizes its trials per its spec. Default
+	// GOMAXPROCS.
+	Workers int
+	// Retain bounds how many terminal jobs stay retrievable; the oldest
+	// completed job is evicted first. Default 128.
+	Retain int
+	// MaxTraceEvents bounds the per-job trace buffer; events beyond the
+	// cap are counted but not stored. Default 65536.
+	MaxTraceEvents int
+	// Metrics receives service and engine counters. Nil creates a
+	// private registry (still served by Registry()).
+	Metrics *metrics.Registry
+}
+
+// Job is one submitted scenario run.
+type Job struct {
+	id     string
+	spec   Spec
+	cancel context.CancelFunc
+	ctx    context.Context
+	done   chan struct{}
+
+	mu           sync.Mutex
+	status       Status
+	rows         []experiments.ScenarioRow
+	errMsg       string
+	trace        []TraceEvent
+	traceDropped int64
+	maxTrace     int
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the normalized spec the job was admitted with.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Status returns the job's current state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done is closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Rows returns the result rows (non-nil only when done).
+func (j *Job) Rows() []experiments.ScenarioRow {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rows
+}
+
+// Err returns the failure message ("" unless failed or cancelled).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+// TraceSince returns a copy of the buffered trace events from index from
+// on, and whether the job has reached a terminal state. Streaming
+// clients loop: emit new events, then stop once terminal with no
+// remainder.
+func (j *Job) TraceSince(from int) ([]TraceEvent, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []TraceEvent
+	if from < len(j.trace) {
+		out = append(out, j.trace[from:]...)
+	}
+	return out, j.status.terminal()
+}
+
+// appendTrace is the engine trace hook; trials call it concurrently.
+func (j *Job) appendTrace(trial int, ev core.Event) {
+	te := NewTraceEvent(trial, ev)
+	j.mu.Lock()
+	if len(j.trace) < j.maxTrace {
+		j.trace = append(j.trace, te)
+	} else {
+		j.traceDropped++
+	}
+	j.mu.Unlock()
+}
+
+// transition moves the job to a new status if the current one allows
+// it, closing done on terminal transitions. Returns false when the job
+// is already terminal.
+func (j *Job) transition(to Status) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.terminal() {
+		return false
+	}
+	j.status = to
+	switch to {
+	case StatusRunning:
+		j.started = time.Now()
+	case StatusDone, StatusFailed, StatusCancelled:
+		j.finished = time.Now()
+		close(j.done)
+	}
+	return true
+}
+
+// cancelIfQueued atomically finalizes a job that has not started yet.
+func (j *Job) cancelIfQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusCancelled
+	j.finished = time.Now()
+	close(j.done)
+	return true
+}
+
+// View is the JSON projection of a job served by the HTTP API.
+type View struct {
+	ID     string                    `json:"id"`
+	Status Status                    `json:"status"`
+	Spec   Spec                      `json:"spec"`
+	Error  string                    `json:"error,omitempty"`
+	Rows   []experiments.ScenarioRow `json:"rows,omitempty"`
+	// TraceEvents is the number of buffered trace events;
+	// TraceDropped counts events beyond the buffer cap.
+	TraceEvents  int    `json:"trace_events,omitempty"`
+	TraceDropped int64  `json:"trace_dropped,omitempty"`
+	SubmittedAt  string `json:"submitted_at"`
+	StartedAt    string `json:"started_at,omitempty"`
+	FinishedAt   string `json:"finished_at,omitempty"`
+}
+
+// View snapshots the job for serialization.
+func (j *Job) View() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := View{
+		ID:           j.id,
+		Status:       j.status,
+		Spec:         j.spec,
+		Error:        j.errMsg,
+		Rows:         j.rows,
+		TraceEvents:  len(j.trace),
+		TraceDropped: j.traceDropped,
+		SubmittedAt:  j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+// Manager owns the queue, the worker pool, and the job table.
+type Manager struct {
+	cfg Config
+	reg *metrics.Registry
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	draining  bool
+	jobs      map[string]*Job
+	doneOrder []string // terminal job IDs, oldest first (retention FIFO)
+	nextID    uint64
+
+	queueDepth *metrics.Gauge
+	running    *metrics.Gauge
+	submitted  *metrics.Counter
+	jobDur     *metrics.Histogram
+
+	// runGate, when non-nil, is received from after a job transitions to
+	// running and before it executes. Tests use it to hold workers so
+	// queue-full and drain behavior is deterministic.
+	runGate chan struct{}
+}
+
+// New starts a manager with cfg.Workers executor goroutines.
+func New(cfg Config) *Manager {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 128
+	}
+	if cfg.MaxTraceEvents <= 0 {
+		cfg.MaxTraceEvents = 65536
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	m := &Manager{
+		cfg:        cfg,
+		reg:        cfg.Metrics,
+		queue:      make(chan *Job, cfg.QueueSize),
+		jobs:       map[string]*Job{},
+		queueDepth: cfg.Metrics.Gauge(MetricQueueDepth),
+		running:    cfg.Metrics.Gauge(MetricJobsRunning),
+		submitted:  cfg.Metrics.Counter(MetricJobsSubmitted),
+		jobDur: cfg.Metrics.Histogram(MetricJobDuration, []int64{
+			1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000, 1_000_000_000,
+		}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Registry returns the registry the manager reports into (never nil).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// reject counts one rejected submission by reason.
+func (m *Manager) reject(reason string) {
+	m.reg.Counter(MetricJobsRejected + `{reason="` + reason + `"}`).Inc()
+}
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns ErrQueueFull, a draining manager ErrDraining, an invalid spec
+// the validation error.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		m.reject("invalid")
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		maxTrace:  m.cfg.MaxTraceEvents,
+		submitted: time.Now(),
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel()
+		m.reject("draining")
+		return nil, ErrDraining
+	}
+	m.nextID++
+	job.id = fmt.Sprintf("j%06d", m.nextID)
+	select {
+	case m.queue <- job:
+		m.jobs[job.id] = job
+		m.queueDepth.Inc()
+		m.mu.Unlock()
+		m.submitted.Inc()
+		return job, nil
+	default:
+		m.nextID-- // not admitted; reuse the ID
+		m.mu.Unlock()
+		cancel()
+		m.reject("queue_full")
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID; ok is false when unknown or evicted.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a job. A queued job is finalized immediately; a
+// running one aborts at its next trial boundary. Cancelling a terminal
+// job is a no-op.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	job, ok := m.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	job.cancel()
+	// If still queued, finalize here; the worker skips terminal jobs. A
+	// running job instead aborts at its next trial boundary and is
+	// finalized by its worker.
+	if job.cancelIfQueued() {
+		m.countOutcome(StatusCancelled)
+		m.retire(job)
+	}
+	return job, nil
+}
+
+// Drain stops admission, lets the workers finish every queued and
+// running job, and returns when the pool is idle (or ctx expires).
+// Safe to call more than once.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.draining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the manager has stopped accepting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.queueDepth.Dec()
+		m.runJob(job)
+	}
+}
+
+func (m *Manager) runJob(job *Job) {
+	if !job.transition(StatusRunning) {
+		return // cancelled while queued
+	}
+	m.running.Inc()
+	defer m.running.Dec()
+	if m.runGate != nil {
+		<-m.runGate
+	}
+
+	cfg := job.spec.ScenarioConfig
+	cfg.Context = job.ctx
+	cfg.Metrics = m.reg
+	if job.spec.Trace {
+		cfg.Trace = job.appendTrace
+	}
+	start := time.Now()
+	rows, err := experiments.RunScenario(cfg)
+	m.jobDur.Observe(time.Since(start).Microseconds())
+
+	var outcome Status
+	switch {
+	case err == nil:
+		outcome = StatusDone
+		job.mu.Lock()
+		job.rows = rows
+		job.mu.Unlock()
+	case errors.Is(err, context.Canceled):
+		outcome = StatusCancelled
+	default:
+		outcome = StatusFailed
+		job.mu.Lock()
+		job.errMsg = err.Error()
+		job.mu.Unlock()
+	}
+	if job.transition(outcome) {
+		m.countOutcome(outcome)
+	}
+	job.cancel() // release the context's resources
+	m.retire(job)
+}
+
+func (m *Manager) countOutcome(s Status) {
+	m.reg.Counter(MetricJobs + `{outcome="` + string(s) + `"}`).Inc()
+}
+
+// retire records a terminal job in completion order and evicts beyond
+// the retention bound.
+func (m *Manager) retire(job *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.doneOrder = append(m.doneOrder, job.id)
+	for len(m.doneOrder) > m.cfg.Retain {
+		evict := m.doneOrder[0]
+		m.doneOrder = m.doneOrder[1:]
+		delete(m.jobs, evict)
+	}
+}

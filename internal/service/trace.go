@@ -1,0 +1,68 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"repro/internal/core"
+)
+
+// TraceEvent is the NDJSON wire form of a core.Event, tagged with the
+// trial that emitted it. It is the one encoding shared by every trace
+// surface: `vmat-sim -trace` prints it (trial 0) and the server's
+// `GET /v1/jobs/{id}/trace` streams it.
+type TraceEvent struct {
+	Trial int    `json:"trial"`
+	Kind  string `json:"kind"`
+	Slot  int    `json:"slot"`
+	Label string `json:"label,omitempty"`
+	// Node is the sensor involved; -1 (core.NoNode) for key-only events.
+	Node     int `json:"node"`
+	Instance int `json:"instance"`
+	// Value is omitted when the event's value is NaN or infinite
+	// (encoding/json cannot represent those).
+	Value *float64 `json:"value,omitempty"`
+	// Key is the pool key index involved; core.NoKey when absent.
+	Key int  `json:"key"`
+	OK  bool `json:"ok"`
+}
+
+// NewTraceEvent converts an engine event.
+func NewTraceEvent(trial int, ev core.Event) TraceEvent {
+	te := TraceEvent{
+		Trial:    trial,
+		Kind:     ev.Kind.String(),
+		Slot:     ev.Slot,
+		Label:    ev.Label,
+		Node:     int(ev.Node),
+		Instance: ev.Instance,
+		Key:      ev.KeyIndex,
+		OK:       ev.OK,
+	}
+	if !math.IsNaN(ev.Value) && !math.IsInf(ev.Value, 0) {
+		v := ev.Value
+		te.Value = &v
+	}
+	return te
+}
+
+// TraceEncoder writes trace events as NDJSON: one JSON object per line.
+type TraceEncoder struct {
+	enc *json.Encoder
+}
+
+// NewTraceEncoder returns an encoder writing to w.
+func NewTraceEncoder(w io.Writer) *TraceEncoder {
+	return &TraceEncoder{enc: json.NewEncoder(w)}
+}
+
+// Encode writes one engine event.
+func (t *TraceEncoder) Encode(trial int, ev core.Event) error {
+	return t.enc.Encode(NewTraceEvent(trial, ev))
+}
+
+// EncodeEvent writes an already-converted event.
+func (t *TraceEncoder) EncodeEvent(te TraceEvent) error {
+	return t.enc.Encode(te)
+}
