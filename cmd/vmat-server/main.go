@@ -52,6 +52,7 @@ func run(args []string, w io.Writer) error {
 	queue := fs.Int("queue", 64, "bounded job-queue capacity (submissions beyond it get 429)")
 	workers := fs.Int("workers", 0, "concurrent job executors (0 = all cores)")
 	retain := fs.Int("retain", 128, "completed jobs kept retrievable before eviction")
+	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job execution deadline (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "max time to finish in-flight jobs on shutdown")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -64,14 +65,21 @@ func run(args []string, w io.Writer) error {
 
 	reg := metrics.New()
 	mgr := service.New(service.Config{
-		QueueSize: *queue,
-		Workers:   *workers,
-		Retain:    *retain,
-		Metrics:   reg,
+		QueueSize:  *queue,
+		Workers:    *workers,
+		Retain:     *retain,
+		JobTimeout: *jobTimeout,
+		Metrics:    reg,
 	})
+	// WriteTimeout stays 0: /v1/jobs/{id}/trace streams NDJSON for as
+	// long as the job runs. Header-read and idle timeouts still bound
+	// slow or stalled clients so they cannot pin connections forever.
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: service.NewHandler(mgr, version),
+		Addr:              *addr,
+		Handler:           service.NewHandler(mgr, version),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -193,24 +193,29 @@ func family(name string) string {
 // WriteText renders every metric in the Prometheus text exposition
 // format, sorted by name, with one # TYPE line per family.
 func (r *Registry) WriteText(w io.Writer) error {
-	r.mu.Lock()
+	// Snapshot name->metric pairs while holding the lock: labeled metrics
+	// are registered lazily at runtime, so indexing the live maps after
+	// unlocking would race with a concurrent insert (a fatal concurrent
+	// map read/write). The values themselves are atomics, so rendering
+	// outside the lock stays safe.
 	type entry struct {
 		name string
 		kind string // counter | gauge | histogram
+		c    *Counter
+		g    *Gauge
+		h    *Histogram
 	}
+	r.mu.Lock()
 	entries := make([]entry, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
-	for name := range r.counters {
-		entries = append(entries, entry{name, "counter"})
+	for name, c := range r.counters {
+		entries = append(entries, entry{name: name, kind: "counter", c: c})
 	}
-	for name := range r.gauges {
-		entries = append(entries, entry{name, "gauge"})
+	for name, g := range r.gauges {
+		entries = append(entries, entry{name: name, kind: "gauge", g: g})
 	}
-	for name := range r.histograms {
-		entries = append(entries, entry{name, "histogram"})
+	for name, h := range r.histograms {
+		entries = append(entries, entry{name: name, kind: "histogram", h: h})
 	}
-	counters := r.counters
-	gauges := r.gauges
-	histograms := r.histograms
 	r.mu.Unlock()
 
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
@@ -224,15 +229,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 		}
 		switch e.kind {
 		case "counter":
-			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, counters[e.name].Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value()); err != nil {
 				return err
 			}
 		case "gauge":
-			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, gauges[e.name].Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value()); err != nil {
 				return err
 			}
 		case "histogram":
-			if err := writeHistogram(w, e.name, histograms[e.name]); err != nil {
+			if err := writeHistogram(w, e.name, e.h); err != nil {
 				return err
 			}
 		}

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -107,6 +109,47 @@ func TestKindClashPanics(t *testing.T) {
 		}
 	}()
 	r.Gauge("x")
+}
+
+// TestConcurrentScrapeAndRegister scrapes WriteText while other
+// goroutines lazily register new labeled metrics — the serving pattern
+// where a /metrics scrape races the first job outcome or first HTTP
+// status of a route. Under -race this proves exposition never indexes
+// the live maps outside the registry lock.
+func TestConcurrentScrapeAndRegister(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				r.Counter(fmt.Sprintf(`jobs_total{outcome="o%d_%d"}`, g, i)).Inc()
+				r.Gauge(fmt.Sprintf("depth_%d_%d", g, i)).Set(int64(i))
+				r.Histogram(fmt.Sprintf(`dur_us{route="/r%d/%d"}`, g, i), []int64{10, 100}).Observe(int64(i))
+				r.Counter(`http_total{code="200"}`).Inc()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		if err := r.WriteText(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), fmt.Sprintf(`http_total{code="200"} %d`, 8*300)) {
+		t.Fatalf("final scrape missing expected sample:\n%s", sb.String())
+	}
 }
 
 // TestConcurrentUse exercises registration and updates from many

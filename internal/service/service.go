@@ -90,6 +90,12 @@ type Config struct {
 	// MaxTraceEvents bounds the per-job trace buffer; events beyond the
 	// cap are counted but not stored. Default 65536.
 	MaxTraceEvents int
+	// JobTimeout bounds each job's execution: a job still running after
+	// this long fails with a timeout error at its next trial boundary,
+	// so one huge spec cannot occupy a worker indefinitely. 0 disables
+	// the deadline (cmd/vmat-server sets its own default via
+	// -job-timeout).
+	JobTimeout time.Duration
 	// Metrics receives service and engine counters. Nil creates a
 	// private registry (still served by Registry()).
 	Metrics *metrics.Registry
@@ -433,7 +439,13 @@ func (m *Manager) runJob(job *Job) {
 	}
 
 	cfg := job.spec.ScenarioConfig
-	cfg.Context = job.ctx
+	runCtx := job.ctx
+	if m.cfg.JobTimeout > 0 {
+		var cancelTimeout context.CancelFunc
+		runCtx, cancelTimeout = context.WithTimeout(runCtx, m.cfg.JobTimeout)
+		defer cancelTimeout()
+	}
+	cfg.Context = runCtx
 	cfg.Metrics = m.reg
 	if job.spec.Trace {
 		cfg.Trace = job.appendTrace
@@ -451,6 +463,11 @@ func (m *Manager) runJob(job *Job) {
 		job.mu.Unlock()
 	case errors.Is(err, context.Canceled):
 		outcome = StatusCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		outcome = StatusFailed
+		job.mu.Lock()
+		job.errMsg = fmt.Sprintf("service: job exceeded the %s execution timeout", m.cfg.JobTimeout)
+		job.mu.Unlock()
 	default:
 		outcome = StatusFailed
 		job.mu.Lock()

@@ -339,6 +339,29 @@ func TestInvalidSpecRejected(t *testing.T) {
 	}
 }
 
+// TestJobTimeoutFailsLongJobs proves a configured JobTimeout bounds
+// execution: with an already-expired deadline the job fails at its first
+// trial boundary instead of occupying the worker, and the failure
+// message names the timeout.
+func TestJobTimeoutFailsLongJobs(t *testing.T) {
+	m := New(Config{QueueSize: 2, Workers: 1, JobTimeout: time.Nanosecond})
+	defer drain(t, m)
+	srv := httptest.NewServer(NewHandler(m, "test"))
+	defer srv.Close()
+
+	id, code := postJob(t, srv, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST -> %d, want 202", code)
+	}
+	v := waitStatus(t, srv, id, StatusFailed)
+	if !strings.Contains(v.Error, "execution timeout") {
+		t.Fatalf("error = %q, want it to mention the execution timeout", v.Error)
+	}
+	if got := m.reg.Counter(MetricJobs + `{outcome="failed"}`).Value(); got != 1 {
+		t.Fatalf("failed-outcome counter = %d, want 1", got)
+	}
+}
+
 func TestRetentionEvictsOldestTerminalJobs(t *testing.T) {
 	m := New(Config{QueueSize: 8, Workers: 1, Retain: 2})
 	srv := httptest.NewServer(NewHandler(m, "test"))
