@@ -19,10 +19,12 @@ race:
 	$(GO) test -race ./...
 
 # The race-sensitive subset: packages with real concurrency (per-slot
-# step goroutines, parallel trial workers, the job queue). CI runs this
-# instead of the full -race sweep to keep the loop fast.
+# step goroutines, parallel trial workers, the job queue) plus the fault
+# schedule and the engine's deadline/degradation paths, which both run
+# under the per-slot fan-out. CI runs this instead of the full -race
+# sweep to keep the loop fast.
 race-focus:
-	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service
+	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core
 
 vet:
 	$(GO) vet ./...

@@ -9,7 +9,7 @@
 //	vmat-bench -exp all -quick      # everything, reduced scale
 //
 // Experiments: fig7, fig8, comm, rounds, pinpoint, campaign, wormhole,
-// choking, all.
+// choking, faults, all.
 package main
 
 import (
@@ -34,7 +34,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vmat-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|scenario|all")
+	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|scenario|faults|all")
 	quick := fs.Bool("quick", false, "reduced scale (fewer trials, smaller networks)")
 	seed := fs.Uint64("seed", 2011, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel trial workers (0 = all cores); results are identical for any value")
@@ -60,9 +60,10 @@ func run(args []string, w io.Writer) error {
 		"avail":    func() error { return runAvailability(w, *quick, *seed, *workers) },
 		"msweep":   func() error { return runMSweep(w, *quick, *seed, *workers) },
 		"scenario": func() error { return runScenario(w, *quick, *seed, *workers) },
+		"faults":   func() error { return runFaults(w, *quick, *seed, *workers) },
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail", "scenario"} {
+		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail", "scenario", "faults"} {
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -130,6 +131,25 @@ func runScenario(w io.Writer, quick bool, seed uint64, workers int) error {
 		return err
 	}
 	return experiments.ScenarioTable(cfg, rows).Write(w)
+}
+
+// runFaults sweeps crash churn and burst loss with the ARQ on, printing
+// availability and exact-answer rates for both aggregation modes.
+func runFaults(w io.Writer, quick bool, seed uint64, workers int) error {
+	cfg := experiments.DefaultFaults()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	if quick {
+		cfg.N = 40
+		cfg.CrashProbs = []float64{0, 0.005}
+		cfg.BurstLoss = []float64{0, 0.5}
+		cfg.Trials = 3
+	}
+	rows, err := experiments.RunFaults(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.FaultsTable(rows).Write(w)
 }
 
 func runComm(w io.Writer, quick bool, seed uint64, workers int) error {

@@ -69,6 +69,13 @@ func TestBenchWorkersFlagInvisibleInOutput(t *testing.T) {
 	}
 }
 
+func TestBenchFaultsQuick(t *testing.T) {
+	out := runBench(t, "-exp", "faults", "-quick")
+	if !strings.Contains(out, "Graceful degradation") || !strings.Contains(out, "avg_retransmits") {
+		t.Fatalf("faults table malformed:\n%s", out)
+	}
+}
+
 func TestBenchVersionFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-version"}, &buf); err != nil {

@@ -22,8 +22,10 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/faults"
 	"repro/internal/keydist"
 	"repro/internal/service"
+	"repro/internal/simnet"
 	"repro/internal/topology"
 )
 
@@ -50,6 +52,13 @@ func run(args []string, w io.Writer) error {
 	malicious := fs.Int("malicious", 1, "number of malicious sensors (ignored for -attack none)")
 	multipath := fs.Bool("multipath", false, "use ring-based multi-path aggregation")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	crashProb := fs.Float64("crash", 0, "per-node per-slot crash probability (fault injection)")
+	recoverProb := fs.Float64("recover", 0.05, "per-slot recovery probability for crashed nodes")
+	linkDown := fs.Float64("link-down", 0, "per-link per-slot churn-down probability (fault injection)")
+	linkUp := fs.Float64("link-up", 0.2, "per-slot restore probability for downed links")
+	burstLoss := fs.Float64("burst-loss", 0, "bad-state loss rate of the Gilbert-Elliott burst chain (0 = off)")
+	arq := fs.Bool("arq", false, "enable the link-layer ARQ (per-hop acks, bounded-backoff retransmissions)")
+	maxSlots := fs.Int("max-slots", 0, "execution slot deadline (0 = default when faults/ARQ are on, unlimited otherwise)")
 	workers := fs.Int("workers", 0, "per-slot step goroutines (0 = all cores); results are identical for any value")
 	verbose := fs.Bool("v", false, "print the execution event trace")
 	trace := fs.Bool("trace", false, "print the execution event trace as NDJSON (same encoding as the server's /trace endpoint)")
@@ -116,6 +125,25 @@ func run(args []string, w io.Writer) error {
 			return 100 + float64(id)
 		},
 		AdversaryFavored: *attack != "none",
+		MaxSlots:         *maxSlots,
+	}
+	if *crashProb > 0 || *linkDown > 0 || *burstLoss > 0 {
+		spec := &faults.Spec{}
+		if *crashProb > 0 {
+			spec.CrashProb = *crashProb
+			spec.RecoverProb = *recoverProb
+		}
+		if *linkDown > 0 {
+			spec.LinkDownProb = *linkDown
+			spec.LinkUpProb = *linkUp
+		}
+		if *burstLoss > 0 {
+			spec.Burst = &faults.BurstSpec{EnterProb: 0.05, ExitProb: 0.2, LossBad: *burstLoss}
+		}
+		cfg.Faults = spec
+	}
+	if *arq {
+		cfg.ARQ = &simnet.ARQConfig{}
 	}
 	if *verbose {
 		cfg.Trace = func(ev core.Event) { fmt.Fprintln(w, ev) }
@@ -264,6 +292,18 @@ func report(w io.Writer, out *core.Outcome) {
 	fmt.Fprintf(w, "outcome: %v\n", out.Kind)
 	fmt.Fprintf(w, "cost: %d slots (%.1f flooding rounds), %d predicate tests, %d KB total traffic\n",
 		out.Slots, out.FloodingRounds, out.PredicateTests, out.Stats.TotalBytes()/1024)
+	if out.Partial {
+		fmt.Fprintf(w, "degraded: partial result, %d sensors unreachable, deadline exceeded: %v\n",
+			out.Unreachable, out.DeadlineExceeded)
+	}
+	if out.Stats.Retransmits > 0 || out.Stats.ARQFailed > 0 {
+		fmt.Fprintf(w, "arq: %d retransmissions, %d frames abandoned, %d acks (%d lost)\n",
+			out.Stats.Retransmits, out.Stats.ARQFailed, out.Stats.AcksSent, out.Stats.AcksLost)
+	}
+	if c := out.Faults; c != (faults.Counters{}) {
+		fmt.Fprintf(w, "faults: %d crashes, %d recoveries, %d links down, %d restored\n",
+			c.Crashes, c.Recoveries, c.LinksDowned, c.LinksRestored)
+	}
 	if len(out.RevokedKeys) > 0 || len(out.RevokedNodes) > 0 {
 		fmt.Fprintf(w, "revoked: keys %v, sensors %v\n", out.RevokedKeys, out.RevokedNodes)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/authbcast"
 	"repro/internal/crypto"
+	"repro/internal/faults"
 	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
@@ -72,6 +73,25 @@ type Config struct {
 	// finishes, so the per-slot hot loop is untouched; nil keeps the
 	// zero-overhead path.
 	Metrics *metrics.Registry
+	// Faults, when non-nil and enabled, injects a deterministic fault
+	// schedule (node crashes, link churn, bursty loss, partitions) into
+	// the execution's network. The engine then reports degraded
+	// executions explicitly: Outcome.Partial is set when sensors were
+	// unreachable at answer time or the slot deadline expired. Nil (or a
+	// zero spec) keeps the exact fault-free behavior.
+	Faults *faults.Spec
+	// ARQ, when non-nil, enables the simnet link-layer ARQ (per-hop acks,
+	// timeout with bounded exponential backoff, retransmit budget), the
+	// concrete form of the paper's "reliable delivery through
+	// retransmission" assumption. Its byte cost is charged honestly.
+	ARQ *simnet.ARQConfig
+	// MaxSlots is the execution's slot deadline: once the network has
+	// consumed this many slots, the engine stops starting new work and
+	// returns a best-effort outcome marked Partial/DeadlineExceeded
+	// instead of grinding on (pinpointing walks abort to an alarm). Zero
+	// means 1000*(L+4) when faults or the ARQ are configured, unlimited
+	// otherwise — so fault-free executions are byte-identical to before.
+	MaxSlots int
 	// AdversaryFavored delivers malicious-originated messages ahead of
 	// honest ones within a slot (worst-case timing).
 	AdversaryFavored bool
@@ -92,10 +112,13 @@ const DefaultTheta = 27
 // MetricExecutions additionally gets a per-outcome labeled variant,
 // e.g. `core_executions_total{outcome="result"}`.
 const (
-	MetricExecutions     = "core_executions_total"
-	MetricPredicateTests = "core_predicate_tests_total"
-	MetricRevokedKeys    = "core_revoked_keys_total"
-	MetricRevokedNodes   = "core_revoked_nodes_total"
+	MetricExecutions       = "core_executions_total"
+	MetricPredicateTests   = "core_predicate_tests_total"
+	MetricRevokedKeys      = "core_revoked_keys_total"
+	MetricRevokedNodes     = "core_revoked_nodes_total"
+	MetricPartialResults   = "core_partial_results_total"
+	MetricDeadlineExceeded = "core_deadline_exceeded_total"
+	MetricUnreachable      = "core_unreachable_sensors_total"
 )
 
 // OutcomeKind classifies how an execution ended.
@@ -176,6 +199,23 @@ type Outcome struct {
 	TrailKind audit.Kind
 	// Veto is the veto that triggered pinpointing, if any.
 	Veto *VetoMsg
+	// Partial marks a degraded execution: when faults are injected, the
+	// outcome is best-effort because sensors were unreachable from the
+	// base station at the moment the answer was fixed, or because the
+	// slot deadline expired. A Partial result's minima cover only the
+	// reachable component.
+	Partial bool
+	// Unreachable counts sensors that had no live path to the base
+	// station when the aggregation phase ended (crashed sensors and
+	// sensors cut off behind crashed nodes, downed links, or a
+	// partition). Zero when no faults are configured.
+	Unreachable int
+	// DeadlineExceeded reports that the execution hit Config.MaxSlots and
+	// returned early instead of completing its remaining phases.
+	DeadlineExceeded bool
+	// Faults counts the injected fault events (crashes, recoveries, link
+	// churn, burst/partition slots) this execution experienced.
+	Faults faults.Counters
 }
 
 // Engine executes one VMAT query over a simulated sensor network.
@@ -207,6 +247,15 @@ type Engine struct {
 	aggMedianNodeBytes int64
 	phaseSlots         PhaseSlotBreakdown
 	ran                bool
+
+	// Fault-injection state: the deterministic schedule driving the
+	// network's fault hook (nil when no faults are configured), the slot
+	// deadline, the unreachable-sensor count sampled when the aggregation
+	// phase fixed the answer, and whether the deadline fired.
+	sched       *faults.Schedule
+	maxSlots    int
+	unreachable int
+	deadlineHit bool
 }
 
 // PhaseSlotBreakdown partitions an execution's slots by protocol phase.
@@ -252,6 +301,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Adversary == nil {
 		cfg.Adversary = HonestAdversary{}
 	}
+	if err := cfg.Faults.Validate(cfg.Graph.NumNodes()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.ARQ.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	l := cfg.L
 	if l == 0 {
 		l = cfg.Graph.HonestDepth(topology.BaseStation, cfg.Malicious)
@@ -269,10 +324,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.channel = authbcast.NewChannel(crypto.DeriveKey(crypto.KeyFromUint64(cfg.Seed), "authbcast", 0))
 	e.verifier = e.channel.Verifier()
 
-	netCfg := simnet.Config{MaxSendsPerSlot: cfg.MaxSendsPerSlot, Workers: cfg.Workers}
+	netCfg := simnet.Config{MaxSendsPerSlot: cfg.MaxSendsPerSlot, Workers: cfg.Workers, ARQ: cfg.ARQ}
 	if cfg.LossRate > 0 {
 		netCfg.DropRate = cfg.LossRate
 		netCfg.DropRNG = crypto.NewStreamFromSeed(cfg.Seed ^ 0x10552a7e)
+	}
+	if cfg.Faults.Enabled() {
+		e.sched = faults.NewSchedule(*cfg.Faults, cfg.Graph, cfg.Seed^0xfa0175)
+		netCfg.Faults = e.sched
+	}
+	e.maxSlots = cfg.MaxSlots
+	if e.maxSlots == 0 && (e.sched != nil || cfg.ARQ != nil) {
+		e.maxSlots = 1000 * (l + 4)
 	}
 	if cfg.AdversaryFavored {
 		netCfg.Order = simnet.MaliciousFirstOrder(cfg.Malicious)
@@ -331,6 +394,12 @@ func (e *Engine) Run() (*Outcome, error) {
 	mins := e.runAggregation()
 	e.noteAggregationBytes(beforeAgg, e.net.Stats())
 	e.phaseSlots.Aggregation += e.net.Slot() - beforeAggSlot
+	if e.sched != nil {
+		// Sample coverage the moment the answer is fixed: any sensor with
+		// no live path to the base station right now could not have
+		// contributed, so the result is at best partial.
+		e.unreachable = e.sched.Unreachable(topology.BaseStation)
+	}
 	for inst, r := range mins {
 		if math.IsInf(r.Value, 1) {
 			continue // no minimum received: treated as infinity (step 3)
@@ -352,6 +421,11 @@ func (e *Engine) Run() (*Outcome, error) {
 		values[i] = r.Value
 	}
 	e.announcedMins = values
+	if e.deadlineExceeded() {
+		// The slot budget is spent; skip confirmation and return what we
+		// have as an explicitly partial best-effort result.
+		return e.outcomeEvent(e.finish(&Outcome{Kind: OutcomeResult, Mins: values})), nil
+	}
 	e.emit(Event{Kind: EventPhase, Label: "confirmation"})
 	e.announce(MinAnnounce{Nonce: e.confirmNonce, Mins: values})
 	beforeConfirm := e.net.Slot()
@@ -452,6 +526,12 @@ func (e *Engine) finish(o *Outcome) *Outcome {
 	o.AggMaxNodeBytes = e.aggMaxNodeBytes
 	o.AggMedianNodeBytes = e.aggMedianNodeBytes
 	o.PhaseSlots = e.phaseSlots
+	o.DeadlineExceeded = e.deadlineHit
+	o.Unreachable = e.unreachable
+	if e.sched != nil {
+		o.Faults = e.sched.Counters()
+	}
+	o.Partial = o.Unreachable > 0 || o.DeadlineExceeded
 	if reg := e.cfg.Metrics; reg != nil {
 		o.Stats.ReportTo(reg)
 		reg.Counter(MetricExecutions).Inc()
@@ -459,8 +539,27 @@ func (e *Engine) finish(o *Outcome) *Outcome {
 		reg.Counter(MetricPredicateTests).Add(int64(o.PredicateTests))
 		reg.Counter(MetricRevokedKeys).Add(int64(len(o.RevokedKeys)))
 		reg.Counter(MetricRevokedNodes).Add(int64(len(o.RevokedNodes)))
+		if o.Partial {
+			reg.Counter(MetricPartialResults).Inc()
+		}
+		if o.DeadlineExceeded {
+			reg.Counter(MetricDeadlineExceeded).Inc()
+		}
+		reg.Counter(MetricUnreachable).Add(int64(o.Unreachable))
 	}
 	return o
+}
+
+// deadlineExceeded reports (and records) that the execution's slot budget
+// is spent. Phase boundaries and pinpointing walk steps consult it so a
+// faulty network degrades into a timely partial answer or alarm instead
+// of an unbounded grind; with no deadline configured it is always false.
+func (e *Engine) deadlineExceeded() bool {
+	if e.maxSlots > 0 && e.net.Slot() >= e.maxSlots {
+		e.deadlineHit = true
+		return true
+	}
+	return false
 }
 
 // outcomeEvent emits the final outcome event and passes the outcome

@@ -21,6 +21,12 @@ func (e *Engine) pinpointVeto(v VetoMsg) (*Outcome, error) {
 	level := v.Level
 
 	for level >= 1 {
+		if e.deadlineExceeded() {
+			// The slot budget expired mid-walk. Revoking on a timed-out
+			// predicate test would convict innocents, so abort to an alarm.
+			out.Kind = OutcomeAlarm
+			return e.finish(out), nil
+		}
 		e.emit(Event{Kind: EventWalkStep, Label: "veto-walk", Node: cur, Instance: level, KeyIndex: NoKey})
 		// Figure 5: find the edge key cur used toward its parent.
 		ke, ok := e.findOutEdgeKey(cur, v.Instance, v.Value, level)
@@ -185,6 +191,10 @@ func (e *Engine) pinpointJunkAgg(instance int, r Record) (*Outcome, error) {
 	level := e.l - (delivery.slot - 1) // apparent level of the sender
 
 	for level <= e.l {
+		if e.deadlineExceeded() {
+			out.Kind = OutcomeAlarm
+			return e.finish(out), nil
+		}
 		e.emit(Event{Kind: EventWalkStep, Label: "junk-agg-walk", Instance: level, KeyIndex: ke})
 		sender, ok := e.findJunkAggSender(ke, msgID, level)
 		if !ok {
@@ -239,6 +249,10 @@ func (e *Engine) pinpointJunkConf(rv receivedVeto) (*Outcome, error) {
 	interval := rv.slot // the base station received at local slot s; the sender sent in interval s
 
 	for interval >= 1 {
+		if e.deadlineExceeded() {
+			out.Kind = OutcomeAlarm
+			return e.finish(out), nil
+		}
 		e.emit(Event{Kind: EventWalkStep, Label: "junk-conf-walk", Instance: interval, KeyIndex: ke})
 		sender, ok := e.findJunkVetoSender(ke, msgID, interval)
 		if !ok {

@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/crypto"
+	"repro/internal/faults"
 	"repro/internal/keydist"
+	"repro/internal/simnet"
 )
 
 // The trial-runner's contract is that worker count is invisible in the
@@ -130,6 +132,85 @@ func TestCommDeterministic(t *testing.T) {
 		return RunComm(CommConfig{
 			NetworkSizes: []int{50, 100}, Synopses: 50, Seed: 31, Workers: workers,
 		})
+	})
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	assertSameRows(t, "faults", func(workers int) ([]FaultsRow, error) {
+		return RunFaults(FaultsConfig{
+			N: 40, CrashProbs: []float64{0, 0.005}, BurstLoss: []float64{0.4},
+			Trials: 3, Seed: 32, Workers: workers,
+		})
+	})
+}
+
+// TestScenarioNoFaultGolden pins the no-fault invariance guarantee: with
+// Faults nil and the ARQ disabled, scenario rows — outcomes, slot counts,
+// and every byte of communication accounting — are bit-identical to the
+// values this harness produced before the fault subsystem existed. The
+// golden rows below were captured from the pre-fault tree; any drift in
+// the fault-free code path (an extra RNG draw, a changed delivery order,
+// an accounting change) fails this test.
+func TestScenarioNoFaultGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  ScenarioConfig
+		want []ScenarioRow
+	}{
+		{
+			name: "geometric-min-drop",
+			cfg:  ScenarioConfig{N: 40, Topology: "geometric", Query: "min", Attack: "drop", Malicious: 2, Synopses: 100, Trials: 5, Seed: 7},
+			want: []ScenarioRow{
+				{Trial: 0, Outcome: "result", Answered: true, Answer: 101, Slots: 42, FloodingRounds: 6, TotalBytes: 67944, MaxNodeBytes: 2868},
+				{Trial: 1, Outcome: "result", Answered: true, Answer: 101, Slots: 32, FloodingRounds: 6.4, TotalBytes: 59112, MaxNodeBytes: 2648},
+				{Trial: 2, Outcome: "result", Answered: true, Answer: 101, Slots: 37, FloodingRounds: 6.166666666666667, TotalBytes: 75304, MaxNodeBytes: 3640},
+				{Trial: 3, Outcome: "result", Answered: true, Answer: 101, Slots: 37, FloodingRounds: 6.166666666666667, TotalBytes: 66472, MaxNodeBytes: 2792},
+				{Trial: 4, Outcome: "result", Answered: true, Answer: 101, Slots: 37, FloodingRounds: 6.166666666666667, TotalBytes: 67576, MaxNodeBytes: 3416},
+			},
+		},
+		{
+			name: "line-min-multipath",
+			cfg:  ScenarioConfig{N: 30, Topology: "line", Query: "min", Attack: "none", Synopses: 100, Trials: 3, Seed: 11, Multipath: true},
+			want: []ScenarioRow{
+				{Trial: 0, Outcome: "result", Answered: true, Answer: 101, Slots: 152, FloodingRounds: 5.241379310344827, TotalBytes: 12760, MaxNodeBytes: 440},
+				{Trial: 1, Outcome: "result", Answered: true, Answer: 101, Slots: 152, FloodingRounds: 5.241379310344827, TotalBytes: 12760, MaxNodeBytes: 440},
+				{Trial: 2, Outcome: "result", Answered: true, Answer: 101, Slots: 152, FloodingRounds: 5.241379310344827, TotalBytes: 12760, MaxNodeBytes: 440},
+			},
+		},
+		{
+			name: "grid-count-junk",
+			cfg:  ScenarioConfig{N: 36, Topology: "grid", Query: "count", Attack: "junk", Malicious: 1, Synopses: 40, Trials: 3, Seed: 13},
+			want: []ScenarioRow{
+				{Trial: 0, Outcome: "junk-agg-revocation", Slots: 1257, FloodingRounds: 125.7, PredicateTests: 61, RevokedKeys: 1, TotalBytes: 1721192, MaxNodeBytes: 58120},
+				{Trial: 1, Outcome: "junk-agg-revocation", Slots: 601, FloodingRounds: 60.1, PredicateTests: 28, RevokedKeys: 1, TotalBytes: 824360, MaxNodeBytes: 28084},
+				{Trial: 2, Outcome: "junk-agg-revocation", Slots: 1464, FloodingRounds: 146.4, PredicateTests: 71, RevokedKeys: 1, TotalBytes: 1997448, MaxNodeBytes: 67208},
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := RunScenario(c.cfg)
+			if err != nil {
+				t.Fatalf("RunScenario: %v", err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("fault-free rows drifted from the pre-fault golden output:\ngot  %+v\nwant %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestScenarioWithFaultsDeterministic: the fault pipeline inherits the
+// trial-runner's worker-invisibility contract.
+func TestScenarioWithFaultsDeterministic(t *testing.T) {
+	assertSameRows(t, "scenario-faults", func(workers int) ([]ScenarioRow, error) {
+		cfg := ScenarioConfig{
+			N: 30, Topology: "geometric", Query: "min", Attack: "none",
+			Synopses: 100, Trials: 6, Seed: 41, Workers: workers,
+			Faults: &faults.Spec{CrashProb: 0.005, RecoverProb: 0.05, LinkDownProb: 0.01, LinkUpProb: 0.2},
+			ARQ:    &simnet.ARQConfig{},
+		}
+		return RunScenario(cfg)
 	})
 }
 

@@ -8,8 +8,10 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/crypto"
+	"repro/internal/faults"
 	"repro/internal/keydist"
 	"repro/internal/metrics"
+	"repro/internal/simnet"
 	"repro/internal/topology"
 )
 
@@ -47,6 +49,17 @@ type ScenarioConfig struct {
 	// Workers caps trial parallelism; 0 uses GOMAXPROCS. Rows are
 	// identical for every worker count.
 	Workers int `json:"workers"`
+	// Faults, when present and non-zero, injects a deterministic fault
+	// schedule (crashes, link churn, bursty loss, partitions) into every
+	// trial; degraded trials report partial/unreachable/retransmit
+	// columns. Omitted or zero keeps fault-free behavior bit-identical.
+	Faults *faults.Spec `json:"faults,omitempty"`
+	// ARQ, when present, enables the simnet link-layer ARQ for every
+	// trial (zero-valued fields take the documented defaults).
+	ARQ *simnet.ARQConfig `json:"arq,omitempty"`
+	// MaxSlots is the per-execution slot deadline; 0 derives a default
+	// when faults or the ARQ are configured (see core.Config.MaxSlots).
+	MaxSlots int `json:"max_slots,omitempty"`
 
 	// Context, when non-nil, cancels the run: each trial checks it
 	// before starting and the run returns the context's error. Used by
@@ -145,6 +158,15 @@ func (c *ScenarioConfig) Validate() error {
 	if c.Trials < 1 || c.Trials > 100_000 {
 		return fmt.Errorf("scenario: trial count %d out of range [1, 100000]", c.Trials)
 	}
+	if err := c.Faults.Validate(c.N); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := c.ARQ.Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if c.MaxSlots < 0 {
+		return fmt.Errorf("scenario: negative max_slots %d", c.MaxSlots)
+	}
 	return nil
 }
 
@@ -162,6 +184,11 @@ type ScenarioRow struct {
 	RevokedNodes   int     `json:"revoked_nodes"`
 	TotalBytes     int64   `json:"total_bytes"`
 	MaxNodeBytes   int64   `json:"max_node_bytes"`
+	// Degradation columns, all zero on fault-free scenarios (and then
+	// omitted from JSON, keeping pre-fault job output byte-identical).
+	Partial     bool  `json:"partial,omitempty"`
+	Unreachable int   `json:"unreachable,omitempty"`
+	Retransmits int64 `json:"retransmits,omitempty"`
 }
 
 // RunScenario executes the scenario's trials through RunTrials and
@@ -238,6 +265,9 @@ func scenarioTrial(cfg ScenarioConfig, trial int, rng *crypto.Stream) (ScenarioR
 			return 100 + float64(id)
 		},
 		AdversaryFavored: cfg.Attack != "none",
+		Faults:           cfg.Faults,
+		ARQ:              cfg.ARQ,
+		MaxSlots:         cfg.MaxSlots,
 		// Trials parallelize across RunTrials workers; keep each engine's
 		// per-slot fan-out on its own worker.
 		Workers: 1,
@@ -258,7 +288,12 @@ func scenarioTrial(cfg ScenarioConfig, trial int, rng *crypto.Stream) (ScenarioR
 			return ScenarioRow{}, err
 		}
 		row := newScenarioRow(trial, out)
-		if out.Kind == core.OutcomeResult {
+		// Under fault injection the base station can announce a minimum of
+		// +Inf — every sensor value was lost in transit. That is not a
+		// usable answer, and a non-finite float would make the whole row
+		// slice unmarshalable (json.Marshal rejects Inf), turning a server
+		// job view into an empty 200.
+		if out.Kind == core.OutcomeResult && !math.IsInf(out.Mins[0], 0) && !math.IsNaN(out.Mins[0]) {
 			row.Answered = true
 			row.Answer = out.Mins[0]
 		}
@@ -323,6 +358,9 @@ func newScenarioRow(trial int, out *core.Outcome) ScenarioRow {
 		RevokedNodes:   len(out.RevokedNodes),
 		TotalBytes:     out.Stats.TotalBytes(),
 		MaxNodeBytes:   out.Stats.MaxNodeBytes(),
+		Partial:        out.Partial,
+		Unreachable:    out.Unreachable,
+		Retransmits:    out.Stats.Retransmits,
 	}
 }
 

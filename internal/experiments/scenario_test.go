@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"reflect"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simnet"
 )
 
 // TestScenarioDeterministicAcrossWorkers is the serving layer's parity
@@ -52,6 +55,39 @@ func TestScenarioQueries(t *testing.T) {
 				t.Fatalf("%s trial %d: unanswered honest run (answer=%g)", query, r.Trial, r.Answer)
 			}
 		}
+	}
+}
+
+// TestScenarioRowsAlwaysJSONSafe: under heavy burst loss the base
+// station can announce a minimum of +Inf (no sensor value survived the
+// trip), and json.Marshal rejects non-finite floats — which used to turn
+// a server job view into an empty 200 body. This seed reproduces the
+// all-values-lost trial; the row must come back unanswered and the slice
+// must marshal.
+func TestScenarioRowsAlwaysJSONSafe(t *testing.T) {
+	rows, err := RunScenario(ScenarioConfig{
+		N: 40, Topology: "geometric", Query: "min", Attack: "none",
+		Trials: 3, Seed: 19,
+		Faults: &faults.Spec{Burst: &faults.BurstSpec{EnterProb: 0.1, ExitProb: 0.2, LossBad: 0.5}},
+		ARQ:    &simnet.ARQConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(rows); err != nil {
+		t.Fatalf("fault rows not JSON-safe: %v", err)
+	}
+	sawUnanswered := false
+	for _, r := range rows {
+		if !r.Answered {
+			sawUnanswered = true
+			if r.Answer != 0 {
+				t.Fatalf("trial %d: unanswered row carries answer %v", r.Trial, r.Answer)
+			}
+		}
+	}
+	if !sawUnanswered {
+		t.Fatal("seed no longer reproduces an all-values-lost trial; pick a new one")
 	}
 }
 

@@ -1,0 +1,402 @@
+// Package faults is a deterministic fault-injection subsystem for the
+// slot-synchronous simulator. The paper's system model (Section III)
+// assumes reliable link-layer delivery "through retransmission" and
+// Section IV-D treats only residual independent loss; real deployments
+// additionally fail in correlated ways — node crashes, link churn,
+// bursty Gilbert–Elliott radio loss, regional partitions. This package
+// models those modes as a seed-driven *schedule* that the simulator
+// consults once per slot, so an execution under faults is a pure
+// function of (spec, graph, seed): experiment rows stay bit-identical
+// for any worker count, and a failing fault scenario can be replayed
+// exactly from its seed.
+//
+// Concurrency contract: Schedule state advances only in BeginSlot and
+// DeliveryLost, which the simulator calls from its driver goroutine.
+// NodeDown and LinkDown are pure reads of per-slot state and may be
+// called concurrently from step goroutines within a slot.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/crypto"
+	"repro/internal/topology"
+)
+
+// Spec describes a fault environment. The zero value injects nothing.
+// It is JSON-serializable so scenarios (and therefore vmat-server jobs)
+// can carry a fault environment in their spec.
+type Spec struct {
+	// CrashProb crashes each live non-base sensor independently with
+	// this probability per slot (fail-stop: a crashed sensor neither
+	// sends nor receives).
+	CrashProb float64 `json:"crash_prob,omitempty"`
+	// RecoverProb recovers each crashed sensor independently with this
+	// probability per slot. Zero means crashes are permanent.
+	RecoverProb float64 `json:"recover_prob,omitempty"`
+	// Crashes are explicitly scheduled node outages, applied on top of
+	// the random crash process. They make targeted scenarios ("the
+	// aggregation-subtree root dies mid-execution") reproducible.
+	Crashes []NodeEvent `json:"crashes,omitempty"`
+	// LinkDownProb takes each up link down independently with this
+	// probability per slot (link churn); LinkUpProb restores each downed
+	// link per slot.
+	LinkDownProb float64 `json:"link_down_prob,omitempty"`
+	LinkUpProb   float64 `json:"link_up_prob,omitempty"`
+	// Burst, when non-nil, adds Gilbert–Elliott two-state bursty loss on
+	// top of any independent DropRate the simulator applies.
+	Burst *BurstSpec `json:"burst,omitempty"`
+	// Partition, when non-nil, cuts a connected region off from the rest
+	// of the network for a slot window (a regional outage).
+	Partition *PartitionSpec `json:"partition,omitempty"`
+}
+
+// NodeEvent schedules one deterministic outage: node crashes at the
+// start of slot At and recovers at the start of slot RecoverAt (0 or
+// anything <= At means it never recovers).
+type NodeEvent struct {
+	Node      int `json:"node"`
+	At        int `json:"at"`
+	RecoverAt int `json:"recover_at,omitempty"`
+}
+
+// BurstSpec is a network-wide Gilbert–Elliott loss chain: the channel
+// alternates between a good and a bad state; each delivered message is
+// lost with the state's loss probability. The chain advances once per
+// slot, so losses cluster into bursts with mean length 1/ExitProb.
+type BurstSpec struct {
+	// EnterProb moves good -> bad per slot; ExitProb moves bad -> good.
+	EnterProb float64 `json:"enter_prob"`
+	ExitProb  float64 `json:"exit_prob"`
+	// LossBad (LossGood) is the per-delivery loss probability while the
+	// chain is in the bad (good) state.
+	LossBad  float64 `json:"loss_bad"`
+	LossGood float64 `json:"loss_good,omitempty"`
+}
+
+// PartitionSpec cuts a region off during slots [FromSlot, ToSlot): a
+// random epicenter sensor is drawn from the schedule seed and the
+// region grows from it in BFS order to Frac of the non-base sensors;
+// every link crossing the region boundary is down for the window.
+type PartitionSpec struct {
+	FromSlot int     `json:"from_slot"`
+	ToSlot   int     `json:"to_slot"`
+	Frac     float64 `json:"frac"`
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s *Spec) Enabled() bool {
+	if s == nil {
+		return false
+	}
+	return s.CrashProb > 0 || len(s.Crashes) > 0 || s.LinkDownProb > 0 ||
+		s.Burst != nil || s.Partition != nil
+}
+
+func probRange(name string, v float64) error {
+	if v < 0 || v >= 1 {
+		return fmt.Errorf("faults: %s %g out of range [0, 1)", name, v)
+	}
+	return nil
+}
+
+// Validate reports the first problem with the spec for an n-node
+// network, or nil. The base station (node 0) may not be crashed: the
+// protocols are defined from the base station's perspective and a dead
+// querier has no result to degrade gracefully.
+func (s *Spec) Validate(n int) error {
+	if s == nil {
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"crash_prob", s.CrashProb}, {"recover_prob", s.RecoverProb},
+		{"link_down_prob", s.LinkDownProb}, {"link_up_prob", s.LinkUpProb},
+	} {
+		if err := probRange(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	for _, ev := range s.Crashes {
+		if ev.Node <= 0 || ev.Node >= n {
+			return fmt.Errorf("faults: crash event node %d out of range [1, %d) (node 0 is the base station)", ev.Node, n)
+		}
+		if ev.At < 0 {
+			return fmt.Errorf("faults: crash event for node %d at negative slot %d", ev.Node, ev.At)
+		}
+	}
+	if b := s.Burst; b != nil {
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{
+			{"burst.enter_prob", b.EnterProb}, {"burst.exit_prob", b.ExitProb},
+			{"burst.loss_bad", b.LossBad}, {"burst.loss_good", b.LossGood},
+		} {
+			if err := probRange(c.name, c.v); err != nil {
+				return err
+			}
+		}
+	}
+	if p := s.Partition; p != nil {
+		if p.Frac <= 0 || p.Frac >= 1 {
+			return fmt.Errorf("faults: partition frac %g out of range (0, 1)", p.Frac)
+		}
+		if p.FromSlot < 0 || p.ToSlot <= p.FromSlot {
+			return fmt.Errorf("faults: partition window [%d, %d) is empty", p.FromSlot, p.ToSlot)
+		}
+	}
+	return nil
+}
+
+// Counters aggregates what a schedule injected over one execution.
+type Counters struct {
+	Crashes       int64 `json:"crashes"`
+	Recoveries    int64 `json:"recoveries"`
+	LinksDowned   int64 `json:"links_downed"`
+	LinksRestored int64 `json:"links_restored"`
+	// BurstSlots counts slots the Gilbert–Elliott chain spent in the bad
+	// state; PartitionSlots counts slots the partition was active.
+	BurstSlots     int64 `json:"burst_slots"`
+	PartitionSlots int64 `json:"partition_slots"`
+}
+
+// Schedule is the per-execution realization of a Spec over a concrete
+// graph: it owns the crash/link/burst state and advances it one slot at
+// a time. Construct one Schedule per execution (it is stateful and
+// single-use, like the simulator it plugs into).
+type Schedule struct {
+	spec Spec
+	g    *topology.Graph
+	rng  *crypto.Stream
+	slot int
+
+	crashed   []bool
+	downEdges map[[2]topology.NodeID]bool
+	burstBad  bool
+	inRegion  []bool // non-nil only while the partition window is active
+	region    []bool // precomputed membership, fixed at schedule creation
+
+	counters Counters
+
+	// scratch buffers for Unreachable's BFS, reused across calls.
+	bfsSeen  []bool
+	bfsQueue []topology.NodeID
+}
+
+// NewSchedule realizes spec over the graph. The seed drives every
+// random choice (crash coins, churn coins, burst transitions, the
+// partition epicenter), so two schedules built from equal arguments
+// inject identical fault sequences.
+func NewSchedule(spec Spec, g *topology.Graph, seed uint64) *Schedule {
+	n := g.NumNodes()
+	s := &Schedule{
+		spec:      spec,
+		g:         g,
+		rng:       crypto.NewStreamFromSeed(seed),
+		slot:      -1,
+		crashed:   make([]bool, n),
+		downEdges: map[[2]topology.NodeID]bool{},
+	}
+	if p := spec.Partition; p != nil && n > 1 {
+		s.region = s.pickRegion(p.Frac)
+	}
+	return s
+}
+
+// pickRegion draws the partition region: a random non-base epicenter,
+// grown in BFS order to frac of the non-base sensors.
+func (s *Schedule) pickRegion(frac float64) []bool {
+	n := s.g.NumNodes()
+	want := int(frac * float64(n-1))
+	if want < 1 {
+		want = 1
+	}
+	epicenter := topology.NodeID(s.rng.Intn(n-1) + 1)
+	region := make([]bool, n)
+	region[epicenter] = true
+	got := 1
+	queue := []topology.NodeID{epicenter}
+	for len(queue) > 0 && got < want {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range s.g.Neighbors(cur) {
+			if nb == topology.BaseStation || region[nb] || got >= want {
+				continue
+			}
+			region[nb] = true
+			got++
+			queue = append(queue, nb)
+		}
+	}
+	return region
+}
+
+// BeginSlot advances the fault state to the given slot: scheduled and
+// random crashes/recoveries, link churn, the burst chain, and the
+// partition window. It must be called exactly once per slot, in order,
+// from the simulator's driver goroutine before any delivery or step of
+// that slot.
+func (s *Schedule) BeginSlot(slot int) {
+	s.slot = slot
+	n := s.g.NumNodes()
+
+	// Explicitly scheduled outages first, so a NodeEvent beats the
+	// random process in the same slot.
+	for _, ev := range s.spec.Crashes {
+		if ev.Node <= 0 || ev.Node >= n {
+			continue
+		}
+		if slot == ev.At && !s.crashed[ev.Node] {
+			s.crashed[ev.Node] = true
+			s.counters.Crashes++
+		}
+		if ev.RecoverAt > ev.At && slot == ev.RecoverAt && s.crashed[ev.Node] {
+			s.crashed[ev.Node] = false
+			s.counters.Recoveries++
+		}
+	}
+	if s.spec.CrashProb > 0 || s.spec.RecoverProb > 0 {
+		for id := 1; id < n; id++ {
+			if s.crashed[id] {
+				if s.spec.RecoverProb > 0 && s.rng.Float64() < s.spec.RecoverProb {
+					s.crashed[id] = false
+					s.counters.Recoveries++
+				}
+			} else if s.spec.CrashProb > 0 && s.rng.Float64() < s.spec.CrashProb {
+				s.crashed[id] = true
+				s.counters.Crashes++
+			}
+		}
+	}
+
+	if s.spec.LinkDownProb > 0 || len(s.downEdges) > 0 {
+		// Restore first (iterating the sorted edge list keeps rng
+		// consumption deterministic), then churn up links down.
+		for _, e := range s.g.Edges() {
+			down := s.downEdges[e]
+			if down && s.spec.LinkUpProb > 0 && s.rng.Float64() < s.spec.LinkUpProb {
+				delete(s.downEdges, e)
+				s.counters.LinksRestored++
+				down = false
+			}
+			if !down && s.spec.LinkDownProb > 0 && s.rng.Float64() < s.spec.LinkDownProb {
+				s.downEdges[e] = true
+				s.counters.LinksDowned++
+			}
+		}
+	}
+
+	if b := s.spec.Burst; b != nil {
+		if s.burstBad {
+			if s.rng.Float64() < b.ExitProb {
+				s.burstBad = false
+			}
+		} else if s.rng.Float64() < b.EnterProb {
+			s.burstBad = true
+		}
+		if s.burstBad {
+			s.counters.BurstSlots++
+		}
+	}
+
+	if p := s.spec.Partition; p != nil {
+		if slot >= p.FromSlot && slot < p.ToSlot {
+			s.inRegion = s.region
+			s.counters.PartitionSlots++
+		} else {
+			s.inRegion = nil
+		}
+	}
+}
+
+// NodeDown reports whether the node is crashed in the current slot.
+// Safe for concurrent use between BeginSlot calls.
+func (s *Schedule) NodeDown(id topology.NodeID) bool {
+	return s.crashed[id]
+}
+
+// LinkDown reports whether the (directed) link is unusable this slot —
+// downed by churn or crossing an active partition boundary. Safe for
+// concurrent use between BeginSlot calls.
+func (s *Schedule) LinkDown(from, to topology.NodeID) bool {
+	if s.inRegion != nil && s.inRegion[from] != s.inRegion[to] {
+		return true
+	}
+	if len(s.downEdges) == 0 {
+		return false
+	}
+	if from > to {
+		from, to = to, from
+	}
+	return s.downEdges[[2]topology.NodeID{from, to}]
+}
+
+// DeliveryLost draws one bursty-loss coin for a delivery attempt. The
+// simulator calls it from the driver goroutine in deterministic message
+// order, so the loss sequence is reproducible.
+func (s *Schedule) DeliveryLost() bool {
+	b := s.spec.Burst
+	if b == nil {
+		return false
+	}
+	p := b.LossGood
+	if s.burstBad {
+		p = b.LossBad
+	}
+	if p <= 0 {
+		return false
+	}
+	return s.rng.Float64() < p
+}
+
+// DownCount returns how many sensors are crashed in the current slot.
+func (s *Schedule) DownCount() int {
+	c := 0
+	for _, down := range s.crashed {
+		if down {
+			c++
+		}
+	}
+	return c
+}
+
+// Counters returns the cumulative injection counts so far.
+func (s *Schedule) Counters() Counters { return s.counters }
+
+// Unreachable returns how many non-root nodes cannot currently reach
+// root over live nodes and links: the network's honest coverage deficit
+// at this instant, which the engine reports as the unreachable count of
+// a Partial result.
+func (s *Schedule) Unreachable(root topology.NodeID) int {
+	n := s.g.NumNodes()
+	if s.bfsSeen == nil {
+		s.bfsSeen = make([]bool, n)
+	} else {
+		for i := range s.bfsSeen {
+			s.bfsSeen[i] = false
+		}
+	}
+	seen := s.bfsSeen
+	queue := s.bfsQueue[:0]
+	reached := 0
+	if !s.crashed[root] {
+		seen[root] = true
+		queue = append(queue, root)
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, nb := range s.g.Neighbors(cur) {
+			if seen[nb] || s.crashed[nb] || s.LinkDown(cur, nb) {
+				continue
+			}
+			seen[nb] = true
+			reached++
+			queue = append(queue, nb)
+		}
+	}
+	s.bfsQueue = queue
+	return n - 1 - reached
+}

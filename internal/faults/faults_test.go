@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func runSlots(s *Schedule, upto int) {
+	for slot := 0; slot <= upto; slot++ {
+		s.BeginSlot(slot)
+	}
+}
+
+func TestZeroSpecInjectsNothing(t *testing.T) {
+	g := topology.Line(20)
+	var spec Spec
+	if spec.Enabled() {
+		t.Fatal("zero spec reports enabled")
+	}
+	s := NewSchedule(spec, g, 1)
+	for slot := 0; slot < 50; slot++ {
+		s.BeginSlot(slot)
+		for id := 0; id < 20; id++ {
+			if s.NodeDown(topology.NodeID(id)) {
+				t.Fatalf("node %d down under zero spec", id)
+			}
+		}
+		if s.DeliveryLost() {
+			t.Fatal("delivery lost under zero spec")
+		}
+	}
+	if got := s.Unreachable(topology.BaseStation); got != 0 {
+		t.Fatalf("unreachable = %d under zero spec, want 0", got)
+	}
+	if s.Counters() != (Counters{}) {
+		t.Fatalf("counters = %+v under zero spec", s.Counters())
+	}
+}
+
+func TestScheduledCrashAndRecovery(t *testing.T) {
+	g := topology.Line(10)
+	s := NewSchedule(Spec{Crashes: []NodeEvent{{Node: 3, At: 5, RecoverAt: 9}}}, g, 7)
+	for slot := 0; slot < 12; slot++ {
+		s.BeginSlot(slot)
+		wantDown := slot >= 5 && slot < 9
+		if got := s.NodeDown(3); got != wantDown {
+			t.Fatalf("slot %d: NodeDown(3) = %v, want %v", slot, got, wantDown)
+		}
+		if wantDown {
+			// On a line, crashing node 3 cuts off nodes 4..9.
+			if got := s.Unreachable(topology.BaseStation); got != 7 {
+				t.Fatalf("slot %d: unreachable = %d, want 7", slot, got)
+			}
+		} else if got := s.Unreachable(topology.BaseStation); got != 0 {
+			t.Fatalf("slot %d: unreachable = %d, want 0", slot, got)
+		}
+	}
+	c := s.Counters()
+	if c.Crashes != 1 || c.Recoveries != 1 {
+		t.Fatalf("counters = %+v, want 1 crash and 1 recovery", c)
+	}
+}
+
+func TestRandomCrashesAreDeterministicAndRecoverable(t *testing.T) {
+	g := topology.Grid(6, 6)
+	spec := Spec{CrashProb: 0.05, RecoverProb: 0.2}
+	a := NewSchedule(spec, g, 42)
+	b := NewSchedule(spec, g, 42)
+	sawDown, sawRecovery := false, false
+	for slot := 0; slot < 200; slot++ {
+		a.BeginSlot(slot)
+		b.BeginSlot(slot)
+		for id := 0; id < g.NumNodes(); id++ {
+			if a.NodeDown(topology.NodeID(id)) != b.NodeDown(topology.NodeID(id)) {
+				t.Fatalf("slot %d: schedules with equal seeds disagree on node %d", slot, id)
+			}
+		}
+		if a.DownCount() > 0 {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("no crash in 200 slots at p=0.05 over 36 nodes")
+	}
+	if a.Counters().Recoveries > 0 {
+		sawRecovery = true
+	}
+	if !sawRecovery {
+		t.Fatal("no recovery in 200 slots at recover_prob=0.2")
+	}
+	if a.NodeDown(topology.BaseStation) {
+		t.Fatal("base station crashed; the schedule must never take node 0 down")
+	}
+}
+
+func TestLinkChurn(t *testing.T) {
+	g := topology.Grid(5, 5)
+	s := NewSchedule(Spec{LinkDownProb: 0.1, LinkUpProb: 0.3}, g, 11)
+	runSlots(s, 100)
+	c := s.Counters()
+	if c.LinksDowned == 0 || c.LinksRestored == 0 {
+		t.Fatalf("counters = %+v, want both churn directions exercised", c)
+	}
+	// LinkDown must be symmetric in its arguments (undirected links).
+	downSeen := false
+	for slot := 101; slot <= 140 && !downSeen; slot++ {
+		s.BeginSlot(slot)
+		for _, e := range g.Edges() {
+			if s.LinkDown(e[0], e[1]) {
+				downSeen = true
+				if !s.LinkDown(e[1], e[0]) {
+					t.Fatalf("LinkDown(%d,%d) asymmetric", e[0], e[1])
+				}
+			}
+		}
+	}
+	if !downSeen {
+		t.Fatal("no link observed down in 40 churn slots")
+	}
+}
+
+func TestBurstLossClusters(t *testing.T) {
+	g := topology.Line(4)
+	spec := Spec{Burst: &BurstSpec{EnterProb: 0.1, ExitProb: 0.2, LossBad: 0.9}}
+	s := NewSchedule(spec, g, 3)
+	lossesInBad, drawsInBad := 0, 0
+	for slot := 0; slot < 500; slot++ {
+		s.BeginSlot(slot)
+		for d := 0; d < 10; d++ {
+			lost := s.DeliveryLost()
+			if s.burstBad {
+				drawsInBad++
+				if lost {
+					lossesInBad++
+				}
+			} else if lost {
+				t.Fatal("loss in good state with loss_good = 0")
+			}
+		}
+	}
+	if s.Counters().BurstSlots == 0 {
+		t.Fatal("chain never entered the bad state")
+	}
+	if drawsInBad == 0 || float64(lossesInBad)/float64(drawsInBad) < 0.7 {
+		t.Fatalf("bad-state loss rate %d/%d, want about 0.9", lossesInBad, drawsInBad)
+	}
+}
+
+func TestPartitionWindow(t *testing.T) {
+	g := topology.Grid(6, 6)
+	spec := Spec{Partition: &PartitionSpec{FromSlot: 10, ToSlot: 20, Frac: 0.3}}
+	s := NewSchedule(spec, g, 99)
+	for slot := 0; slot < 30; slot++ {
+		s.BeginSlot(slot)
+		unreached := s.Unreachable(topology.BaseStation)
+		active := slot >= 10 && slot < 20
+		if active && unreached == 0 {
+			t.Fatalf("slot %d: partition active but everything reachable", slot)
+		}
+		if !active && unreached != 0 {
+			t.Fatalf("slot %d: partition inactive but %d unreachable", slot, unreached)
+		}
+	}
+	if got := s.Counters().PartitionSlots; got != 10 {
+		t.Fatalf("partition slots = %d, want 10", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"good", Spec{CrashProb: 0.01, RecoverProb: 0.1}, true},
+		{"crash prob too high", Spec{CrashProb: 1}, false},
+		{"negative recover", Spec{RecoverProb: -0.1}, false},
+		{"crash base station", Spec{Crashes: []NodeEvent{{Node: 0, At: 3}}}, false},
+		{"crash out of range", Spec{Crashes: []NodeEvent{{Node: 50, At: 3}}}, false},
+		{"crash negative slot", Spec{Crashes: []NodeEvent{{Node: 1, At: -1}}}, false},
+		{"burst ok", Spec{Burst: &BurstSpec{EnterProb: 0.1, ExitProb: 0.5, LossBad: 0.8}}, true},
+		{"burst loss out of range", Spec{Burst: &BurstSpec{LossBad: 1.5}}, false},
+		{"partition ok", Spec{Partition: &PartitionSpec{FromSlot: 0, ToSlot: 5, Frac: 0.2}}, true},
+		{"partition empty window", Spec{Partition: &PartitionSpec{FromSlot: 5, ToSlot: 5, Frac: 0.2}}, false},
+		{"partition frac", Spec{Partition: &PartitionSpec{FromSlot: 0, ToSlot: 5, Frac: 1}}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate(40)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+	if (*Spec)(nil).Validate(10) != nil || (*Spec)(nil).Enabled() {
+		t.Fatal("nil spec must validate and be disabled")
+	}
+}

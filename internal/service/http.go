@@ -93,6 +93,10 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 func (h *api) submit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	// Reject unknown keys outright: a typo'd field (say "fautls") in a
+	// fault-injection spec would otherwise run a quietly fault-free job
+	// and report misleading availability numbers.
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
 		return
@@ -177,8 +181,15 @@ func (h *api) trace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
+	// A saturated queue is still a live process (200), but the status
+	// body flips to "degraded" so operators see back-pressure before
+	// submissions start bouncing with 429s.
+	status := "ok"
+	if h.m.QueueSaturated() {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+		"status":   status,
 		"version":  h.version,
 		"draining": h.m.Draining(),
 	})

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+)
+
+// TestSubmitRejectsUnknownFields: a typo'd key in a job spec must be a
+// 400, not a silently ignored field — a job with "fautls" instead of
+// "faults" would otherwise run fault-free and report misleading
+// availability numbers.
+func TestSubmitRejectsUnknownFields(t *testing.T) {
+	m := New(Config{QueueSize: 2, Workers: 1})
+	defer drain(t, m)
+	srv := httptest.NewServer(NewHandler(m, "test"))
+	defer srv.Close()
+
+	body := `{"n":30,"topology":"line","query":"min","trials":1,"seed":1,"fautls":{"crash_prob":0.5}}`
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("POST with unknown field -> %d, want 400", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out["error"], "fautls") {
+		t.Fatalf("error %q does not name the offending field", out["error"])
+	}
+}
+
+// TestHealthzDegradedWhenQueueFull: a saturated queue keeps /healthz at
+// 200 (the process is alive) but flips the body status to "degraded".
+func TestHealthzDegradedWhenQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	m := New(Config{QueueSize: 2, Workers: 1})
+	m.runGate = gate
+	srv := httptest.NewServer(NewHandler(m, "test"))
+	defer srv.Close()
+
+	health := func() string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /healthz -> %d, want 200 even when degraded", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		status, _ := out["status"].(string)
+		return status
+	}
+
+	if got := health(); got != "ok" {
+		t.Fatalf("idle healthz status = %q, want ok", got)
+	}
+	// One job held at the gate by the worker, two more saturating the
+	// queue.
+	first, code := postJob(t, srv, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1 -> %d", code)
+	}
+	waitStatus(t, srv, first, StatusRunning)
+	for i := 2; i <= 3; i++ {
+		if _, code := postJob(t, srv, testSpec()); code != http.StatusAccepted {
+			t.Fatalf("job %d -> %d, want 202", i, code)
+		}
+	}
+	if got := health(); got != "degraded" {
+		t.Fatalf("saturated healthz status = %q, want degraded", got)
+	}
+
+	close(gate)
+	drain(t, m)
+	if got := health(); got != "ok" {
+		t.Fatalf("drained healthz status = %q, want ok", got)
+	}
+}
+
+// TestFaultJobRunsEndToEnd: a fault-injection spec travels through the
+// HTTP API and comes back with degradation columns matching a direct
+// experiments.RunScenario call.
+func TestFaultJobRunsEndToEnd(t *testing.T) {
+	m := New(Config{QueueSize: 2, Workers: 1})
+	defer drain(t, m)
+	srv := httptest.NewServer(NewHandler(m, "test"))
+	defer srv.Close()
+
+	spec := Spec{ScenarioConfig: experiments.ScenarioConfig{
+		N:        30,
+		Topology: "geometric",
+		Query:    "min",
+		Attack:   "none",
+		Trials:   3,
+		Seed:     19,
+		Workers:  2,
+		Faults:   &faults.Spec{Burst: &faults.BurstSpec{EnterProb: 0.1, ExitProb: 0.2, LossBad: 0.5}},
+		ARQ:      &simnet.ARQConfig{},
+	}}
+	id, code := postJob(t, srv, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST fault job -> %d, want 202", code)
+	}
+	v := waitStatus(t, srv, id, StatusDone)
+	if len(v.Rows) != spec.Trials {
+		t.Fatalf("got %d rows, want %d", len(v.Rows), spec.Trials)
+	}
+	var retransmits int64
+	for _, r := range v.Rows {
+		retransmits += r.Retransmits
+	}
+	if retransmits == 0 {
+		t.Fatal("burst loss with the ARQ enabled produced no retransmissions")
+	}
+	want, err := experiments.RunScenario(spec.ScenarioConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(v.Rows)
+	wantJSON, _ := json.Marshal(want)
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("HTTP fault rows differ from direct rows:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+}

@@ -420,6 +420,14 @@ func (m *Manager) Draining() bool {
 	return m.draining
 }
 
+// QueueSaturated reports whether the job queue is at capacity, i.e. the
+// next Submit would be rejected with ErrQueueFull. /healthz surfaces
+// this as a "degraded" status so load balancers and operators see
+// saturation before clients start receiving 429s.
+func (m *Manager) QueueSaturated() bool {
+	return len(m.queue) == cap(m.queue)
+}
+
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for job := range m.queue {

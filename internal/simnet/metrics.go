@@ -12,6 +12,12 @@ const (
 	MetricDroppedCapacity = "simnet_dropped_capacity_total"
 	MetricDroppedNoLink   = "simnet_dropped_nolink_total"
 	MetricDroppedLoss     = "simnet_dropped_loss_total"
+	MetricDroppedFault    = "simnet_dropped_fault_total"
+	MetricRetransmits     = "simnet_arq_retransmits_total"
+	MetricARQFailed       = "simnet_arq_failed_total"
+	MetricARQDuplicates   = "simnet_arq_duplicates_total"
+	MetricAcksSent        = "simnet_arq_acks_sent_total"
+	MetricAcksLost        = "simnet_arq_acks_lost_total"
 )
 
 // ReportTo adds this snapshot's aggregate counters to the registry. The
@@ -36,4 +42,10 @@ func (s *Stats) ReportTo(reg *metrics.Registry) {
 	reg.Counter(MetricDroppedCapacity).Add(s.DroppedCapacity)
 	reg.Counter(MetricDroppedNoLink).Add(s.DroppedNoLink)
 	reg.Counter(MetricDroppedLoss).Add(s.DroppedLoss)
+	reg.Counter(MetricDroppedFault).Add(s.DroppedFault)
+	reg.Counter(MetricRetransmits).Add(s.Retransmits)
+	reg.Counter(MetricARQFailed).Add(s.ARQFailed)
+	reg.Counter(MetricARQDuplicates).Add(s.ARQDuplicates)
+	reg.Counter(MetricAcksSent).Add(s.AcksSent)
+	reg.Counter(MetricAcksLost).Add(s.AcksLost)
 }

@@ -55,7 +55,22 @@ type Message struct {
 	// Payload is the message body.
 	Payload Payload
 
-	seq uint64 // global send order, for deterministic default sorting
+	seq uint64    // global send order, for deterministic default sorting
+	arq *arqEntry // link-layer tracking entry; nil when ARQ is disabled
+}
+
+// FaultModel is the per-slot fault-injection hook (implemented by
+// faults.Schedule). The network calls BeginSlot exactly once per slot
+// from its driver goroutine before any delivery; NodeDown and LinkDown
+// must then be pure reads until the next BeginSlot (they are consulted
+// during delivery and step setup). DeliveryLost is drawn once per
+// delivery attempt on the driver goroutine, in deterministic message
+// order, so fault sequences reproduce exactly from a seed.
+type FaultModel interface {
+	BeginSlot(slot int)
+	NodeDown(id topology.NodeID) bool
+	LinkDown(from, to topology.NodeID) bool
+	DeliveryLost() bool
 }
 
 // Orderer rearranges a node's inbox for one slot, in place. The default
@@ -101,6 +116,21 @@ type Config struct {
 	DropRate float64
 	// DropRNG drives the loss coin flips; required when DropRate > 0.
 	DropRNG *crypto.Stream
+
+	// Faults, when non-nil, injects deterministic correlated failures
+	// (node crashes, link churn, bursty loss, partitions): crashed nodes
+	// neither step nor receive, messages over downed links and bursty-
+	// loss casualties are dropped and counted in Stats.DroppedFault. Nil
+	// keeps the exact pre-fault behavior, byte for byte.
+	Faults FaultModel
+	// ARQ, when non-nil, enables the link-layer stop-and-wait ARQ that
+	// substantiates the paper's "reliable delivery through
+	// retransmission" assumption: every unicast is acked by the
+	// receiver, retransmitted on ack timeout with bounded exponential
+	// backoff, and abandoned once the retransmit budget is spent. Ack
+	// and retransmission traffic is charged to the byte accounting. Nil
+	// disables the ARQ with zero accounting change.
+	ARQ *ARQConfig
 }
 
 // Stats holds per-node and aggregate accounting for one Network.
@@ -112,7 +142,19 @@ type Stats struct {
 	DroppedCapacity  int64
 	DroppedNoLink    int64
 	DroppedLoss      int64
-	Slots            int
+	// DroppedFault counts deliveries lost to injected faults (crashed
+	// endpoints, downed links, bursty loss).
+	DroppedFault int64
+	// ARQ accounting: link-layer retransmissions performed, frames
+	// abandoned after the retransmit budget, duplicate deliveries
+	// suppressed by the receiver, and acks sent/lost. All zero when
+	// Config.ARQ is nil.
+	Retransmits   int64
+	ARQFailed     int64
+	ARQDuplicates int64
+	AcksSent      int64
+	AcksLost      int64
+	Slots         int
 }
 
 // TotalBytes returns the total bytes sent plus received across all nodes
@@ -163,12 +205,17 @@ type Network struct {
 	// atomics.
 	droppedCapacity atomic.Int64
 	droppedNoLink   atomic.Int64
+
+	// Link-layer ARQ state: unacked frames in send order, and the
+	// normalized (defaults-applied) configuration.
+	arq    []*arqEntry
+	arqCfg ARQConfig
 }
 
 // New creates a network over the given graph.
 func New(g *topology.Graph, cfg Config) *Network {
 	n := g.NumNodes()
-	return &Network{
+	net := &Network{
 		graph:   g,
 		cfg:     cfg,
 		inboxes: make([][]Message, n),
@@ -180,6 +227,10 @@ func New(g *topology.Graph, cfg Config) *Network {
 			MessagesReceived: make([]int64, n),
 		},
 	}
+	if cfg.ARQ != nil {
+		net.arqCfg = cfg.ARQ.withDefaults()
+	}
+	return net
 }
 
 // Graph returns the underlying physical graph.
@@ -224,6 +275,7 @@ type Context struct {
 	Inbox []Message
 	out   []Message
 	sends int
+	down  bool // crashed this slot per the fault model; step is skipped
 }
 
 // Node returns the node this context belongs to.
@@ -310,18 +362,36 @@ func (n *Network) RunUntilQuiescent(maxSlots int, step StepFunc) int {
 
 func (n *Network) runOneSlot(step StepFunc) {
 	numNodes := n.graph.NumNodes()
+	faults := n.cfg.Faults
+	if faults != nil {
+		faults.BeginSlot(n.slot)
+	}
 
 	// Deliver pending messages into per-node inboxes. The inbox slices are
 	// reused across slots (truncated, backing arrays kept), so a steady-
-	// state slot performs no allocation here.
+	// state slot performs no allocation here. The check order matters for
+	// reproducibility: fault checks run only when Faults is configured, so
+	// the DropRNG coin sequence — and therefore every byte of behavior —
+	// is unchanged when they are not.
 	inboxes := n.inboxes
 	for id := range inboxes {
 		inboxes[id] = inboxes[id][:0]
 	}
 	for _, m := range n.pending {
+		if faults != nil && (faults.NodeDown(m.From) || faults.NodeDown(m.To) || faults.LinkDown(m.From, m.To)) {
+			n.stats.DroppedFault++
+			continue
+		}
 		if n.cfg.DropRate > 0 && n.cfg.DropRNG != nil && n.cfg.DropRNG.Float64() < n.cfg.DropRate {
 			n.stats.DroppedLoss++
 			continue
+		}
+		if faults != nil && faults.DeliveryLost() {
+			n.stats.DroppedFault++
+			continue
+		}
+		if m.arq != nil && !n.deliverARQ(m.arq) {
+			continue // duplicate suppressed by the receiver
 		}
 		m.Slot = n.slot
 		inboxes[m.To] = append(inboxes[m.To], m)
@@ -329,6 +399,9 @@ func (n *Network) runOneSlot(step StepFunc) {
 		n.stats.MessagesReceived[m.To]++
 	}
 	n.pending = n.pending[:0]
+	if n.cfg.ARQ != nil {
+		n.arqTick()
+	}
 	for id := range inboxes {
 		box := inboxes[id]
 		slices.SortFunc(box, func(a, b Message) int {
@@ -345,6 +418,8 @@ func (n *Network) runOneSlot(step StepFunc) {
 	// Run every node's step, concurrently unless configured otherwise. The
 	// Context structs are reused across slots too; only their per-slot
 	// fields are reset (the out buffers keep their backing arrays).
+	// Crashed nodes are marked down here, on the driver goroutine, so the
+	// concurrent fan-out below never calls into the fault model.
 	for id := 0; id < numNodes; id++ {
 		c := &n.ctxs[id]
 		c.net = n
@@ -353,6 +428,7 @@ func (n *Network) runOneSlot(step StepFunc) {
 		c.Inbox = inboxes[id]
 		c.out = c.out[:0]
 		c.sends = 0
+		c.down = faults != nil && faults.NodeDown(c.node)
 	}
 	workers := n.cfg.Workers
 	if workers <= 0 {
@@ -363,6 +439,9 @@ func (n *Network) runOneSlot(step StepFunc) {
 	}
 	if n.cfg.Sequential || workers == 1 || numNodes == 1 {
 		for id := range n.ctxs {
+			if n.ctxs[id].down {
+				continue
+			}
 			step(&n.ctxs[id])
 		}
 	} else {
@@ -381,6 +460,9 @@ func (n *Network) runOneSlot(step StepFunc) {
 			go func(ctxs []Context) {
 				defer wg.Done()
 				for i := range ctxs {
+					if ctxs[i].down {
+						continue
+					}
 					step(&ctxs[i])
 				}
 			}(n.ctxs[lo:hi])
@@ -389,13 +471,21 @@ func (n *Network) runOneSlot(step StepFunc) {
 	}
 
 	// Merge outgoing messages in node order for determinism, stamping
-	// sequence numbers and sender-side accounting.
+	// sequence numbers and sender-side accounting. With the ARQ enabled
+	// every frame gets a tracking entry; the message copy placed in
+	// pending (and any retransmitted copy) carries a pointer back to it.
 	for id := range n.ctxs {
 		for _, m := range n.ctxs[id].out {
 			m.seq = n.seq
 			n.seq++
 			n.stats.BytesSent[m.From] += int64(m.Payload.WireSize())
 			n.stats.MessagesSent[m.From]++
+			if n.cfg.ARQ != nil {
+				e := &arqEntry{lastSent: n.slot}
+				m.arq = e
+				e.msg = m
+				n.arq = append(n.arq, e)
+			}
 			n.pending = append(n.pending, m)
 		}
 	}
