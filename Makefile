@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR4.json
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X main.version=$(VERSION)"
 
@@ -19,12 +19,13 @@ race:
 	$(GO) test -race ./...
 
 # The race-sensitive subset: packages with real concurrency (per-slot
-# step goroutines, parallel trial workers, the job queue) plus the fault
-# schedule and the engine's deadline/degradation paths, which both run
-# under the per-slot fan-out. CI runs this instead of the full -race
+# step goroutines, parallel trial workers, the job queue, the result
+# store's shared journal, the sweep orchestrator's fan-out) plus the
+# fault schedule and the engine's deadline/degradation paths, which both
+# run under the per-slot fan-out. CI runs this instead of the full -race
 # sweep to keep the loop fast.
 race-focus:
-	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core
+	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep
 
 vet:
 	$(GO) vet ./...

@@ -27,6 +27,7 @@ import (
 	"repro/internal/keydist"
 	"repro/internal/metrics"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/synopsis"
 	"repro/internal/topology"
 )
@@ -186,6 +187,67 @@ func BenchmarkServiceSubmitToDone(b *testing.B) {
 			b.Fatalf("job finished %s: %s", job.Status(), job.Err())
 		}
 	}
+}
+
+// BenchmarkStoreHitVsColdExecution quantifies the result store's win:
+// "cold" executes a paper-style scenario through the service worker
+// pool, "warm" serves the identical spec from the content-addressed
+// store. The warm path is expected to be orders of magnitude (>=100x)
+// faster since it replaces an engine run with one index lookup.
+func BenchmarkStoreHitVsColdExecution(b *testing.B) {
+	spec := service.Spec{ScenarioConfig: experiments.ScenarioConfig{
+		N: 60, Topology: "geometric", Query: "min",
+		Attack: "drop", Malicious: 2,
+		Trials: 5, Seed: 2011, Workers: 1,
+	}}
+
+	b.Run("cold", func(b *testing.B) {
+		mgr := service.New(service.Config{QueueSize: 8, Workers: 1, Retain: 8, Metrics: metrics.New()})
+		defer mgr.Drain(context.Background())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job, err := mgr.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-job.Done()
+			if job.Status() != service.StatusDone {
+				b.Fatalf("job finished %s: %s", job.Status(), job.Err())
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		st, err := store.Open(b.TempDir(), store.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		mgr := service.New(service.Config{QueueSize: 8, Workers: 1, Retain: 8, Metrics: metrics.New(), Store: st})
+		defer mgr.Drain(context.Background())
+		// Prime the store with one real execution.
+		job, err := mgr.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if job.Status() != service.StatusDone {
+			b.Fatalf("priming job finished %s: %s", job.Status(), job.Err())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job, err := mgr.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-job.Done()
+			if v := job.View(); v.Status != service.StatusDone || v.Source != "store" {
+				b.Fatalf("job not served from store: %+v", v)
+			}
+		}
+	})
 }
 
 // --- micro-benchmarks ---

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// benchCache fronts the persistent result store for the CLI: each
+// experiment's row set is keyed by the experiment name plus its full
+// config (with execution-only knobs zeroed), so repeating an invocation
+// with the same -cache-dir prints identical tables straight from disk
+// without touching the engine.
+type benchCache struct {
+	st     *store.Store
+	hits   int
+	misses int
+}
+
+// cachedRows returns the experiment's rows from the store when present,
+// otherwise executes run and writes the rows back. keySpec must be the
+// experiment config as actually run, minus fields that cannot change
+// the rows (callers zero Workers — the trial runner is deterministic
+// for any worker count).
+func cachedRows[T any](c *benchCache, exp string, keySpec any, run func() ([]T, error)) ([]T, error) {
+	if c == nil {
+		return run()
+	}
+	kind := "bench/" + exp
+	key, err := store.KeyJSON(kind, keySpec)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok, err := c.st.Get(key); err == nil && ok {
+		var rows []T
+		if err := json.Unmarshal(e.Value, &rows); err == nil {
+			c.hits++
+			return rows, nil
+		}
+	}
+	c.misses++
+	rows, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.st.Put(key, kind, rows, store.Meta{Version: version}); err != nil {
+		return nil, fmt.Errorf("cache write-back (%s): %w", exp, err)
+	}
+	return rows, nil
+}

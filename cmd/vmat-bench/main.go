@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/keydist"
+	"repro/internal/store"
 )
 
 // version is stamped by the Makefile via -ldflags "-X main.version=...".
@@ -38,6 +39,7 @@ func run(args []string, w io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced scale (fewer trials, smaller networks)")
 	seed := fs.Uint64("seed", 2011, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel trial workers (0 = all cores); results are identical for any value")
+	cacheDir := fs.String("cache-dir", "", "persist experiment rows in a content-addressed store under this directory; repeated runs print from disk")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,20 +49,30 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
+	var cache *benchCache
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir, store.Config{})
+		if err != nil {
+			return fmt.Errorf("open cache: %w", err)
+		}
+		defer st.Close()
+		cache = &benchCache{st: st}
+	}
+
 	runners := map[string]func() error{
-		"fig7":     func() error { return runFig7(w, *quick, *seed, *workers) },
-		"fig8":     func() error { return runFig8(w, *quick, *seed, *workers) },
-		"comm":     func() error { return runComm(w, *quick, *seed, *workers) },
-		"rounds":   func() error { return runRounds(w, *quick, *seed, *workers) },
-		"pinpoint": func() error { return runPinpoint(w, *quick, *seed, *workers) },
-		"campaign": func() error { return runCampaign(w, *quick, *seed, *workers) },
-		"wormhole": func() error { return runWormhole(w, *quick, *seed, *workers) },
-		"choking":  func() error { return runChoking(w, *quick, *seed, *workers) },
-		"loss":     func() error { return runLoss(w, *quick, *seed, *workers) },
-		"avail":    func() error { return runAvailability(w, *quick, *seed, *workers) },
-		"msweep":   func() error { return runMSweep(w, *quick, *seed, *workers) },
-		"scenario": func() error { return runScenario(w, *quick, *seed, *workers) },
-		"faults":   func() error { return runFaults(w, *quick, *seed, *workers) },
+		"fig7":     func() error { return runFig7(w, cache, *quick, *seed, *workers) },
+		"fig8":     func() error { return runFig8(w, cache, *quick, *seed, *workers) },
+		"comm":     func() error { return runComm(w, cache, *quick, *seed, *workers) },
+		"rounds":   func() error { return runRounds(w, cache, *quick, *seed, *workers) },
+		"pinpoint": func() error { return runPinpoint(w, cache, *quick, *seed, *workers) },
+		"campaign": func() error { return runCampaign(w, cache, *quick, *seed, *workers) },
+		"wormhole": func() error { return runWormhole(w, cache, *quick, *seed, *workers) },
+		"choking":  func() error { return runChoking(w, cache, *quick, *seed, *workers) },
+		"loss":     func() error { return runLoss(w, cache, *quick, *seed, *workers) },
+		"avail":    func() error { return runAvailability(w, cache, *quick, *seed, *workers) },
+		"msweep":   func() error { return runMSweep(w, cache, *quick, *seed, *workers) },
+		"scenario": func() error { return runScenario(w, cache, *quick, *seed, *workers) },
+		"faults":   func() error { return runFaults(w, cache, *quick, *seed, *workers) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail", "scenario", "faults"} {
@@ -69,16 +81,31 @@ func run(args []string, w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+		cacheSummary(w, cache)
 		return nil
 	}
 	r, ok := runners[*exp]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	return r()
+	if err := r(); err != nil {
+		return err
+	}
+	cacheSummary(w, cache)
+	return nil
 }
 
-func runFig7(w io.Writer, quick bool, seed uint64, workers int) error {
+// cacheSummary reports cache effectiveness for the run; a warm rerun
+// shows zero misses, proving the tables came from the store.
+func cacheSummary(w io.Writer, cache *benchCache) {
+	if cache == nil {
+		return
+	}
+	fmt.Fprintf(w, "cache: %d hits, %d misses (%d entries)\n",
+		cache.hits, cache.misses, cache.st.Len())
+}
+
+func runFig7(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultFig7()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -86,14 +113,18 @@ func runFig7(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.NetworkSizes = []int{1000}
 		cfg.Trials = 10
 	}
-	rows, err := experiments.RunFig7(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "fig7", keyCfg, func() ([]experiments.Fig7Row, error) {
+		return experiments.RunFig7(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.Fig7Table(rows).Write(w)
 }
 
-func runFig8(w io.Writer, quick bool, seed uint64, workers int) error {
+func runFig8(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultFig8()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -101,24 +132,38 @@ func runFig8(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.Trials = 50
 		cfg.Counts = []int{10, 100, 1000}
 	}
-	rows := experiments.RunFig8(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "fig8", keyCfg, func() ([]experiments.Fig8Row, error) {
+		return experiments.RunFig8(cfg), nil
+	})
+	if err != nil {
+		return err
+	}
 	return experiments.Fig8Table(rows, cfg.Synopses).Write(w)
 }
 
-func runMSweep(w io.Writer, quick bool, seed uint64, workers int) error {
+func runMSweep(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultMSweep()
 	cfg.Seed = seed
 	cfg.Workers = workers
 	if quick {
 		cfg.Trials = 40
 	}
-	rows := experiments.RunMSweep(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "msweep", keyCfg, func() ([]experiments.MSweepRow, error) {
+		return experiments.RunMSweep(cfg), nil
+	})
+	if err != nil {
+		return err
+	}
 	return experiments.MSweepTable(rows, cfg.Count).Write(w)
 }
 
 // runScenario runs the default service workload (the same driver
 // cmd/vmat-server executes jobs with), printing one row per trial.
-func runScenario(w io.Writer, quick bool, seed uint64, workers int) error {
+func runScenario(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultScenario()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -126,7 +171,11 @@ func runScenario(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.N = 40
 		cfg.Trials = 5
 	}
-	rows, err := experiments.RunScenario(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "scenario", keyCfg, func() ([]experiments.ScenarioRow, error) {
+		return experiments.RunScenario(cfg)
+	})
 	if err != nil {
 		return err
 	}
@@ -135,7 +184,7 @@ func runScenario(w io.Writer, quick bool, seed uint64, workers int) error {
 
 // runFaults sweeps crash churn and burst loss with the ARQ on, printing
 // availability and exact-answer rates for both aggregation modes.
-func runFaults(w io.Writer, quick bool, seed uint64, workers int) error {
+func runFaults(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultFaults()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -145,42 +194,54 @@ func runFaults(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.BurstLoss = []float64{0, 0.5}
 		cfg.Trials = 3
 	}
-	rows, err := experiments.RunFaults(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "faults", keyCfg, func() ([]experiments.FaultsRow, error) {
+		return experiments.RunFaults(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.FaultsTable(rows).Write(w)
 }
 
-func runComm(w io.Writer, quick bool, seed uint64, workers int) error {
+func runComm(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultComm()
 	cfg.Seed = seed
 	cfg.Workers = workers
 	if quick {
 		cfg.NetworkSizes = []int{100, 1000}
 	}
-	rows, err := experiments.RunComm(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "comm", keyCfg, func() ([]experiments.CommRow, error) {
+		return experiments.RunComm(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.CommTable(rows).Write(w)
 }
 
-func runRounds(w io.Writer, quick bool, seed uint64, workers int) error {
+func runRounds(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultRounds()
 	cfg.Seed = seed
 	cfg.Workers = workers
 	if quick {
 		cfg.NetworkSizes = []int{50, 100, 400}
 	}
-	rows, err := experiments.RunRounds(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "rounds", keyCfg, func() ([]experiments.RoundsRow, error) {
+		return experiments.RunRounds(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.RoundsTable(rows).Write(w)
 }
 
-func runPinpoint(w io.Writer, quick bool, seed uint64, workers int) error {
+func runPinpoint(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultPinpoint()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -188,14 +249,18 @@ func runPinpoint(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.NetworkSizes = []int{50}
 		cfg.Trials = 4
 	}
-	rows, err := experiments.RunPinpoint(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "pinpoint", keyCfg, func() ([]experiments.PinpointRow, error) {
+		return experiments.RunPinpoint(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.PinpointTable(rows).Write(w)
 }
 
-func runCampaign(w io.Writer, quick bool, seed uint64, workers int) error {
+func runCampaign(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultCampaign()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -203,7 +268,11 @@ func runCampaign(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.Thetas = []int{0, 7}
 		cfg.Trials = 2
 	}
-	rows, err := experiments.RunCampaign(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "campaign", keyCfg, func() ([]experiments.CampaignRow, error) {
+		return experiments.RunCampaign(cfg)
+	})
 	if err != nil {
 		return err
 	}
@@ -211,7 +280,7 @@ func runCampaign(w io.Writer, quick bool, seed uint64, workers int) error {
 	return experiments.CampaignTable(rows, ringSize).Write(w)
 }
 
-func runWormhole(w io.Writer, quick bool, seed uint64, workers int) error {
+func runWormhole(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultWormhole()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -219,14 +288,18 @@ func runWormhole(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.NetworkSizes = []int{60}
 		cfg.Trials = 4
 	}
-	rows, err := experiments.RunWormhole(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "wormhole", keyCfg, func() ([]experiments.WormholeRow, error) {
+		return experiments.RunWormhole(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.WormholeTable(rows).Write(w)
 }
 
-func runLoss(w io.Writer, quick bool, seed uint64, workers int) error {
+func runLoss(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultLoss()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -234,14 +307,18 @@ func runLoss(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.N = 60
 		cfg.Trials = 5
 	}
-	rows, err := experiments.RunLoss(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "loss", keyCfg, func() ([]experiments.LossRow, error) {
+		return experiments.RunLoss(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.LossTable(rows).Write(w)
 }
 
-func runAvailability(w io.Writer, quick bool, seed uint64, workers int) error {
+func runAvailability(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultAvailability()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -249,14 +326,18 @@ func runAvailability(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.Trials = 2
 		cfg.Executions = 20
 	}
-	rows, err := experiments.RunAvailability(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "avail", keyCfg, func() ([]experiments.AvailabilityRow, error) {
+		return experiments.RunAvailability(cfg)
+	})
 	if err != nil {
 		return err
 	}
 	return experiments.AvailabilityTable(rows).Write(w)
 }
 
-func runChoking(w io.Writer, quick bool, seed uint64, workers int) error {
+func runChoking(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {
 	cfg := experiments.DefaultChoking()
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -264,7 +345,11 @@ func runChoking(w io.Writer, quick bool, seed uint64, workers int) error {
 		cfg.N = 50
 		cfg.Trials = 5
 	}
-	rows, err := experiments.RunChoking(cfg)
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	rows, err := cachedRows(c, "choking", keyCfg, func() ([]experiments.ChokingRow, error) {
+		return experiments.RunChoking(cfg)
+	})
 	if err != nil {
 		return err
 	}

@@ -95,3 +95,64 @@ func TestBenchScenarioQuick(t *testing.T) {
 		t.Fatalf("scenario output missing trial rows:\n%s", out)
 	}
 }
+
+// stripCacheLines removes the cache-summary line so warm and cold
+// outputs can be compared for table equality.
+func stripCacheLines(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "cache: ") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestBenchCacheDirWarmRun is the CLI face of the result store: the
+// second identical invocation prints byte-identical tables with zero
+// cache misses, i.e. nothing was re-executed.
+func TestBenchCacheDirWarmRun(t *testing.T) {
+	dir := t.TempDir()
+	cold := runBench(t, "-exp", "scenario", "-quick", "-cache-dir", dir)
+	if !strings.Contains(cold, "cache: 0 hits, 1 misses") {
+		t.Fatalf("cold run summary wrong:\n%s", cold)
+	}
+	warm := runBench(t, "-exp", "scenario", "-quick", "-cache-dir", dir)
+	if !strings.Contains(warm, "cache: 1 hits, 0 misses") {
+		t.Fatalf("warm run did not hit the store:\n%s", warm)
+	}
+	if stripCacheLines(cold) != stripCacheLines(warm) {
+		t.Fatalf("warm table differs from cold table:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+	// Different seed is a different content address.
+	other := runBench(t, "-exp", "scenario", "-quick", "-seed", "99", "-cache-dir", dir)
+	if !strings.Contains(other, "cache: 0 hits, 1 misses") {
+		t.Fatalf("changed seed still hit the cache:\n%s", other)
+	}
+	// Worker count is execution-only: it must not change the address.
+	rewarm := runBench(t, "-exp", "scenario", "-quick", "-workers", "3", "-cache-dir", dir)
+	if !strings.Contains(rewarm, "cache: 1 hits, 0 misses") {
+		t.Fatalf("worker count changed the cache key:\n%s", rewarm)
+	}
+	// Without the flag nothing is cached and no summary is printed.
+	plain := runBench(t, "-exp", "scenario", "-quick")
+	if strings.Contains(plain, "cache:") {
+		t.Fatalf("cacheless run printed a cache summary:\n%s", plain)
+	}
+}
+
+// TestBenchCacheAcrossExperiments warms two experiments into one store
+// and confirms each is keyed independently.
+func TestBenchCacheAcrossExperiments(t *testing.T) {
+	dir := t.TempDir()
+	runBench(t, "-exp", "choking", "-quick", "-cache-dir", dir)
+	runBench(t, "-exp", "wormhole", "-quick", "-cache-dir", dir)
+	warmA := runBench(t, "-exp", "choking", "-quick", "-cache-dir", dir)
+	warmB := runBench(t, "-exp", "wormhole", "-quick", "-cache-dir", dir)
+	for _, out := range []string{warmA, warmB} {
+		if !strings.Contains(out, "cache: 1 hits, 0 misses (2 entries)") {
+			t.Fatalf("warm rerun summary wrong:\n%s", out)
+		}
+	}
+}

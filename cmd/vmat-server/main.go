@@ -5,19 +5,29 @@
 //
 // Usage:
 //
-//	vmat-server -addr :8080 -queue 64 -workers 4
+//	vmat-server -addr :8080 -queue 64 -workers 4 -data-dir /var/lib/vmat
 //
 // API:
 //
-//	POST   /v1/jobs            submit a scenario spec (429 when the queue is full)
-//	GET    /v1/jobs/{id}       status + result rows
-//	GET    /v1/jobs/{id}/trace NDJSON stream of engine events
-//	DELETE /v1/jobs/{id}       cancel
-//	GET    /healthz            liveness + version + drain state
-//	GET    /metrics            text metrics exposition
+//	POST   /v1/jobs                 submit a scenario spec (429 when the queue is full)
+//	GET    /v1/jobs/{id}            status + result rows
+//	GET    /v1/jobs/{id}/trace      NDJSON stream of engine events
+//	DELETE /v1/jobs/{id}            cancel
+//	POST   /v1/sweeps               submit a parameter grid (cross product of cells)
+//	GET    /v1/sweeps/{id}          sweep progress (executed/cached/failed/pending)
+//	GET    /v1/sweeps/{id}/results  full results; ?format=csv for flat export
+//	DELETE /v1/sweeps/{id}          stop a sweep
+//	GET    /healthz                 liveness + version + drain state
+//	GET    /metrics                 text metrics exposition
+//
+// With -data-dir, completed results persist in a content-addressed
+// store: identical resubmissions (jobs or sweep cells) are served from
+// disk without re-execution, across restarts.
 //
 // On SIGTERM/SIGINT the server drains gracefully: it stops accepting
-// work, finishes queued and running jobs, then exits.
+// work, finishes queued and running jobs, flushes the store, then
+// exits — an interrupted sweep resumes from the store when its grid is
+// resubmitted.
 package main
 
 import (
@@ -34,6 +44,8 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/sweep"
 )
 
 // version is stamped by the Makefile via -ldflags "-X main.version=...".
@@ -54,6 +66,7 @@ func run(args []string, w io.Writer) error {
 	retain := fs.Int("retain", 128, "completed jobs kept retrievable before eviction")
 	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job execution deadline (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "max time to finish in-flight jobs on shutdown")
+	dataDir := fs.String("data-dir", "", "persist results in a content-addressed store under this directory (empty = no persistence)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,19 +77,50 @@ func run(args []string, w io.Writer) error {
 	}
 
 	reg := metrics.New()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(w, "vmat-server: "+format+"\n", args...)
+	}
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Config{Metrics: reg, Log: logf})
+		if err != nil {
+			return fmt.Errorf("open result store: %w", err)
+		}
+		defer func() {
+			if st != nil {
+				st.Close()
+			}
+		}()
+		logf("result store at %s (%d entries)", *dataDir, st.Len())
+	}
 	mgr := service.New(service.Config{
 		QueueSize:  *queue,
 		Workers:    *workers,
 		Retain:     *retain,
 		JobTimeout: *jobTimeout,
 		Metrics:    reg,
+		Store:      st,
+		Version:    version,
 	})
+	swm := sweep.NewManager(sweep.Config{
+		Service: mgr,
+		Store:   st,
+		Metrics: reg,
+		Log:     logf,
+		Version: version,
+	})
+	// Root mux: the job API owns "/", sweep routes are more specific and
+	// win for /v1/sweeps*.
+	root := http.NewServeMux()
+	root.Handle("/", service.NewHandler(mgr, version))
+	sweep.Register(root, swm)
 	// WriteTimeout stays 0: /v1/jobs/{id}/trace streams NDJSON for as
 	// long as the job runs. Header-read and idle timeouts still bound
 	// slow or stalled clients so they cannot pin connections forever.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(mgr, version),
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -108,11 +152,22 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintln(w, "vmat-server: signal received, draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	// Sweeps first (they stop feeding the job manager and flush the
+	// store), then the job manager, then the listener.
+	if err := swm.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain sweeps: %w", err)
+	}
 	if err := mgr.Drain(drainCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("close store: %w", err)
+		}
+		st = nil // defer-close already done
 	}
 	fmt.Fprintln(w, "vmat-server: drained, bye")
 	return <-errCh

@@ -127,7 +127,7 @@ func TestDeadlineAbortsPinpointingToAlarm(t *testing.T) {
 	cfg := f.config(33)
 	cfg.Malicious = map[topology.NodeID]bool{5: true}
 	cfg.Adversary = adversary.NewJunkInjector(1)
-	cfg.L = 9 // full line depth: the default honest depth stops before node 5
+	cfg.L = 9                    // full line depth: the default honest depth stops before node 5
 	cfg.MaxSlots = aggStart + 25 // expires during the first walk steps
 	eng, err := core.NewEngine(cfg)
 	if err != nil {

@@ -1,0 +1,114 @@
+// Golden equivalence for the result store: rows served from the
+// persistent cache must be byte-identical (as canonical JSON) to rows
+// freshly executed by the engine, including scenarios with a fault
+// spec and the ARQ enabled. This is the determinism contract
+// (determinism_test.go) extended across the JSON round-trip the store
+// performs — if any row field serialized lossily, a cache hit would
+// silently diverge from a cold run.
+package experiments_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+	"repro/internal/store"
+)
+
+func goldenSpecs() []experiments.ScenarioConfig {
+	plain := experiments.DefaultScenario()
+	plain.N = 30
+	plain.Trials = 3
+	plain.Seed = 41
+
+	attacked := plain
+	attacked.Attack = "choke"
+	attacked.Theta = 7
+
+	faulty := plain
+	faulty.Attack = "drop"
+	faulty.Malicious = 1
+	faulty.LossRate = 0.05
+	faulty.Faults = &faults.Spec{
+		CrashProb: 0.005,
+		Burst:     &faults.BurstSpec{EnterProb: 0.1, ExitProb: 0.3, LossBad: 0.6},
+	}
+	faulty.ARQ = &simnet.ARQConfig{MaxRetries: 2}
+
+	return []experiments.ScenarioConfig{plain, attacked, faulty}
+}
+
+func TestStoreRowsGoldenEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Config{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+
+	type golden struct {
+		spec experiments.ScenarioConfig
+		cold []byte
+	}
+	var goldens []golden
+	for i, spec := range goldenSpecs() {
+		spec.Normalize()
+		rows, err := experiments.RunScenario(spec)
+		if err != nil {
+			t.Fatalf("spec %d: cold run: %v", i, err)
+		}
+		cold, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatalf("spec %d: marshal: %v", i, err)
+		}
+		if err := st.PutScenario(spec, rows, store.Meta{Version: "golden"}); err != nil {
+			t.Fatalf("spec %d: put: %v", i, err)
+		}
+		goldens = append(goldens, golden{spec, cold})
+	}
+
+	check := func(st *store.Store, phase string) {
+		t.Helper()
+		for i, g := range goldens {
+			cached, ok, err := st.GetScenario(g.spec)
+			if err != nil || !ok {
+				t.Fatalf("%s: spec %d: get: ok=%v err=%v", phase, i, ok, err)
+			}
+			got, err := json.Marshal(cached)
+			if err != nil {
+				t.Fatalf("%s: spec %d: marshal cached: %v", phase, i, err)
+			}
+			if !bytes.Equal(got, g.cold) {
+				t.Errorf("%s: spec %d: cached rows are not byte-identical to cold execution\ncold: %s\ncached: %s",
+					phase, i, g.cold, got)
+			}
+		}
+	}
+	// Same handle: served from the in-memory cache.
+	check(st, "warm")
+	// Fresh handle: decoded from the journal on disk.
+	if err := st.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	st2, err := store.Open(dir, store.Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	check(st2, "reopened")
+
+	// And a re-executed run still matches the stored bytes — the
+	// determinism the store's content addressing is built on.
+	for i, g := range goldens {
+		rows, err := experiments.RunScenario(g.spec)
+		if err != nil {
+			t.Fatalf("spec %d: rerun: %v", i, err)
+		}
+		again, _ := json.Marshal(rows)
+		if !bytes.Equal(again, g.cold) {
+			t.Errorf("spec %d: re-execution diverged from first execution", i)
+		}
+	}
+}

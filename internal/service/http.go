@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // HTTP metric names. Both carry route and (for requests) status-code
@@ -67,7 +69,14 @@ func (r *statusRecorder) Flush() {
 }
 
 func (h *api) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
-	reg := h.m.Registry()
+	return Instrument(h.m.Registry(), route, fn)
+}
+
+// Instrument wraps an HTTP handler with the server's standard per-route
+// request counter and latency histogram in reg. Exported so sibling
+// subsystems mounting extra routes on the same server (the sweep API)
+// report into the same metric families.
+func Instrument(reg *metrics.Registry, route string, fn http.HandlerFunc) http.HandlerFunc {
 	dur := reg.Histogram(
 		fmt.Sprintf("%s{route=%q}", MetricHTTPDuration, route),
 		[]int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000})

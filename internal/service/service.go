@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // Spec is a job submission: the scenario to run plus service options.
@@ -67,12 +68,14 @@ var (
 // Metric names the manager reports. Jobs-by-outcome counters carry an
 // outcome label, e.g. `service_jobs_total{outcome="done"}`.
 const (
-	MetricJobsSubmitted = "service_jobs_submitted_total"
-	MetricJobsRejected  = "service_jobs_rejected_total"
-	MetricJobs          = "service_jobs_total"
-	MetricQueueDepth    = "service_queue_depth"
-	MetricJobsRunning   = "service_jobs_running"
-	MetricJobDuration   = "service_job_duration_us"
+	MetricJobsSubmitted    = "service_jobs_submitted_total"
+	MetricJobsRejected     = "service_jobs_rejected_total"
+	MetricJobs             = "service_jobs_total"
+	MetricJobsCached       = "service_jobs_cached_total"
+	MetricQueueDepth       = "service_queue_depth"
+	MetricJobsRunning      = "service_jobs_running"
+	MetricJobDuration      = "service_job_duration_us"
+	MetricStoreWriteErrors = "service_store_write_errors_total"
 )
 
 // Config configures a Manager. Zero values pick serving defaults.
@@ -99,6 +102,17 @@ type Config struct {
 	// Metrics receives service and engine counters. Nil creates a
 	// private registry (still served by Registry()).
 	Metrics *metrics.Registry
+	// Store, when non-nil, persists finished job results content-
+	// addressed by their scenario spec and serves resubmissions of an
+	// identical spec straight from disk: the job completes at Submit
+	// time with the stored rows and no engine execution (determinism
+	// makes the cached rows provably equivalent). Jobs submitted with
+	// Trace bypass the lookup — a cached result has no events to
+	// stream — but their results are still written back.
+	Store *store.Store
+	// Version stamps store write-backs so operators can tell which
+	// build produced a cached result.
+	Version string
 }
 
 // Job is one submitted scenario run.
@@ -112,6 +126,7 @@ type Job struct {
 	mu           sync.Mutex
 	status       Status
 	rows         []experiments.ScenarioRow
+	fromStore    bool
 	errMsg       string
 	trace        []TraceEvent
 	traceDropped int64
@@ -217,6 +232,9 @@ type View struct {
 	Spec   Spec                      `json:"spec"`
 	Error  string                    `json:"error,omitempty"`
 	Rows   []experiments.ScenarioRow `json:"rows,omitempty"`
+	// Source is "store" when the rows were served from the persistent
+	// result store instead of a fresh execution.
+	Source string `json:"source,omitempty"`
 	// TraceEvents is the number of buffered trace events;
 	// TraceDropped counts events beyond the buffer cap.
 	TraceEvents  int    `json:"trace_events,omitempty"`
@@ -239,6 +257,9 @@ func (j *Job) View() View {
 		TraceEvents:  len(j.trace),
 		TraceDropped: j.traceDropped,
 		SubmittedAt:  j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if j.fromStore {
+		v.Source = "store"
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -327,6 +348,16 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.reject("invalid")
 		return nil, err
 	}
+	// Result-store lookup: an identical spec already executed (this
+	// process or any earlier one) completes here, before it ever
+	// touches the queue — no engine execution, no worker slot. Trace
+	// jobs need live events, so they always execute. A store read
+	// error degrades to a miss; the store counts the corruption.
+	if m.cfg.Store != nil && !spec.Trace {
+		if rows, ok, _ := m.cfg.Store.GetScenario(spec.ScenarioConfig); ok {
+			return m.admitCached(spec, rows)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
 		spec:      spec,
@@ -361,6 +392,42 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 		m.reject("queue_full")
 		return nil, ErrQueueFull
 	}
+}
+
+// admitCached registers a job that is born terminal: its rows came out
+// of the result store, so it skips the queue and the worker pool
+// entirely and is immediately retrievable as done.
+func (m *Manager) admitCached(spec Spec, rows []experiments.ScenarioRow) (*Job, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		rows:      rows,
+		fromStore: true,
+		maxTrace:  m.cfg.MaxTraceEvents,
+		submitted: time.Now(),
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		cancel()
+		m.reject("draining")
+		return nil, ErrDraining
+	}
+	m.nextID++
+	job.id = fmt.Sprintf("j%06d", m.nextID)
+	m.jobs[job.id] = job
+	m.mu.Unlock()
+	m.submitted.Inc()
+	m.reg.Counter(MetricJobsCached).Inc()
+	job.transition(StatusDone)
+	m.countOutcome(StatusDone)
+	cancel()
+	m.retire(job)
+	return job, nil
 }
 
 // Get returns a job by ID; ok is false when unknown or evicted.
@@ -469,6 +536,19 @@ func (m *Manager) runJob(job *Job) {
 		job.mu.Lock()
 		job.rows = rows
 		job.mu.Unlock()
+		// Write-back: persist the rows under the spec's content address
+		// so identical future submissions (and sweeps, and restarts)
+		// skip execution. A write failure only costs future cache hits,
+		// never the job — count it and move on.
+		if m.cfg.Store != nil {
+			meta := store.Meta{
+				DurationMicros: time.Since(start).Microseconds(),
+				Version:        m.cfg.Version,
+			}
+			if perr := m.cfg.Store.PutScenario(job.spec.ScenarioConfig, rows, meta); perr != nil {
+				m.reg.Counter(MetricStoreWriteErrors).Inc()
+			}
+		}
 	case errors.Is(err, context.Canceled):
 		outcome = StatusCancelled
 	case errors.Is(err, context.DeadlineExceeded):

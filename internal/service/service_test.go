@@ -8,12 +8,15 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 func testSpec() Spec {
@@ -464,4 +467,120 @@ func readAll(t *testing.T, resp *http.Response) string {
 		t.Fatal(err)
 	}
 	return sb.String()
+}
+
+// TestResubmittedJobServedFromStore is the acceptance check for the
+// persistent result store: the second submission of an identical spec
+// must complete from the store — hit counter up, cached counter up, and
+// crucially zero additional engine executions — with rows exactly equal
+// to the first run's, even across a store reopen (journal replay).
+func TestResubmittedJobServedFromStore(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.New()
+	st, err := store.Open(dir, store.Config{Metrics: reg})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	m := New(Config{Workers: 2, Metrics: reg, Store: st, Version: "test"})
+
+	job1, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	<-job1.Done()
+	if job1.Status() != StatusDone {
+		t.Fatalf("first job: %s (%s)", job1.Status(), job1.Err())
+	}
+	execsAfterFirst := reg.Counter(core.MetricExecutions).Value()
+	if execsAfterFirst == 0 {
+		t.Fatalf("first job ran no engine executions")
+	}
+	if job1.View().Source != "" {
+		t.Fatalf("first job claims source %q, want fresh execution", job1.View().Source)
+	}
+
+	job2, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	select {
+	case <-job2.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("cached job did not complete immediately")
+	}
+	if job2.Status() != StatusDone || job2.View().Source != "store" {
+		t.Fatalf("cached job: status %s source %q, want done from store", job2.Status(), job2.View().Source)
+	}
+	if !reflect.DeepEqual(job2.Rows(), job1.Rows()) {
+		t.Fatalf("cached rows differ from executed rows")
+	}
+	if got := reg.Counter(core.MetricExecutions).Value(); got != execsAfterFirst {
+		t.Fatalf("cache hit executed the engine: %d -> %d executions", execsAfterFirst, got)
+	}
+	if hits := reg.Counter(store.MetricHits).Value(); hits == 0 {
+		t.Fatalf("store hit counter did not increment")
+	}
+	if cached := reg.Counter(MetricJobsCached).Value(); cached != 1 {
+		t.Fatalf("service_jobs_cached_total = %d, want 1", cached)
+	}
+
+	// A worker-count change must still hit: workers are not identity.
+	respec := testSpec()
+	respec.Workers = 7
+	job3, err := m.Submit(respec)
+	if err != nil {
+		t.Fatalf("submit with different workers: %v", err)
+	}
+	<-job3.Done()
+	if job3.View().Source != "store" {
+		t.Fatalf("worker-count change missed the store")
+	}
+
+	// Trace jobs bypass the lookup — they need live engine events.
+	traced := testSpec()
+	traced.Trace = true
+	job4, err := m.Submit(traced)
+	if err != nil {
+		t.Fatalf("submit traced: %v", err)
+	}
+	<-job4.Done()
+	if job4.View().Source == "store" {
+		t.Fatalf("traced job served from store; it has no events to stream")
+	}
+	if got := reg.Counter(core.MetricExecutions).Value(); got == execsAfterFirst {
+		t.Fatalf("traced job did not execute")
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("store close: %v", err)
+	}
+
+	// Restart: a fresh manager over a reopened store serves the same
+	// spec with no execution at all.
+	reg2 := metrics.New()
+	st2, err := store.Open(dir, store.Config{Metrics: reg2})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer st2.Close()
+	m2 := New(Config{Workers: 1, Metrics: reg2, Store: st2})
+	job5, err := m2.Submit(testSpec())
+	if err != nil {
+		t.Fatalf("submit after restart: %v", err)
+	}
+	<-job5.Done()
+	if job5.View().Source != "store" {
+		t.Fatalf("restarted manager missed the journal-replayed store")
+	}
+	if !reflect.DeepEqual(job5.Rows(), job1.Rows()) {
+		t.Fatalf("rows across restart differ")
+	}
+	if got := reg2.Counter(core.MetricExecutions).Value(); got != 0 {
+		t.Fatalf("restarted manager executed %d times for a stored spec", got)
+	}
 }

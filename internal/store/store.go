@@ -1,0 +1,273 @@
+// Package store is a persistent, content-addressed result store for
+// deterministic VMAT workloads. Because every scenario is a pure
+// function of its spec (the trial-runner guarantees bit-identical rows
+// for any worker count), the canonical JSON encoding of a spec is a
+// complete identity for its results: hashing it yields a key under
+// which the rows can be cached forever, and a cache hit is provably
+// equivalent to re-execution.
+//
+// Durability comes from an append-only journal (see journal.go): every
+// Put appends one checksummed record and fsyncs before the entry
+// becomes visible, so a crash can only ever lose the record being
+// written, never a completed one. On Open the journal is replayed; a
+// truncated or corrupt tail — the signature of a torn write — is
+// logged, counted in metrics, and truncated away rather than treated as
+// fatal.
+//
+// In memory, a compact key→offset index locates every record, and a
+// bounded LRU of decoded entries fronts the disk so hot keys (a sweep
+// re-reading its own cells, vmat-bench regenerating a figure) never
+// touch the file. Hit/miss/eviction/corruption counters land in an
+// internal/metrics registry.
+package store
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Metric names the store reports into its registry.
+const (
+	MetricHits      = "store_hits_total"
+	MetricMisses    = "store_misses_total"
+	MetricPuts      = "store_puts_total"
+	MetricEvictions = "store_cache_evictions_total"
+	MetricCorrupt   = "store_corrupt_records_total"
+	MetricEntries   = "store_entries"
+)
+
+// Meta is the non-identity metadata stored alongside a result: how long
+// the original execution took and which build produced it.
+type Meta struct {
+	DurationMicros int64  `json:"duration_us,omitempty"`
+	Version        string `json:"version,omitempty"`
+}
+
+// Entry is one stored result: the content-address key, the kind of
+// workload that produced it, its metadata, and the result value as raw
+// JSON (decoded by typed helpers such as GetScenario).
+type Entry struct {
+	Key   string          `json:"key"`
+	Kind  string          `json:"kind,omitempty"`
+	Meta  Meta            `json:"meta"`
+	Value json.RawMessage `json:"value"`
+}
+
+// Config configures a Store. Zero values pick serving defaults.
+type Config struct {
+	// CacheEntries bounds the in-memory LRU of decoded entries that
+	// fronts the journal. Entries beyond the bound are evicted from
+	// memory only — the journal keeps everything. Default 256.
+	CacheEntries int
+	// Metrics receives the store's counters. Nil creates a private
+	// registry.
+	Metrics *metrics.Registry
+	// Log receives human-readable notices (journal recovery, corrupt
+	// tails). Nil discards them.
+	Log func(format string, args ...any)
+}
+
+// recordRef locates one journal record on disk.
+type recordRef struct {
+	off    int64
+	length int64
+}
+
+// Store is a file-backed content-addressed result store. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	size  int64 // journal append offset
+	index map[string]recordRef
+
+	// Bounded decoded-entry cache: cache maps key -> list element whose
+	// value is an Entry; order's front is the most recently used.
+	cache    map[string]*list.Element
+	order    *list.List
+	cacheCap int
+
+	log func(format string, args ...any)
+
+	hits      *metrics.Counter
+	misses    *metrics.Counter
+	puts      *metrics.Counter
+	evictions *metrics.Counter
+	corrupt   *metrics.Counter
+	entries   *metrics.Gauge
+}
+
+// Open opens (creating if needed) the store rooted at dir and replays
+// its journal. A corrupt or truncated journal tail is recovered, logged
+// via cfg.Log, and counted under MetricCorrupt; only I/O errors are
+// fatal.
+func Open(dir string, cfg Config) (*Store, error) {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, JournalName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	s := &Store{
+		f:         f,
+		index:     map[string]recordRef{},
+		cache:     map[string]*list.Element{},
+		order:     list.New(),
+		cacheCap:  cfg.CacheEntries,
+		log:       cfg.Log,
+		hits:      cfg.Metrics.Counter(MetricHits),
+		misses:    cfg.Metrics.Counter(MetricMisses),
+		puts:      cfg.Metrics.Counter(MetricPuts),
+		evictions: cfg.Metrics.Counter(MetricEvictions),
+		corrupt:   cfg.Metrics.Counter(MetricCorrupt),
+		entries:   cfg.Metrics.Gauge(MetricEntries),
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.entries.Set(int64(len(s.index)))
+	return s, nil
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Has reports whether key is stored, without counting a hit or miss.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Get returns the entry stored under key. A miss returns ok=false with
+// no error; the error return is reserved for I/O and decode failures on
+// a record the index says exists.
+func (s *Store) Get(key string) (Entry, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ref, ok := s.index[key]
+	if !ok {
+		s.misses.Inc()
+		return Entry{}, false, nil
+	}
+	if el, ok := s.cache[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits.Inc()
+		return el.Value.(Entry), true, nil
+	}
+	buf := make([]byte, ref.length)
+	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
+		return Entry{}, false, fmt.Errorf("store: read record for %s: %w", key, err)
+	}
+	e, err := decodeRecord(buf)
+	if err != nil {
+		// The record passed its checksum at replay time, so this is
+		// in-place damage, not a torn write; surface it loudly.
+		s.corrupt.Inc()
+		return Entry{}, false, fmt.Errorf("store: record for %s: %w", key, err)
+	}
+	s.cacheAdd(e)
+	s.hits.Inc()
+	return e, true, nil
+}
+
+// Put stores value (JSON-marshaled) under key. Puts are idempotent:
+// storing an already-present key is a no-op, which makes concurrent
+// write-back from several layers (job manager, sweep orchestrator)
+// safe. The record is fsync'd before Put returns.
+func (s *Store) Put(key, kind string, value any, meta Meta) error {
+	s.mu.Lock()
+	if _, ok := s.index[key]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("store: marshal value for %s: %w", key, err)
+	}
+	e := Entry{Key: key, Kind: kind, Meta: meta, Value: raw}
+	rec, err := encodeRecord(&e)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; ok { // lost the race; first write wins
+		return nil
+	}
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		return fmt.Errorf("store: append record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync journal: %w", err)
+	}
+	s.index[key] = recordRef{off: s.size, length: int64(len(rec))}
+	s.size += int64(len(rec))
+	s.cacheAdd(e)
+	s.puts.Inc()
+	s.entries.Set(int64(len(s.index)))
+	return nil
+}
+
+// Sync flushes the journal to stable storage. Puts already sync on
+// every record; Sync exists for shutdown paths that want an explicit
+// final barrier.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close syncs and closes the journal. The store must not be used after
+// Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// cacheAdd inserts (or refreshes) an entry in the bounded LRU, evicting
+// the least recently used entry beyond capacity. Callers hold s.mu.
+func (s *Store) cacheAdd(e Entry) {
+	if el, ok := s.cache[e.Key]; ok {
+		el.Value = e
+		s.order.MoveToFront(el)
+		return
+	}
+	s.cache[e.Key] = s.order.PushFront(e)
+	for s.order.Len() > s.cacheCap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.cache, oldest.Value.(Entry).Key)
+		s.evictions.Inc()
+	}
+}

@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the flattened export schema: one line per trial per
+// cell, the cell's scenario parameters repeated on every line so the
+// file loads straight into a dataframe with no joins.
+var csvHeader = []string{
+	"cell", "source", "n", "topology", "query", "attack", "malicious",
+	"multipath", "loss_rate", "theta", "synopses", "trials", "seed",
+	"trial", "outcome", "answered", "answer", "slots", "flooding_rounds",
+	"predicate_tests", "revoked_keys", "revoked_nodes", "total_bytes",
+	"max_node_bytes", "partial", "unreachable", "retransmits",
+}
+
+// WriteCSV renders cell results as CSV. Cells that have not produced
+// rows (pending or failed) contribute no lines; the JSON export carries
+// their status instead.
+func WriteCSV(w io.Writer, results []CellResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, c := range results {
+		s := c.Spec
+		for _, r := range c.Rows {
+			rec := []string{
+				strconv.Itoa(c.Index), c.Source,
+				strconv.Itoa(s.N), s.Topology, s.Query, s.Attack,
+				strconv.Itoa(s.Malicious), strconv.FormatBool(s.Multipath),
+				formatFloat(s.LossRate), strconv.Itoa(s.Theta),
+				strconv.Itoa(s.Synopses), strconv.Itoa(s.Trials),
+				strconv.FormatUint(s.Seed, 10),
+				strconv.Itoa(r.Trial), r.Outcome, strconv.FormatBool(r.Answered),
+				formatFloat(r.Answer), strconv.Itoa(r.Slots),
+				formatFloat(r.FloodingRounds), strconv.Itoa(r.PredicateTests),
+				strconv.Itoa(r.RevokedKeys), strconv.Itoa(r.RevokedNodes),
+				strconv.FormatInt(r.TotalBytes, 10), strconv.FormatInt(r.MaxNodeBytes, 10),
+				strconv.FormatBool(r.Partial), strconv.Itoa(r.Unreachable),
+				strconv.FormatInt(r.Retransmits, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

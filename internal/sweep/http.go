@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// maxGridBytes bounds a sweep-submission body.
+const maxGridBytes = 1 << 20
+
+// Register mounts the sweep API on mux, instrumented into the
+// manager's registry with the same per-route counters/histograms as
+// the job API:
+//
+//	POST   /v1/sweeps               submit a grid (202; 400 invalid/over cap, 503 draining)
+//	GET    /v1/sweeps/{id}          progress counts (executed/cached/failed/pending)
+//	GET    /v1/sweeps/{id}/results  full results; ?format=csv for one line per trial
+//	DELETE /v1/sweeps/{id}          stop submitting further cells
+func Register(mux *http.ServeMux, m *Manager) {
+	h := &api{m: m}
+	reg := m.Registry()
+	mux.HandleFunc("POST /v1/sweeps", service.Instrument(reg, "POST /v1/sweeps", h.submit))
+	mux.HandleFunc("GET /v1/sweeps/{id}", service.Instrument(reg, "GET /v1/sweeps/{id}", h.get))
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", service.Instrument(reg, "GET /v1/sweeps/{id}/results", h.results))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", service.Instrument(reg, "DELETE /v1/sweeps/{id}", h.cancel))
+}
+
+type api struct {
+	m *Manager
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (h *api) submit(w http.ResponseWriter, r *http.Request) {
+	var grid Grid
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxGridBytes))
+	// As with job specs: a typo'd field would silently sweep the wrong
+	// grid, so unknown keys are a hard 400.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&grid); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid sweep grid: "+err.Error())
+		return
+	}
+	sw, err := h.m.Submit(grid)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"id":     sw.ID(),
+			"status": sw.Status(),
+			"cells":  len(sw.cells),
+		})
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (h *api) get(w http.ResponseWriter, r *http.Request) {
+	sw, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.View(false))
+}
+
+func (h *api) results(w http.ResponseWriter, r *http.Request) {
+	sw, ok := h.m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, sw.View(true))
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		w.WriteHeader(http.StatusOK)
+		_ = WriteCSV(w, sw.View(true).Results)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format "+format+" (want json or csv)")
+	}
+}
+
+func (h *api) cancel(w http.ResponseWriter, r *http.Request) {
+	sw, err := h.m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     sw.ID(),
+		"status": sw.Status(),
+	})
+}

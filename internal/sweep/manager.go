@@ -1,0 +1,464 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// Status is a sweep's lifecycle state. A sweep is "done" once every
+// cell reached a terminal outcome (including failures — the failed
+// count says how many); "interrupted" means a drain stopped submission
+// with cells still pending, and the sweep resumes from the store when
+// an identical grid is resubmitted.
+type Status string
+
+const (
+	StatusRunning     Status = "running"
+	StatusDone        Status = "done"
+	StatusInterrupted Status = "interrupted"
+	StatusCancelled   Status = "cancelled"
+)
+
+func (s Status) terminal() bool { return s != StatusRunning }
+
+// Errors returned by Submit/Get. HTTP maps ErrDraining to 503 and
+// ErrNotFound to 404; expansion errors map to 400.
+var (
+	ErrDraining = errors.New("sweep: manager is draining, not accepting sweeps")
+	ErrNotFound = errors.New("sweep: no such sweep")
+)
+
+// Metric names. Cell outcomes carry a source label, e.g.
+// `sweep_cells_total{source="store"}`.
+const (
+	MetricSweepsSubmitted = "sweep_sweeps_submitted_total"
+	MetricSweepsActive    = "sweep_sweeps_active"
+	MetricCells           = "sweep_cells_total"
+)
+
+// Cell sources recorded in results and metrics.
+const (
+	SourceExecuted = "executed" // ran through the service worker pool
+	SourceStore    = "store"    // served from the persistent result store
+	SourceFailed   = "failed"   // executed and failed
+)
+
+// Config configures a sweep Manager.
+type Config struct {
+	// Service executes cells that miss the store. Required.
+	Service *service.Manager
+	// Store, when non-nil, is consulted before submitting each cell and
+	// written back after each execution, making sweeps restartable: a
+	// resubmitted grid skips every cell the journal already holds.
+	Store *store.Store
+	// Metrics receives sweep counters. Nil creates a private registry.
+	Metrics *metrics.Registry
+	// Log receives progress lines (expansion size, completion). Nil
+	// discards them.
+	Log func(format string, args ...any)
+	// MaxInFlight bounds how many cells of one sweep are in the service
+	// queue/worker pool at once, so a single sweep cannot monopolize
+	// admission. Default 8.
+	MaxInFlight int
+	// Retain bounds how many terminal sweeps stay retrievable. Default 64.
+	Retain int
+	// Version stamps sweep write-backs.
+	Version string
+}
+
+// CellResult is one cell's outcome inside a sweep.
+type CellResult struct {
+	Index  int                        `json:"index"`
+	Key    string                     `json:"key"`
+	Source string                     `json:"source,omitempty"` // "", executed, store, failed
+	Error  string                     `json:"error,omitempty"`
+	Spec   experiments.ScenarioConfig `json:"spec"`
+	Rows   []experiments.ScenarioRow  `json:"rows,omitempty"`
+}
+
+// Sweep is one submitted grid expansion working its way through the
+// service.
+type Sweep struct {
+	id    string
+	grid  Grid
+	cells []Cell
+	done  chan struct{}
+
+	stopOnce sync.Once
+	stopped  chan struct{}
+
+	mu        sync.Mutex
+	status    Status
+	reason    string
+	executed  int
+	cached    int
+	failed    int
+	results   []CellResult
+	submitted time.Time
+	finished  time.Time
+}
+
+// ID returns the sweep identifier.
+func (s *Sweep) ID() string { return s.id }
+
+// Done is closed when the sweep reaches a terminal status.
+func (s *Sweep) Done() <-chan struct{} { return s.done }
+
+// Status returns the sweep's current state.
+func (s *Sweep) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status
+}
+
+// stop requests the run loop to stop submitting cells. The first
+// reason wins.
+func (s *Sweep) stop(status Status, reason string) {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		if !s.status.terminal() {
+			s.status = status
+			s.reason = reason
+		}
+		s.mu.Unlock()
+		close(s.stopped)
+	})
+}
+
+// record stores one cell outcome.
+func (s *Sweep) record(i int, source string, rows []experiments.ScenarioRow, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results[i].Source = source
+	s.results[i].Rows = rows
+	s.results[i].Error = errMsg
+	switch source {
+	case SourceExecuted:
+		s.executed++
+	case SourceStore:
+		s.cached++
+	case SourceFailed:
+		s.failed++
+	}
+}
+
+// View is the JSON projection of a sweep. Results are included only
+// from the results endpoint — progress polls stay small.
+type View struct {
+	ID       string `json:"id"`
+	Status   Status `json:"status"`
+	Reason   string `json:"reason,omitempty"`
+	Cells    int    `json:"cells"`
+	Executed int    `json:"executed"`
+	Cached   int    `json:"cached"`
+	Failed   int    `json:"failed"`
+	Pending  int    `json:"pending"`
+	Grid     Grid   `json:"grid"`
+
+	SubmittedAt string `json:"submitted_at"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+
+	Results []CellResult `json:"results,omitempty"`
+}
+
+// View snapshots the sweep. includeResults additionally copies every
+// cell result (specs and rows).
+func (s *Sweep) View(includeResults bool) View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := View{
+		ID:          s.id,
+		Status:      s.status,
+		Reason:      s.reason,
+		Cells:       len(s.cells),
+		Executed:    s.executed,
+		Cached:      s.cached,
+		Failed:      s.failed,
+		Pending:     len(s.cells) - s.executed - s.cached - s.failed,
+		Grid:        s.grid,
+		SubmittedAt: s.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !s.finished.IsZero() {
+		v.FinishedAt = s.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if includeResults {
+		v.Results = append([]CellResult(nil), s.results...)
+	}
+	return v
+}
+
+// Manager owns the sweep table and one orchestration goroutine per
+// active sweep.
+type Manager struct {
+	cfg Config
+	reg *metrics.Registry
+	log func(format string, args ...any)
+
+	mu        sync.Mutex
+	draining  bool
+	sweeps    map[string]*Sweep
+	doneOrder []string
+	nextID    uint64
+	wg        sync.WaitGroup
+
+	active *metrics.Gauge
+}
+
+// NewManager returns a sweep manager over the given service manager.
+func NewManager(cfg Config) *Manager {
+	if cfg.Service == nil {
+		panic("sweep: Config.Service is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 8
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	return &Manager{
+		cfg:    cfg,
+		reg:    cfg.Metrics,
+		log:    cfg.Log,
+		sweeps: map[string]*Sweep{},
+		active: cfg.Metrics.Gauge(MetricSweepsActive),
+	}
+}
+
+// Registry returns the registry the manager reports into (never nil).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// Submit expands the grid and starts orchestrating it. Expansion
+// errors (invalid cells, cap exceeded) are returned synchronously; a
+// draining manager returns ErrDraining.
+func (m *Manager) Submit(g Grid) (*Sweep, error) {
+	cells, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{
+		grid:      g,
+		cells:     cells,
+		done:      make(chan struct{}),
+		stopped:   make(chan struct{}),
+		status:    StatusRunning,
+		results:   make([]CellResult, len(cells)),
+		submitted: time.Now(),
+	}
+	for i, c := range cells {
+		sw.results[i] = CellResult{Index: i, Key: c.Key, Spec: c.Spec}
+	}
+
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
+	m.nextID++
+	sw.id = fmt.Sprintf("s%06d", m.nextID)
+	m.sweeps[sw.id] = sw
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.reg.Counter(MetricSweepsSubmitted).Inc()
+	m.active.Inc()
+	m.log("sweep %s: grid expands to %d cells (cap %d)", sw.id, len(cells), g.cap())
+	go m.run(sw)
+	return sw, nil
+}
+
+// Get returns a sweep by ID.
+func (m *Manager) Get(id string) (*Sweep, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sw, ok := m.sweeps[id]
+	return sw, ok
+}
+
+// Cancel stops a running sweep: no further cells are submitted, cells
+// already in the service run to completion and are recorded. Cancelling
+// a terminal sweep is a no-op.
+func (m *Manager) Cancel(id string) (*Sweep, error) {
+	sw, ok := m.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	sw.stop(StatusCancelled, "cancelled by client")
+	return sw, nil
+}
+
+// Drain stops accepting sweeps, interrupts every active sweep's
+// submission loop, waits for their in-flight cells to be recorded (the
+// service manager must still be running; drain it after this returns),
+// and flushes the store so every completed cell is durable for resume.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	actives := make([]*Sweep, 0, len(m.sweeps))
+	for _, sw := range m.sweeps {
+		actives = append(actives, sw)
+	}
+	m.mu.Unlock()
+	for _, sw := range actives {
+		sw.stop(StatusInterrupted, "server draining; resubmit the grid to resume from the store")
+	}
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.Sync(); err != nil {
+			return fmt.Errorf("sweep: flush store on drain: %w", err)
+		}
+	}
+	return nil
+}
+
+// cellCounter counts one cell outcome by source.
+func (m *Manager) cellCounter(source string) {
+	m.reg.Counter(MetricCells + `{source="` + source + `"}`).Inc()
+}
+
+// run is the per-sweep orchestration loop: store lookup, bounded
+// submission into the service, asynchronous collection.
+func (m *Manager) run(sw *Sweep) {
+	defer m.wg.Done()
+	defer m.active.Dec()
+
+	sem := make(chan struct{}, m.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+submission:
+	for i := range sw.cells {
+		select {
+		case <-sw.stopped:
+			break submission
+		default:
+		}
+		cell := sw.cells[i]
+
+		// Store lookup first: a stored cell never touches the queue.
+		if m.cfg.Store != nil {
+			if rows, ok, _ := m.cfg.Store.GetScenario(cell.Spec); ok {
+				sw.record(i, SourceStore, rows, "")
+				m.cellCounter(SourceStore)
+				continue
+			}
+		}
+
+		// Bound in-flight cells, then submit; a full queue is
+		// back-pressure, not failure — wait and retry.
+		select {
+		case sem <- struct{}{}:
+		case <-sw.stopped:
+			break submission
+		}
+		job, err := m.submitCell(sw, cell)
+		if err != nil {
+			<-sem
+			if errors.Is(err, service.ErrDraining) {
+				sw.stop(StatusInterrupted, "service draining; resubmit the grid to resume from the store")
+			} else {
+				// Cells were validated at expansion, so this is a
+				// service-side failure worth recording against the cell.
+				sw.record(i, SourceFailed, nil, err.Error())
+				m.cellCounter(SourceFailed)
+				continue
+			}
+			break submission
+		}
+		wg.Add(1)
+		go func(i int, job *service.Job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			<-job.Done()
+			m.collect(sw, i, job)
+		}(i, job)
+	}
+	wg.Wait()
+
+	sw.stop(StatusDone, "") // no-op if already interrupted/cancelled
+	sw.mu.Lock()
+	sw.finished = time.Now()
+	status, executed, cached, failed := sw.status, sw.executed, sw.cached, sw.failed
+	sw.mu.Unlock()
+	m.log("sweep %s: %s (%d executed, %d cached, %d failed of %d cells)",
+		sw.id, status, executed, cached, failed, len(sw.cells))
+	close(sw.done)
+	m.retire(sw)
+}
+
+// submitCell pushes one cell into the service, waiting out transient
+// queue-full rejections.
+func (m *Manager) submitCell(sw *Sweep, cell Cell) (*service.Job, error) {
+	for {
+		job, err := m.cfg.Service.Submit(service.Spec{ScenarioConfig: cell.Spec})
+		if err == nil {
+			return job, nil
+		}
+		if !errors.Is(err, service.ErrQueueFull) {
+			return nil, err
+		}
+		select {
+		case <-sw.stopped:
+			return nil, service.ErrDraining
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// collect records a finished cell and writes executed results back to
+// the store (idempotent when the service manager shares the store and
+// already wrote them).
+func (m *Manager) collect(sw *Sweep, i int, job *service.Job) {
+	switch job.Status() {
+	case service.StatusDone:
+		rows := job.Rows()
+		source := SourceExecuted
+		if job.View().Source == "store" {
+			source = SourceStore // raced another submitter to the same spec
+		} else if m.cfg.Store != nil {
+			_ = m.cfg.Store.PutScenario(sw.cells[i].Spec, rows, store.Meta{Version: m.cfg.Version})
+		}
+		sw.record(i, source, rows, "")
+		m.cellCounter(source)
+	case service.StatusFailed:
+		sw.record(i, SourceFailed, nil, job.Err())
+		m.cellCounter(SourceFailed)
+	default: // cancelled, e.g. by a client hitting the job API directly
+		sw.record(i, SourceFailed, nil, "cell job cancelled")
+		m.cellCounter(SourceFailed)
+	}
+}
+
+// retire records a terminal sweep and evicts beyond the retention
+// bound.
+func (m *Manager) retire(sw *Sweep) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.doneOrder = append(m.doneOrder, sw.id)
+	for len(m.doneOrder) > m.cfg.Retain {
+		evict := m.doneOrder[0]
+		m.doneOrder = m.doneOrder[1:]
+		delete(m.sweeps, evict)
+	}
+}
