@@ -1,9 +1,10 @@
 GO ?= go
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
+CLUSTER_BENCH_JSON ?= BENCH_CLUSTER.json
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X main.version=$(VERSION)"
 
-.PHONY: all build test race race-focus vet bench run-server clean
+.PHONY: all build test race race-focus vet bench bench-cluster run-server run-worker smoke-cluster clean
 
 all: build test
 
@@ -20,21 +21,38 @@ race:
 
 # The race-sensitive subset: packages with real concurrency (per-slot
 # step goroutines, parallel trial workers, the job queue, the result
-# store's shared journal, the sweep orchestrator's fan-out) plus the
-# fault schedule and the engine's deadline/degradation paths, which both
-# run under the per-slot fan-out. CI runs this instead of the full -race
+# store's shared journal, the sweep orchestrator's fan-out, the cluster
+# coordinator/worker plane and its shared backoff helper) plus the fault
+# schedule and the engine's deadline/degradation paths, which both run
+# under the per-slot fan-out. CI runs this instead of the full -race
 # sweep to keep the loop fast.
 race-focus:
-	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep
+	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff
 
 vet:
 	$(GO) vet ./...
 
 # Builds and starts the aggregation service on :8080 (override with
-# ADDR=:9090 make run-server).
+# ADDR=:9090 make run-server). Add CLUSTER=1 to host the distributed
+# execution plane for vmat-worker fleets.
 ADDR ?= :8080
+CLUSTER ?=
 run-server:
-	$(GO) run $(LDFLAGS) ./cmd/vmat-server -addr $(ADDR)
+	$(GO) run $(LDFLAGS) ./cmd/vmat-server -addr $(ADDR) $(if $(CLUSTER),-cluster)
+
+# Starts one worker against a cluster-mode server (override with
+# SERVER=http://host:8080 WORKER_NAME=lab-3 make run-worker). Run it as
+# many times as you want concurrent units in flight.
+SERVER ?= http://localhost:8080
+WORKER_NAME ?= $(shell hostname)-$$$$
+run-worker:
+	$(GO) run $(LDFLAGS) ./cmd/vmat-worker -server $(SERVER) -name $(WORKER_NAME)
+
+# Two-process smoke test: real vmat-server -cluster and a real
+# vmat-worker process, one job dispatched through the fleet, clean
+# SIGTERM drains for both. CI runs this against every push.
+smoke-cluster: build
+	./scripts/smoke-cluster.sh
 
 # Runs every testing.B wrapper once with -benchmem and records the
 # results as machine-readable JSON (one object per benchmark with
@@ -42,19 +60,14 @@ run-server:
 # alongside in $(BENCH_JSON:.json=.txt).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 1 . | tee $(BENCH_JSON:.json=.txt)
-	awk 'BEGIN { print "[" } \
-	  /^Benchmark/ { \
-	    if (seen++) printf ",\n"; \
-	    name = $$1; sub(/-[0-9]+$$/, "", name); \
-	    printf "  {\"name\": \"%s\", \"iterations\": %s", name, $$2; \
-	    for (i = 3; i < NF; i += 2) { \
-	      unit = $$(i + 1); gsub(/\//, "_per_", unit); \
-	      printf ", \"%s\": %s", unit, $$i; \
-	    } \
-	    printf "}"; \
-	  } \
-	  END { print "\n]" }' $(BENCH_JSON:.json=.txt) > $(BENCH_JSON)
+	awk -f scripts/bench-json.awk $(BENCH_JSON:.json=.txt) > $(BENCH_JSON)
+
+# The distributed-plane comparison only: the same job batch dispatched
+# to the local pool vs a two-worker fleet over loopback HTTP.
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterDispatch' -benchmem -count 1 . | tee $(CLUSTER_BENCH_JSON:.json=.txt)
+	awk -f scripts/bench-json.awk $(CLUSTER_BENCH_JSON:.json=.txt) > $(CLUSTER_BENCH_JSON)
 
 clean:
-	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt)
+	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt) $(CLUSTER_BENCH_JSON) $(CLUSTER_BENCH_JSON:.json=.txt)
 	$(GO) clean ./...

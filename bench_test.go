@@ -17,10 +17,16 @@ package repro
 
 import (
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/backoff"
 	"repro/internal/baseline"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/crypto"
 	"repro/internal/experiments"
@@ -246,6 +252,78 @@ func BenchmarkStoreHitVsColdExecution(b *testing.B) {
 			if v := job.View(); v.Status != service.StatusDone || v.Source != "store" {
 				b.Fatalf("job not served from store: %+v", v)
 			}
+		}
+	})
+}
+
+// BenchmarkClusterDispatch compares the same batch of jobs dispatched
+// to the service's local pool vs a two-worker fleet over loopback HTTP
+// (registration, leases, heartbeats, CRC-verified uploads included).
+// The fleet pays the wire cost per unit but runs units concurrently, so
+// this is the break-even measurement for `make bench-cluster`:
+// distribution wins once units are expensive relative to the protocol.
+func BenchmarkClusterDispatch(b *testing.B) {
+	spec := service.Spec{ScenarioConfig: experiments.ScenarioConfig{
+		N: 40, Topology: "geometric", Query: "min",
+		Attack: "drop", Malicious: 1,
+		Trials: 4, Seed: 7, Workers: 1,
+	}}
+	const batch = 6
+
+	runBatch := func(b *testing.B, mgr *service.Manager) {
+		b.Helper()
+		jobs := make([]*service.Job, 0, batch)
+		for i := 0; i < batch; i++ {
+			job, err := mgr.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, job)
+		}
+		for _, job := range jobs {
+			<-job.Done()
+			if job.Status() != service.StatusDone {
+				b.Fatalf("job finished %s: %s", job.Status(), job.Err())
+			}
+		}
+	}
+
+	b.Run("local-pool", func(b *testing.B) {
+		mgr := service.New(service.Config{QueueSize: 2 * batch, Workers: 2, Retain: 2 * batch, Metrics: metrics.New()})
+		defer mgr.Drain(context.Background())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runBatch(b, mgr)
+		}
+	})
+
+	b.Run("two-workers", func(b *testing.B) {
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Metrics: metrics.New()})
+		defer coord.Close()
+		mux := http.NewServeMux()
+		cluster.RegisterHTTP(mux, coord)
+		srv := httptest.NewServer(mux)
+		defer srv.Close()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < 2; i++ {
+			w := cluster.NewWorker(cluster.WorkerConfig{
+				Server: srv.URL,
+				Name:   fmt.Sprintf("bench-%d", i),
+				Poll:   backoff.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond},
+			})
+			go w.Run(ctx)
+		}
+		for coord.WorkersStatus().Connected < 2 {
+			time.Sleep(time.Millisecond)
+		}
+		mgr := service.New(service.Config{QueueSize: 2 * batch, Workers: 2 * batch, Retain: 2 * batch, Metrics: metrics.New(), Cluster: coord})
+		defer mgr.Drain(context.Background())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runBatch(b, mgr)
 		}
 	})
 }

@@ -24,9 +24,18 @@
 // store: identical resubmissions (jobs or sweep cells) are served from
 // disk without re-execution, across restarts.
 //
-// On SIGTERM/SIGINT the server drains gracefully: it stops accepting
-// work, finishes queued and running jobs, flushes the store, then
-// exits — an interrupted sweep resumes from the store when its grid is
+// With -cluster, the server additionally hosts the distributed
+// execution plane: vmat-worker processes register under /v1/cluster,
+// claim work units via time-bounded leases, and execute jobs and sweep
+// cells remotely. Zero connected workers (or a crashed one whose lease
+// retry budget runs out) degrades to the local pool — cluster mode can
+// never strand work — and /healthz grows a "workers" section that
+// reports "degraded" while the fleet is empty.
+//
+// On SIGTERM/SIGINT the server drains gracefully: it stops leasing
+// cluster units and waits for in-flight leases, stops accepting work,
+// finishes queued and running jobs, flushes the store, then exits — an
+// interrupted sweep resumes from the store when its grid is
 // resubmitted.
 package main
 
@@ -42,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -67,6 +77,9 @@ func run(args []string, w io.Writer) error {
 	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job execution deadline (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "max time to finish in-flight jobs on shutdown")
 	dataDir := fs.String("data-dir", "", "persist results in a content-addressed store under this directory (empty = no persistence)")
+	clusterOn := fs.Bool("cluster", false, "host the distributed execution plane (vmat-worker fleet) under /v1/cluster")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "cluster lease lifetime without a heartbeat before a unit is reassigned")
+	leaseRetries := fs.Int("lease-retries", 3, "leases one unit may consume before falling back to local execution")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +107,22 @@ func run(args []string, w io.Writer) error {
 		}()
 		logf("result store at %s (%d entries)", *dataDir, st.Len())
 	}
+	var coord *cluster.Coordinator
+	var workersRep service.WorkersReporter
+	var exec service.Executor
+	if *clusterOn {
+		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *leaseRetries,
+			Store:       st,
+			Metrics:     reg,
+			Log:         logf,
+			Version:     version,
+		})
+		defer coord.Close()
+		workersRep, exec = coord, coord
+		logf("cluster mode on: leasing under /v1/cluster (lease TTL %s, %d attempts per unit)", *leaseTTL, *leaseRetries)
+	}
 	mgr := service.New(service.Config{
 		QueueSize:  *queue,
 		Workers:    *workers,
@@ -102,6 +131,7 @@ func run(args []string, w io.Writer) error {
 		Metrics:    reg,
 		Store:      st,
 		Version:    version,
+		Cluster:    exec,
 	})
 	swm := sweep.NewManager(sweep.Config{
 		Service: mgr,
@@ -113,8 +143,11 @@ func run(args []string, w io.Writer) error {
 	// Root mux: the job API owns "/", sweep routes are more specific and
 	// win for /v1/sweeps*.
 	root := http.NewServeMux()
-	root.Handle("/", service.NewHandler(mgr, version))
+	root.Handle("/", service.NewHandler(mgr, version, workersRep))
 	sweep.Register(root, swm)
+	if coord != nil {
+		cluster.RegisterHTTP(root, coord)
+	}
 	// WriteTimeout stays 0: /v1/jobs/{id}/trace streams NDJSON for as
 	// long as the job runs. Header-read and idle timeouts still bound
 	// slow or stalled clients so they cannot pin connections forever.
@@ -152,8 +185,16 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintln(w, "vmat-server: signal received, draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Sweeps first (they stop feeding the job manager and flush the
-	// store), then the job manager, then the listener.
+	// The cluster first: stop leasing, hand pending units back to the
+	// local pool, and wait for workers to report their in-flight leases
+	// (the listener is still up for those uploads). Then sweeps (they
+	// stop feeding the job manager and flush the store), then the job
+	// manager, then the listener.
+	if coord != nil {
+		if err := coord.Drain(drainCtx); err != nil {
+			return fmt.Errorf("drain cluster: %w", err)
+		}
+	}
 	if err := swm.Drain(drainCtx); err != nil {
 		return fmt.Errorf("drain sweeps: %w", err)
 	}

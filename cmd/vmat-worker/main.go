@@ -1,0 +1,75 @@
+// Command vmat-worker joins a vmat-server fleet and executes scenario
+// work units leased from the coordinator.
+//
+// Usage:
+//
+//	vmat-worker -server http://localhost:8080 -name lab-3
+//
+// The worker registers with the coordinator at -server (a vmat-server
+// started with -cluster), then loops: lease one content-addressed unit,
+// run it through the same deterministic trial-runner as every other
+// entry point, heartbeat while it runs, and upload the result with its
+// content key and a CRC32 of the encoded rows so the coordinator can
+// verify the bytes before write-back.
+//
+// On SIGTERM/SIGINT the worker drains gracefully: it finishes the unit
+// it holds (the coordinator keeps the lease alive via heartbeats),
+// reports the result, deregisters, and exits 0. Killing it outright is
+// also safe — the lease expires and the coordinator reassigns the unit,
+// with identical results either way.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cluster"
+)
+
+// version is stamped by the Makefile via -ldflags "-X main.version=...".
+var version = "dev"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vmat-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("vmat-worker", flag.ContinueOnError)
+	server := fs.String("server", "http://localhost:8080", "coordinator base URL (a vmat-server run with -cluster)")
+	name := fs.String("name", "", "stable worker name for logs and per-worker metrics (default: coordinator-assigned ID)")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(w, "vmat-worker", version)
+		return nil
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(w, "vmat-worker: "+format+"\n", args...)
+	}
+	worker := cluster.NewWorker(cluster.WorkerConfig{
+		Server:  *server,
+		Name:    *name,
+		Version: version,
+		Log:     logf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	logf("%s joining fleet at %s", version, *server)
+	if err := worker.Run(ctx); err != nil {
+		return err
+	}
+	logf("bye")
+	return nil
+}

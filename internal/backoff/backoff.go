@@ -1,0 +1,88 @@
+// Package backoff is the shared bounded-exponential retry helper for
+// the serving layer. Several subsystems wait out the same shape of
+// transient condition — a sweep cell bouncing off a full job queue, a
+// worker polling an idle coordinator, a result upload racing a briefly
+// unreachable server — and each used to grow its own ad-hoc
+// sleep-and-retry loop. This package is the one implementation: a
+// deterministic bounded-exponential schedule plus a cancellable retry
+// driver.
+//
+// The schedule is intentionally jitter-free: every consumer in this
+// repository is either a test that wants reproducible timing or a
+// single-digit fleet where synchronized retries cannot stampede
+// anything. (The simulator's link-layer ARQ keeps its own slot-domain
+// backoff in internal/simnet — that one is part of the modeled
+// protocol, not wall-clock plumbing.)
+package backoff
+
+import (
+	"context"
+	"time"
+)
+
+// Policy is a bounded-exponential backoff schedule: Base, 2*Base,
+// 4*Base, ... capped at Max. The zero value is not useful; use Default
+// or fill both fields.
+type Policy struct {
+	// Base is the first delay. Required.
+	Base time.Duration
+	// Max caps the delay growth. Required; Max < Base is treated as
+	// Base (a constant schedule).
+	Max time.Duration
+}
+
+// Default is the serving-layer schedule: quick first retries (queue
+// slots open on millisecond scales) flattening out at a polite cap.
+var Default = Policy{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
+
+// Delay returns the delay before retry attempt (0-based): Base<<attempt
+// capped at Max, with shift overflow treated as capped.
+func (p Policy) Delay(attempt int) time.Duration {
+	d := p.Base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= p.Max || d <= 0 { // <= 0: overflow
+			return max(p.Max, p.Base)
+		}
+	}
+	if d > p.Max && p.Max >= p.Base {
+		return p.Max
+	}
+	return d
+}
+
+// Retry runs fn until it reports done, sleeping the policy's schedule
+// between attempts. fn returning an error stops the loop immediately
+// and Retry returns that error; fn returning (false, nil) means "still
+// transient, try again". ctx and stop both cancel the wait: ctx
+// cancellation returns ctx.Err(), a close of stop returns ErrStopped.
+// stop may be nil.
+func Retry(ctx context.Context, stop <-chan struct{}, p Policy, fn func() (done bool, err error)) error {
+	for attempt := 0; ; attempt++ {
+		done, err := fn()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		t := time.NewTimer(p.Delay(attempt))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-stop:
+			t.Stop()
+			return ErrStopped
+		}
+	}
+}
+
+// ErrStopped is returned by Retry when the stop channel closes before
+// fn reports done.
+var ErrStopped = errStopped{}
+
+type errStopped struct{}
+
+func (errStopped) Error() string { return "backoff: stopped" }

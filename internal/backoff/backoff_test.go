@@ -1,0 +1,89 @@
+package backoff
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Base: 2 * time.Millisecond, Max: 16 * time.Millisecond}
+	want := []time.Duration{
+		2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond,
+		16 * time.Millisecond, 16 * time.Millisecond, 16 * time.Millisecond,
+	}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestDelayOverflowCapped(t *testing.T) {
+	p := Policy{Base: time.Hour, Max: 2 * time.Hour}
+	if got := p.Delay(300); got != 2*time.Hour {
+		t.Fatalf("Delay(300) = %v, want the %v cap", got, 2*time.Hour)
+	}
+}
+
+func TestDelayMaxBelowBaseIsConstant(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Millisecond}
+	for attempt := 0; attempt < 4; attempt++ {
+		if got := p.Delay(attempt); got != 10*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want constant Base", attempt, got)
+		}
+	}
+}
+
+func TestRetryRunsUntilDone(t *testing.T) {
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond}
+	calls := 0
+	err := Retry(context.Background(), nil, p, func() (bool, error) {
+		calls++
+		return calls == 4, nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("fn called %d times, want 4", calls)
+	}
+}
+
+func TestRetryPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), nil, Default, func() (bool, error) {
+		calls++
+		return false, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Retry = %v, want %v", err, boom)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times after a hard error, want 1", calls)
+	}
+}
+
+func TestRetryStopChannel(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	p := Policy{Base: time.Hour, Max: time.Hour} // would hang without stop
+	err := Retry(context.Background(), stop, p, func() (bool, error) {
+		return false, nil
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("Retry = %v, want ErrStopped", err)
+	}
+}
+
+func TestRetryContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{Base: time.Hour, Max: time.Hour}
+	err := Retry(ctx, nil, p, func() (bool, error) { return false, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Retry = %v, want context.Canceled", err)
+	}
+}

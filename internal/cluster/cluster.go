@@ -1,0 +1,138 @@
+// Package cluster is the distributed execution plane: a coordinator
+// that lives inside vmat-server and a worker client (fronted by
+// cmd/vmat-worker) that turns N processes — on one machine or many —
+// into one fleet executing scenario work units.
+//
+// The design transplants the repository's fault-tolerance vocabulary
+// (fail-stop crash, bounded retries, graceful degradation) from the
+// simulated sensor network up to the serving layer:
+//
+//   - Workers register over HTTP and claim content-addressed work units
+//     via time-bounded leases.
+//   - A heartbeat extends a worker's leases; a lease that outlives its
+//     TTL (worker crash, network partition, missed heartbeats) is
+//     reassigned to the queue with a bounded attempt budget.
+//   - Completed results echo the unit's content address and a CRC32 of
+//     the encoded rows; the coordinator verifies both before accepting
+//     the result and writing it back to the internal/store journal.
+//   - Because every unit is a pure function of its spec, and the store
+//     is first-write-wins, results are bit-identical no matter how many
+//     workers run, crash, or duplicate work — the end-to-end test in
+//     this package pins a sweep's CSV export across 0 workers (local
+//     fallback), 1 worker, and 3 workers with one killed mid-sweep.
+//
+// The coordinator implements service.Executor: the job manager
+// dispatches execution through it when cluster mode is on and falls
+// back to the local pool whenever the fleet cannot take a unit (no
+// workers connected, coordinator draining, retry budget exhausted), so
+// enabling the plane can never strand work.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Metric names the cluster plane reports. Per-worker completions carry
+// a worker label (the worker's registered name, stable across
+// restarts); result rejections carry a reason label.
+const (
+	MetricWorkersConnected = "cluster_workers_connected"
+	MetricLeasesActive     = "cluster_leases_active"
+	MetricLeasesGranted    = "cluster_leases_granted_total"
+	MetricLeasesExpired    = "cluster_leases_expired_total"
+	MetricLeasesReassigned = "cluster_leases_reassigned_total"
+	MetricUnitsCompleted   = "cluster_units_completed_total"
+	MetricUnitsAbandoned   = "cluster_units_abandoned_total"
+	MetricResultsRejected  = "cluster_results_rejected_total"
+	MetricResultsStale     = "cluster_results_stale_total"
+	MetricWorkersExpired   = "cluster_workers_expired_total"
+	// MetricHeartbeatGap observes the microseconds between consecutive
+	// heartbeats from the same worker — the operational signal for
+	// late heartbeats before they become expired leases.
+	MetricHeartbeatGap = "cluster_heartbeat_gap_us"
+)
+
+// ErrUnknownWorker is returned to a worker the coordinator does not
+// know (never registered, expired for missed heartbeats, or the server
+// restarted). The worker client re-registers and carries on.
+var ErrUnknownWorker = errors.New("cluster: unknown worker")
+
+// ErrAborted is returned by Worker.Run when the test-only Abort channel
+// closes: the simulated fail-stop crash, mid-unit, with no completion
+// report and no deregistration.
+var ErrAborted = errors.New("cluster: worker aborted (simulated crash)")
+
+// Unit is one leased piece of work: a fully normalized scenario spec
+// and its content address in the result store. The key doubles as the
+// integrity anchor — a completing worker must echo it, and the
+// coordinator recomputes nothing it cannot check.
+type Unit struct {
+	ID   string                     `json:"id"`
+	Key  string                     `json:"key"`
+	Spec experiments.ScenarioConfig `json:"spec"`
+}
+
+// Wire types for the /v1/cluster API. Durations travel as nanoseconds
+// (Go's time.Duration JSON form); the protocol is internal to the two
+// binaries in this repository, both stamped from the same build.
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTL is how long a granted lease lives without a heartbeat.
+	LeaseTTL time.Duration `json:"lease_ttl"`
+	// Heartbeat is the interval the worker must beat at while holding a
+	// lease (and the cap on its idle poll backoff).
+	Heartbeat time.Duration `json:"heartbeat"`
+}
+
+// LeaseRequest asks for one unit of work.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseResponse carries at most one unit; a nil Unit means no work is
+// available (the worker backs off and polls again).
+type LeaseResponse struct {
+	Unit     *Unit         `json:"unit,omitempty"`
+	LeaseTTL time.Duration `json:"lease_ttl"`
+}
+
+// HeartbeatRequest renews the worker's liveness and extends the leases
+// it still holds.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Units    []string `json:"units,omitempty"`
+}
+
+// CompleteRequest reports a finished unit. Rows is the JSON encoding of
+// the []experiments.ScenarioRow result; CRC32 is the IEEE checksum of
+// exactly those bytes, and Key must echo the unit's content address.
+// Error, when non-empty, reports a deterministic execution failure
+// (the rows are absent and the unit completes as failed, same as a
+// local execution would).
+type CompleteRequest struct {
+	WorkerID       string          `json:"worker_id"`
+	UnitID         string          `json:"unit_id"`
+	Key            string          `json:"key"`
+	Rows           json.RawMessage `json:"rows,omitempty"`
+	CRC32          uint32          `json:"crc32"`
+	Error          string          `json:"error,omitempty"`
+	DurationMicros int64           `json:"duration_us,omitempty"`
+}
+
+// DeregisterRequest announces a graceful exit; the worker has no leases
+// left (it finishes its current unit before deregistering).
+type DeregisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}

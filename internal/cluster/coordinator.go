@@ -1,0 +1,558 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// CoordinatorConfig configures the coordinator. Zero values pick
+// serving defaults.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a granted lease survives without a
+	// heartbeat before it is reassigned. Default 10s.
+	LeaseTTL time.Duration
+	// HeartbeatInterval is the cadence workers are told to beat at.
+	// Default LeaseTTL/3.
+	HeartbeatInterval time.Duration
+	// WorkerTTL is how long a worker may go silent (no lease poll, no
+	// heartbeat) before it is expired and its leases reassigned.
+	// Default 3*HeartbeatInterval.
+	WorkerTTL time.Duration
+	// MaxAttempts bounds how many leases one unit may consume before
+	// the coordinator abandons it back to the local pool. Default 3.
+	MaxAttempts int
+	// Store, when non-nil, receives verified remote results (raw bytes,
+	// CRC-checked against the unit's content address) before the
+	// waiting Execute call returns.
+	Store *store.Store
+	// Metrics receives cluster counters. Nil creates a private registry.
+	Metrics *metrics.Registry
+	// Log receives operational notices (worker churn, reassignments).
+	// Nil discards them.
+	Log func(format string, args ...any)
+	// Version stamps store write-backs from remote results.
+	Version string
+}
+
+// unitState is one live unit: pending (worker == "") or leased.
+type unitState struct {
+	unit     Unit
+	attempts int    // leases granted so far
+	worker   string // current lease holder, "" when pending
+	expiry   time.Time
+
+	// Terminal outcome, set before done closes. abandoned means the
+	// cluster gave up (drain or retry budget) and the caller should
+	// execute locally.
+	rows      []experiments.ScenarioRow
+	errMsg    string
+	abandoned bool
+	done      chan struct{}
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	version  string
+	lastSeen time.Time
+	lastBeat time.Time       // previous heartbeat, for the gap histogram
+	units    map[string]bool // unit IDs currently leased to this worker
+}
+
+// Coordinator owns the worker table, the pending-unit queue, and the
+// lease table. It implements service.Executor and
+// service.WorkersReporter. All methods are safe for concurrent use.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	reg *metrics.Registry
+	log func(format string, args ...any)
+
+	mu         sync.Mutex
+	draining   bool
+	workers    map[string]*workerState
+	pending    []*unitState          // FIFO of unleased units
+	units      map[string]*unitState // every live unit (pending or leased)
+	nextUnit   uint64
+	nextWorker uint64
+	expired    int64 // cumulative expired leases, for WorkersStatus
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	loopDone  chan struct{}
+
+	connected  *metrics.Gauge
+	active     *metrics.Gauge
+	granted    *metrics.Counter
+	expiredC   *metrics.Counter
+	reassigned *metrics.Counter
+	abandoned  *metrics.Counter
+	stale      *metrics.Counter
+	workerExp  *metrics.Counter
+	hbGap      *metrics.Histogram
+}
+
+// NewCoordinator starts a coordinator and its lease-expiry loop. Call
+// Close (after Drain) to stop the loop.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.LeaseTTL / 3
+	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = 3 * cfg.HeartbeatInterval
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		reg:        cfg.Metrics,
+		log:        cfg.Log,
+		workers:    map[string]*workerState{},
+		units:      map[string]*unitState{},
+		closed:     make(chan struct{}),
+		loopDone:   make(chan struct{}),
+		connected:  cfg.Metrics.Gauge(MetricWorkersConnected),
+		active:     cfg.Metrics.Gauge(MetricLeasesActive),
+		granted:    cfg.Metrics.Counter(MetricLeasesGranted),
+		expiredC:   cfg.Metrics.Counter(MetricLeasesExpired),
+		reassigned: cfg.Metrics.Counter(MetricLeasesReassigned),
+		abandoned:  cfg.Metrics.Counter(MetricUnitsAbandoned),
+		stale:      cfg.Metrics.Counter(MetricResultsStale),
+		workerExp:  cfg.Metrics.Counter(MetricWorkersExpired),
+		hbGap: cfg.Metrics.Histogram(MetricHeartbeatGap, []int64{
+			1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000,
+		}),
+	}
+	go c.expiryLoop()
+	return c
+}
+
+// Registry returns the registry the coordinator reports into.
+func (c *Coordinator) Registry() *metrics.Registry { return c.reg }
+
+// rejectResult counts one rejected completion by reason.
+func (c *Coordinator) rejectResult(reason string) {
+	c.reg.Counter(MetricResultsRejected + `{reason="` + reason + `"}`).Inc()
+}
+
+// Register admits a worker and assigns its identity and cadence.
+func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	w := &workerState{
+		id:       fmt.Sprintf("w%04d", c.nextWorker),
+		name:     req.Name,
+		version:  req.Version,
+		lastSeen: time.Now(),
+		units:    map[string]bool{},
+	}
+	if w.name == "" {
+		w.name = w.id
+	}
+	c.workers[w.id] = w
+	c.connected.Set(int64(len(c.workers)))
+	c.log("cluster: worker %s (%q, version %s) registered, fleet size %d",
+		w.id, w.name, w.version, len(c.workers))
+	return RegisterResponse{
+		WorkerID:  w.id,
+		LeaseTTL:  c.cfg.LeaseTTL,
+		Heartbeat: c.cfg.HeartbeatInterval,
+	}
+}
+
+// Deregister removes a worker gracefully. Any lease it still holds
+// (there should be none on the graceful path) is reassigned at once.
+func (c *Coordinator) Deregister(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	c.dropWorkerLocked(w, "deregistered")
+	return nil
+}
+
+// dropWorkerLocked removes a worker and requeues its leases. Callers
+// hold c.mu.
+func (c *Coordinator) dropWorkerLocked(w *workerState, why string) {
+	for unitID := range w.units {
+		if u := c.units[unitID]; u != nil && u.worker == w.id {
+			c.expireLeaseLocked(u)
+		}
+	}
+	delete(c.workers, w.id)
+	c.connected.Set(int64(len(c.workers)))
+	c.log("cluster: worker %s (%q) %s, fleet size %d", w.id, w.name, why, len(c.workers))
+}
+
+// Lease grants the oldest pending unit to the worker, or (nil, ttl,
+// nil) when there is no work. Polling doubles as liveness: it refreshes
+// the worker's lastSeen like a heartbeat does.
+func (c *Coordinator) Lease(workerID string) (*Unit, time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, 0, ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	if c.draining || len(c.pending) == 0 {
+		return nil, c.cfg.LeaseTTL, nil
+	}
+	u := c.pending[0]
+	c.pending = c.pending[1:]
+	u.attempts++
+	u.worker = w.id
+	u.expiry = w.lastSeen.Add(c.cfg.LeaseTTL)
+	w.units[u.unit.ID] = true
+	c.granted.Inc()
+	c.active.Inc()
+	unit := u.unit
+	return &unit, c.cfg.LeaseTTL, nil
+}
+
+// Heartbeat refreshes the worker's liveness and extends the leases it
+// reports holding. Unit IDs the worker no longer holds (expired and
+// reassigned under it) are ignored — its eventual Complete will be
+// verified on its own merits.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[req.WorkerID]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	now := time.Now()
+	if !w.lastBeat.IsZero() {
+		c.hbGap.Observe(now.Sub(w.lastBeat).Microseconds())
+	}
+	w.lastBeat = now
+	w.lastSeen = now
+	for _, unitID := range req.Units {
+		if u := c.units[unitID]; u != nil && u.worker == w.id {
+			u.expiry = now.Add(c.cfg.LeaseTTL)
+		}
+	}
+	return nil
+}
+
+// Complete accepts a finished unit after verifying it: the echoed key
+// must match the unit's content address and the CRC32 must match the
+// row bytes. A verified result is written back to the store (when
+// configured) and handed to the waiting Execute call. A failed check
+// costs the worker its lease — the unit is requeued under its attempt
+// budget. Completions for units the coordinator no longer tracks
+// (finished by another worker, abandoned, or cancelled) are counted
+// stale and acknowledged.
+func (c *Coordinator) Complete(req CompleteRequest) error {
+	c.mu.Lock()
+	if w, ok := c.workers[req.WorkerID]; ok {
+		w.lastSeen = time.Now()
+	}
+	u, ok := c.units[req.UnitID]
+	if !ok {
+		c.mu.Unlock()
+		c.stale.Inc()
+		return nil
+	}
+	if req.Key != u.unit.Key {
+		c.releaseLeaseLocked(u)
+		c.requeueLocked(u, "content address mismatch from "+req.WorkerID)
+		c.mu.Unlock()
+		c.rejectResult("key")
+		return nil
+	}
+	if req.Error != "" {
+		// A deterministic execution failure: the remote run failed the
+		// same way a local one would. Complete the unit as failed.
+		workerName := c.workerNameLocked(req.WorkerID)
+		c.finishLocked(u)
+		c.mu.Unlock()
+		c.countCompleted(workerName)
+		u.errMsg = req.Error
+		close(u.done)
+		return nil
+	}
+	if crc32.ChecksumIEEE(req.Rows) != req.CRC32 {
+		c.releaseLeaseLocked(u)
+		c.requeueLocked(u, "CRC mismatch from "+req.WorkerID)
+		c.mu.Unlock()
+		c.rejectResult("crc")
+		return nil
+	}
+	var rows []experiments.ScenarioRow
+	if err := json.Unmarshal(req.Rows, &rows); err != nil {
+		c.releaseLeaseLocked(u)
+		c.requeueLocked(u, "undecodable rows from "+req.WorkerID)
+		c.mu.Unlock()
+		c.rejectResult("decode")
+		return nil
+	}
+	workerName := c.workerNameLocked(req.WorkerID)
+	c.finishLocked(u)
+	c.mu.Unlock()
+
+	// Write-back outside the lock: the journal fsyncs on every record.
+	// First-write-wins makes a duplicate completion (a reassigned unit
+	// finishing twice) a no-op.
+	if c.cfg.Store != nil {
+		meta := store.Meta{DurationMicros: req.DurationMicros, Version: c.cfg.Version}
+		if err := c.cfg.Store.PutScenarioRaw(u.unit.Key, req.Rows, meta); err != nil {
+			c.log("cluster: store write-back for %s failed: %v", u.unit.Key, err)
+		}
+	}
+	c.countCompleted(workerName)
+	u.rows = rows
+	close(u.done)
+	return nil
+}
+
+// workerNameLocked resolves a worker ID to its stable name for the
+// per-worker completion counter; an unknown (already expired) worker
+// reports under its ID.
+func (c *Coordinator) workerNameLocked(workerID string) string {
+	if w, ok := c.workers[workerID]; ok {
+		return w.name
+	}
+	return workerID
+}
+
+func (c *Coordinator) countCompleted(workerName string) {
+	c.reg.Counter(MetricUnitsCompleted + `{worker="` + workerName + `"}`).Inc()
+}
+
+// finishLocked removes a unit that reached a verified terminal outcome
+// from every table. Callers hold c.mu and close u.done after unlocking.
+func (c *Coordinator) finishLocked(u *unitState) {
+	if u.worker != "" {
+		if w, ok := c.workers[u.worker]; ok {
+			delete(w.units, u.unit.ID)
+		}
+		u.worker = ""
+		c.active.Dec()
+	}
+	delete(c.units, u.unit.ID)
+}
+
+// releaseLeaseLocked detaches a unit from its current holder without
+// deciding its fate. Callers hold c.mu.
+func (c *Coordinator) releaseLeaseLocked(u *unitState) {
+	if u.worker == "" {
+		return
+	}
+	if w, ok := c.workers[u.worker]; ok {
+		delete(w.units, u.unit.ID)
+	}
+	u.worker = ""
+	u.expiry = time.Time{}
+	c.active.Dec()
+}
+
+// expireLeaseLocked handles one lease that outlived its TTL (or whose
+// worker died): count the expiry, then requeue or abandon. Callers
+// hold c.mu.
+func (c *Coordinator) expireLeaseLocked(u *unitState) {
+	c.expiredC.Inc()
+	c.expired++
+	c.releaseLeaseLocked(u)
+	c.requeueLocked(u, "lease expired")
+}
+
+// requeueLocked puts a released unit back in the queue under its
+// attempt budget, or abandons it to the local pool. Callers hold c.mu;
+// an abandoned unit's done channel is closed here (no field writes
+// race: abandoned is set before close).
+func (c *Coordinator) requeueLocked(u *unitState, why string) {
+	if c.draining || u.attempts >= c.cfg.MaxAttempts {
+		delete(c.units, u.unit.ID)
+		u.abandoned = true
+		c.abandoned.Inc()
+		c.log("cluster: unit %s abandoned after %d attempts (%s); falling back to local execution",
+			u.unit.ID, u.attempts, why)
+		close(u.done)
+		return
+	}
+	c.pending = append(c.pending, u)
+	c.reassigned.Inc()
+	c.log("cluster: unit %s requeued (%s), attempt %d of %d", u.unit.ID, why, u.attempts, c.cfg.MaxAttempts)
+}
+
+// expiryLoop scans for expired leases and silent workers.
+func (c *Coordinator) expiryLoop() {
+	defer close(c.loopDone)
+	tick := c.cfg.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.sweepExpired()
+		}
+	}
+}
+
+// sweepExpired reassigns every overdue lease and expires every silent
+// worker.
+func (c *Coordinator) sweepExpired() {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, u := range c.units {
+		if u.worker != "" && now.After(u.expiry) {
+			c.expireLeaseLocked(u)
+		}
+	}
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) > c.cfg.WorkerTTL {
+			c.workerExp.Inc()
+			c.dropWorkerLocked(w, "expired (missed heartbeats)")
+		}
+	}
+}
+
+// Execute implements service.Executor: it queues the spec as a unit and
+// waits for a worker to complete it. ok=false means the fleet could not
+// take the unit — no workers connected, coordinator draining, or the
+// lease retry budget exhausted — and the caller should execute locally.
+// A remote execution failure (the scenario itself erred) returns
+// ok=true with that error, exactly as a local run would.
+func (c *Coordinator) Execute(ctx context.Context, spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, bool, error) {
+	key, err := store.ScenarioKey(spec)
+	if err != nil {
+		return nil, false, nil // un-keyable spec: let the local path deal with it
+	}
+	c.mu.Lock()
+	if c.draining || len(c.workers) == 0 {
+		c.mu.Unlock()
+		return nil, false, nil
+	}
+	c.nextUnit++
+	u := &unitState{
+		unit: Unit{ID: fmt.Sprintf("u%06d", c.nextUnit), Key: key, Spec: spec},
+		done: make(chan struct{}),
+	}
+	c.units[u.unit.ID] = u
+	c.pending = append(c.pending, u)
+	c.mu.Unlock()
+
+	select {
+	case <-u.done:
+		if u.abandoned {
+			return nil, false, nil
+		}
+		if u.errMsg != "" {
+			return nil, true, fmt.Errorf("cluster: remote execution failed: %s", u.errMsg)
+		}
+		return u.rows, true, nil
+	case <-ctx.Done():
+		// Cancelled or timed out: withdraw the unit. A worker already
+		// running it will report a stale completion, which is counted
+		// and dropped.
+		c.mu.Lock()
+		if _, live := c.units[u.unit.ID]; live {
+			c.releaseLeaseLocked(u)
+			delete(c.units, u.unit.ID)
+			c.removePendingLocked(u)
+		}
+		c.mu.Unlock()
+		return nil, true, ctx.Err()
+	}
+}
+
+// removePendingLocked drops u from the pending queue if present.
+// Callers hold c.mu.
+func (c *Coordinator) removePendingLocked(u *unitState) {
+	for i, p := range c.pending {
+		if p == u {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// WorkersStatus implements service.WorkersReporter for /healthz.
+func (c *Coordinator) WorkersStatus() service.WorkersStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	active := 0
+	for _, u := range c.units {
+		if u.worker != "" {
+			active++
+		}
+	}
+	return service.WorkersStatus{
+		Connected:     len(c.workers),
+		LeasesActive:  active,
+		LeasesExpired: c.expired,
+	}
+}
+
+// Drain stops granting leases, abandons every pending unit back to the
+// local pool, and waits until no lease is in flight (workers finish and
+// report their current units through the still-open listener) or ctx
+// expires. Call before draining the sweep and job managers so their
+// fallback executions still have a pool to run on.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	pending := c.pending
+	c.pending = nil
+	for _, u := range pending {
+		delete(c.units, u.unit.ID)
+		u.abandoned = true
+		c.abandoned.Inc()
+		close(u.done)
+	}
+	c.mu.Unlock()
+
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		c.mu.Lock()
+		inFlight := len(c.units)
+		c.mu.Unlock()
+		if inFlight == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Close stops the expiry loop. Idempotent; call after Drain.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.closed) })
+	<-c.loopDone
+}

@@ -1,0 +1,362 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/experiments"
+)
+
+// WorkerConfig configures a worker client. Server is required; zero
+// values elsewhere pick serving defaults.
+type WorkerConfig struct {
+	// Server is the coordinator's base URL, e.g. http://host:8080.
+	Server string
+	// Name identifies this worker in logs and per-worker metrics; it is
+	// stable across restarts (the coordinator-assigned ID is not).
+	// Defaults to the assigned ID.
+	Name string
+	// Version is reported at registration.
+	Version string
+	// Poll is the idle-poll backoff schedule; its cap is additionally
+	// clamped to the coordinator's heartbeat interval so an idle worker
+	// never goes silent long enough to be expired. Zero picks
+	// {Base: 50ms, Max: 1s}.
+	Poll backoff.Policy
+	// HTTPClient overrides the transport. Nil uses a client with a 30s
+	// request timeout.
+	HTTPClient *http.Client
+	// Log receives progress lines. Nil discards them.
+	Log func(format string, args ...any)
+
+	// RunUnit overrides unit execution (tests use it to gate timing).
+	// Nil runs experiments.RunScenario.
+	RunUnit func(experiments.ScenarioConfig) ([]experiments.ScenarioRow, error)
+	// OnLease, when non-nil, is called with each unit right after its
+	// lease is granted and before execution starts.
+	OnLease func(Unit)
+	// Abort simulates a fail-stop crash for tests: when it closes, the
+	// worker stops dead — mid-unit, with no completion report and no
+	// deregistration — so its lease must expire and be reassigned.
+	Abort <-chan struct{}
+}
+
+// Worker is the client side of the execution plane: register, lease,
+// execute, heartbeat, complete, repeat. One worker holds at most one
+// lease at a time; run more processes (or more Workers) to scale out.
+type Worker struct {
+	wc        WorkerConfig
+	handshake CoordinatorHandshake
+	client    *http.Client
+	log       func(format string, args ...any)
+
+	id        string
+	completed int
+}
+
+// CoordinatorHandshake is the cadence learned at registration.
+type CoordinatorHandshake struct {
+	LeaseTTL  time.Duration
+	Heartbeat time.Duration
+}
+
+// NewWorker returns an unstarted worker client.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Poll.Base <= 0 {
+		cfg.Poll = backoff.Policy{Base: 50 * time.Millisecond, Max: time.Second}
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	if cfg.RunUnit == nil {
+		cfg.RunUnit = func(spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, error) {
+			return experiments.RunScenario(spec)
+		}
+	}
+	return &Worker{wc: cfg, client: cfg.HTTPClient, log: cfg.Log}
+}
+
+// Completed returns how many units this worker finished and reported.
+func (w *Worker) Completed() int { return w.completed }
+
+// Run is the worker's main loop. Cancelling ctx is the graceful-drain
+// signal: the worker finishes the unit it holds (if any), reports the
+// result, deregisters, and returns nil — mirroring vmat-server's
+// SIGTERM drain. The test-only Abort channel instead stops the loop
+// dead with ErrAborted.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		if ctx.Err() != nil {
+			return nil // drained before ever joining the fleet
+		}
+		return err
+	}
+	w.log("registered as %s (lease TTL %s, heartbeat %s)", w.id, w.handshake.LeaseTTL, w.handshake.Heartbeat)
+	pollCap := w.wc.Poll.Max
+	if w.handshake.Heartbeat > 0 && pollCap > w.handshake.Heartbeat {
+		pollCap = w.handshake.Heartbeat
+	}
+	poll := backoff.Policy{Base: w.wc.Poll.Base, Max: pollCap}
+
+	idle := 0 // consecutive empty polls, drives the poll backoff
+	for {
+		if w.aborted() {
+			return ErrAborted
+		}
+		if ctx.Err() != nil {
+			return w.deregister()
+		}
+		unit, err := w.lease()
+		if err != nil {
+			if errors.Is(err, ErrUnknownWorker) {
+				// Coordinator restarted or expired us; re-enter the fleet.
+				if rerr := w.register(ctx); rerr != nil {
+					if ctx.Err() != nil {
+						return nil
+					}
+					return rerr
+				}
+				continue
+			}
+			if ctx.Err() != nil {
+				return w.deregister()
+			}
+			if w.aborted() {
+				return ErrAborted
+			}
+			// Transient transport failure: wait it out like an empty poll.
+			w.log("lease request failed (%v), backing off", err)
+			unit = nil
+		}
+		if unit == nil {
+			if !w.sleep(ctx, poll.Delay(idle)) {
+				continue // woken by ctx or abort; loop top decides
+			}
+			idle++
+			continue
+		}
+		idle = 0
+		if w.wc.OnLease != nil {
+			w.wc.OnLease(*unit)
+		}
+		if w.aborted() {
+			return ErrAborted // crashed between lease and execution
+		}
+		if err := w.executeAndReport(*unit); err != nil {
+			return err
+		}
+		w.completed++
+	}
+}
+
+// aborted reports whether the simulated-crash channel has closed.
+func (w *Worker) aborted() bool {
+	select {
+	case <-w.wc.Abort:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d, returning true on a full sleep and false when ctx or
+// the abort channel woke it early.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-w.wc.Abort:
+		return false
+	}
+}
+
+// executeAndReport runs one unit with a live heartbeat and uploads the
+// verified result. Graceful drain does not interrupt execution — the
+// lease is finished and reported first — but a simulated crash does.
+func (w *Worker) executeAndReport(unit Unit) error {
+	// The heartbeat keeps the lease alive for as long as the unit runs.
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go w.heartbeatLoop(unit.ID, hbStop, hbDone)
+
+	spec := unit.Spec
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	go func() { // a crash aborts the execution itself, not just the loop
+		select {
+		case <-w.wc.Abort:
+			cancelRun()
+		case <-runCtx.Done():
+		}
+	}()
+	spec.Context = runCtx
+	start := time.Now()
+	rows, runErr := w.wc.RunUnit(spec)
+	cancelRun()
+	close(hbStop)
+	<-hbDone
+	if w.aborted() {
+		return ErrAborted // crashed mid-unit: no completion report
+	}
+
+	req := CompleteRequest{
+		WorkerID:       w.id,
+		UnitID:         unit.ID,
+		Key:            unit.Key,
+		DurationMicros: time.Since(start).Microseconds(),
+	}
+	if runErr != nil {
+		req.Error = runErr.Error()
+	} else {
+		raw, err := json.Marshal(rows)
+		if err != nil {
+			req.Error = fmt.Sprintf("marshal rows: %v", err)
+		} else {
+			req.Rows = raw
+			req.CRC32 = crc32.ChecksumIEEE(raw)
+		}
+	}
+
+	// The result must not be lost to a transient coordinator hiccup:
+	// retry the upload on the shared backoff schedule, bounded so a
+	// permanently gone coordinator cannot wedge the worker forever
+	// (the lease would have expired and been reassigned long before).
+	upCtx, cancel := context.WithTimeout(context.Background(), w.completeDeadline())
+	defer cancel()
+	err := backoff.Retry(upCtx, w.wc.Abort, w.wc.Poll, func() (bool, error) {
+		uerr := w.post("/v1/cluster/complete", req, nil)
+		if uerr == nil || errors.Is(uerr, ErrUnknownWorker) {
+			// Unknown worker on complete means we were expired; the
+			// coordinator will take the unit from whoever re-runs it.
+			return true, nil
+		}
+		w.log("completion upload for %s failed (%v), retrying", unit.ID, uerr)
+		return false, nil
+	})
+	switch {
+	case errors.Is(err, backoff.ErrStopped):
+		return ErrAborted
+	case err != nil:
+		w.log("giving up on completion upload for %s: %v", unit.ID, err)
+	default:
+		w.log("completed %s (%s)", unit.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// completeDeadline bounds result-upload retries: two lease TTLs (after
+// which the lease has certainly been reassigned), floored at 10s.
+func (w *Worker) completeDeadline() time.Duration {
+	d := 2 * w.handshake.LeaseTTL
+	if d < 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d
+}
+
+// heartbeatLoop beats for one held unit until stopped.
+func (w *Worker) heartbeatLoop(unitID string, stop, done chan struct{}) {
+	defer close(done)
+	hb := w.handshake.Heartbeat
+	if hb <= 0 {
+		hb = time.Second
+	}
+	t := time.NewTicker(hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.wc.Abort:
+			return // a crashed worker stops beating; that's the point
+		case <-t.C:
+			if err := w.post("/v1/cluster/heartbeat", HeartbeatRequest{WorkerID: w.id, Units: []string{unitID}}, nil); err != nil {
+				w.log("heartbeat failed: %v", err)
+			}
+		}
+	}
+}
+
+// register joins the fleet, retrying transient failures on the poll
+// schedule until ctx is cancelled or the crash channel closes.
+func (w *Worker) register(ctx context.Context) error {
+	var resp RegisterResponse
+	err := backoff.Retry(ctx, w.wc.Abort, w.wc.Poll, func() (bool, error) {
+		rerr := w.post("/v1/cluster/register", RegisterRequest{Name: w.wc.Name, Version: w.wc.Version}, &resp)
+		if rerr != nil {
+			w.log("registration failed (%v), retrying", rerr)
+			return false, nil
+		}
+		return true, nil
+	})
+	if errors.Is(err, backoff.ErrStopped) {
+		return ErrAborted
+	}
+	if err != nil {
+		return err
+	}
+	w.id = resp.WorkerID
+	w.handshake = CoordinatorHandshake{LeaseTTL: resp.LeaseTTL, Heartbeat: resp.Heartbeat}
+	return nil
+}
+
+// lease asks for one unit; nil with nil error means no work.
+func (w *Worker) lease() (*Unit, error) {
+	var resp LeaseResponse
+	if err := w.post("/v1/cluster/lease", LeaseRequest{WorkerID: w.id}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Unit, nil
+}
+
+// deregister leaves the fleet gracefully (best effort — an unreachable
+// coordinator will expire us anyway) and reports a clean exit.
+func (w *Worker) deregister() error {
+	if w.id != "" {
+		if err := w.post("/v1/cluster/deregister", DeregisterRequest{WorkerID: w.id}, nil); err != nil && !errors.Is(err, ErrUnknownWorker) {
+			w.log("deregister failed: %v", err)
+		}
+	}
+	w.log("drained after %d completed units, deregistered", w.completed)
+	return nil
+}
+
+// post sends one JSON request and decodes the JSON response into out
+// (when non-nil). A 404 maps to ErrUnknownWorker; other non-2xx codes
+// surface the server's error body.
+func (w *Worker) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Post(w.wc.Server+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrUnknownWorker
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s returned %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

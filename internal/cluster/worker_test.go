@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// newTestPlane wires a coordinator to a real HTTP listener, the same
+// path vmat-worker speaks in production.
+func newTestPlane(t *testing.T, cfg CoordinatorConfig) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c := NewCoordinator(cfg)
+	mux := http.NewServeMux()
+	RegisterHTTP(mux, c)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		c.Close()
+	})
+	return c, srv
+}
+
+func fastCadence() CoordinatorConfig {
+	return CoordinatorConfig{
+		LeaseTTL:          150 * time.Millisecond,
+		HeartbeatInterval: 30 * time.Millisecond,
+		WorkerTTL:         time.Hour, // workers die by abort here, not by silence
+	}
+}
+
+func fastPoll() backoff.Policy {
+	return backoff.Policy{Base: 2 * time.Millisecond, Max: 10 * time.Millisecond}
+}
+
+// waitConnected blocks until n workers are registered: Execute falls
+// back to the local pool on an empty fleet, so tests must not race the
+// worker's registration.
+func waitConnected(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.WorkersStatus().Connected < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached %d workers: %+v", n, c.WorkersStatus())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestWorkerExecutesUnitsOverHTTP(t *testing.T) {
+	c, srv := newTestPlane(t, fastCadence())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{Server: srv.URL, Name: "http-1", Poll: fastPoll()})
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+	waitConnected(t, c, 1)
+
+	for i := 0; i < 3; i++ {
+		spec := testSpec(uint64(20 + i))
+		rows, ok, err := c.Execute(context.Background(), spec)
+		if !ok || err != nil {
+			t.Fatalf("Execute unit %d = (ok=%v, err=%v)", i, ok, err)
+		}
+		want, _ := experiments.RunScenario(spec)
+		if len(rows) != len(want) {
+			t.Fatalf("unit %d: %d rows, want %d", i, len(rows), len(want))
+		}
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run after graceful cancel: %v", err)
+	}
+	if got := w.Completed(); got != 3 {
+		t.Fatalf("worker completed %d units, want 3", got)
+	}
+	if ws := c.WorkersStatus(); ws.Connected != 0 {
+		t.Fatalf("worker did not deregister on drain: %+v", ws)
+	}
+}
+
+// TestWorkerGracefulDrainFinishesHeldLease pins the drain contract at
+// the client level: a cancel that lands mid-unit does not interrupt the
+// unit — it is finished, reported, and only then does the worker leave.
+// (cmd/vmat-worker's test covers the same path with a real SIGTERM.)
+func TestWorkerGracefulDrainFinishesHeldLease(t *testing.T) {
+	c, srv := newTestPlane(t, fastCadence())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := make(chan struct{})
+	leased := make(chan struct{})
+	w := NewWorker(WorkerConfig{
+		Server: srv.URL, Poll: fastPoll(),
+		OnLease: func(Unit) { close(leased) },
+		RunUnit: func(spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, error) {
+			<-gate // hold the lease until the test has cancelled ctx
+			return experiments.RunScenario(spec)
+		},
+	})
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+	waitConnected(t, c, 1)
+
+	spec := testSpec(30)
+	res := executeAsync(c, context.Background(), spec)
+	<-leased
+	cancel() // drain signal arrives while the unit is executing
+	// Hold long enough that several heartbeats must fire to keep the
+	// lease alive past its TTL.
+	time.Sleep(400 * time.Millisecond)
+	close(gate)
+
+	r := <-res
+	if !r.ok || r.err != nil {
+		t.Fatalf("held unit lost to drain: (ok=%v, err=%v)", r.ok, r.err)
+	}
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run: %v", err)
+	}
+	if ws := c.WorkersStatus(); ws.Connected != 0 || ws.LeasesExpired != 0 {
+		t.Fatalf("drain left cluster state %+v, want clean deregistration", ws)
+	}
+}
+
+func TestWorkerCrashMidUnitReassignsLease(t *testing.T) {
+	reg := metrics.New()
+	cfg := fastCadence()
+	cfg.Metrics = reg
+	c, srv := newTestPlane(t, cfg)
+
+	abort := make(chan struct{})
+	crashy := NewWorker(WorkerConfig{
+		Server: srv.URL, Name: "crashy", Poll: fastPoll(),
+		Abort: abort,
+		RunUnit: func(spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, error) {
+			close(abort) // die the moment work starts
+			<-spec.Context.Done()
+			return nil, spec.Context.Err()
+		},
+	})
+	crashDone := make(chan error, 1)
+	go func() { crashDone <- crashy.Run(context.Background()) }()
+	waitConnected(t, c, 1)
+
+	res := executeAsync(c, context.Background(), testSpec(31))
+	if err := <-crashDone; !errors.Is(err, ErrAborted) {
+		t.Fatalf("crashed worker run = %v, want ErrAborted", err)
+	}
+
+	// A healthy worker picks up the expired lease and finishes the unit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	healthy := NewWorker(WorkerConfig{Server: srv.URL, Name: "healthy", Poll: fastPoll()})
+	healthyDone := make(chan error, 1)
+	go func() { healthyDone <- healthy.Run(ctx) }()
+
+	r := <-res
+	if !r.ok || r.err != nil {
+		t.Fatalf("unit lost to the crash: (ok=%v, err=%v)", r.ok, r.err)
+	}
+	if v := reg.Counter(MetricLeasesReassigned).Value(); v < 1 {
+		t.Fatalf("reassignments = %d, want >= 1", v)
+	}
+	if v := reg.Counter(MetricUnitsCompleted + `{worker="healthy"}`).Value(); v != 1 {
+		t.Fatalf("healthy completions = %d, want 1", v)
+	}
+	cancel()
+	if err := <-healthyDone; err != nil {
+		t.Fatalf("healthy worker run: %v", err)
+	}
+}
+
+func TestWorkerReregistersAfterCoordinatorForgetsIt(t *testing.T) {
+	c, srv := newTestPlane(t, fastCadence())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{Server: srv.URL, Name: "phoenix", Poll: fastPoll()})
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+
+	// Wait for registration, then expire the worker behind its back.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.WorkersStatus().Connected == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.mu.Lock()
+	for _, ws := range c.workers {
+		c.dropWorkerLocked(ws, "test eviction")
+	}
+	c.mu.Unlock()
+
+	// The next lease poll gets 404 and re-registers; once the worker is
+	// back in the fleet it still does work.
+	waitConnected(t, c, 1)
+	if _, ok, err := c.Execute(context.Background(), testSpec(32)); !ok || err != nil {
+		t.Fatalf("Execute after forced re-registration = (ok=%v, err=%v)", ok, err)
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run: %v", err)
+	}
+}
+
+func TestWorkerShutdownLeaksNoGoroutines(t *testing.T) {
+	c, srv := newTestPlane(t, fastCadence())
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		w := NewWorker(WorkerConfig{Server: srv.URL, Poll: fastPoll()})
+		runDone := make(chan error, 1)
+		go func() { runDone <- w.Run(ctx) }()
+		waitConnected(t, c, 1)
+		if _, ok, err := c.Execute(context.Background(), testSpec(uint64(40+i))); !ok || err != nil {
+			t.Fatalf("Execute = (ok=%v, err=%v)", ok, err)
+		}
+		cancel()
+		if err := <-runDone; err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.CloseClientConnections() // drop idle keep-alives before counting
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after worker lifecycles", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

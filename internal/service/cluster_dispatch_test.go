@@ -1,0 +1,190 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// fakeExecutor scripts the cluster side of the dispatch seam.
+type fakeExecutor struct {
+	calls atomic.Int64
+	rows  []experiments.ScenarioRow
+	ok    bool
+	err   error
+}
+
+func (f *fakeExecutor) Execute(ctx context.Context, cfg experiments.ScenarioConfig) ([]experiments.ScenarioRow, bool, error) {
+	f.calls.Add(1)
+	return f.rows, f.ok, f.err
+}
+
+func waitDone(t *testing.T, job *Job) {
+	t.Helper()
+	select {
+	case <-job.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s never finished", job.ID())
+	}
+}
+
+func dispatchSpec() Spec {
+	return Spec{ScenarioConfig: experiments.ScenarioConfig{
+		N: 12, Topology: "line", Query: "min", Trials: 2, Seed: 3, Synopses: 8,
+	}}
+}
+
+func TestDispatchPrefersCluster(t *testing.T) {
+	want := []experiments.ScenarioRow{{Trial: 42}}
+	exec := &fakeExecutor{rows: want, ok: true}
+	m := New(Config{Workers: 1, Cluster: exec})
+	defer m.Drain(context.Background())
+
+	job, err := m.Submit(dispatchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if job.Status() != StatusDone {
+		t.Fatalf("status = %s (%s)", job.Status(), job.Err())
+	}
+	if rows := job.Rows(); len(rows) != 1 || rows[0].Trial != 42 {
+		t.Fatalf("rows %+v did not come from the cluster", rows)
+	}
+	if exec.calls.Load() != 1 {
+		t.Fatalf("executor called %d times, want 1", exec.calls.Load())
+	}
+	if v := m.Registry().Counter(MetricJobsExecuted + `{path="cluster"}`).Value(); v != 1 {
+		t.Fatalf("cluster-path executions = %d, want 1", v)
+	}
+}
+
+func TestDispatchFallsBackToLocalPool(t *testing.T) {
+	exec := &fakeExecutor{ok: false} // fleet cannot take the unit
+	m := New(Config{Workers: 1, Cluster: exec})
+	defer m.Drain(context.Background())
+
+	job, err := m.Submit(dispatchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if job.Status() != StatusDone {
+		t.Fatalf("status = %s (%s)", job.Status(), job.Err())
+	}
+	if len(job.Rows()) == 0 {
+		t.Fatal("local fallback produced no rows")
+	}
+	if exec.calls.Load() != 1 {
+		t.Fatalf("executor called %d times, want 1", exec.calls.Load())
+	}
+	if v := m.Registry().Counter(MetricJobsExecuted + `{path="local"}`).Value(); v != 1 {
+		t.Fatalf("local-path executions = %d, want 1", v)
+	}
+}
+
+func TestDispatchClusterErrorFailsJob(t *testing.T) {
+	exec := &fakeExecutor{ok: true, err: errors.New("remote execution failed")}
+	m := New(Config{Workers: 1, Cluster: exec})
+	defer m.Drain(context.Background())
+
+	job, err := m.Submit(dispatchSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if job.Status() != StatusFailed {
+		t.Fatalf("status = %s, want failed", job.Status())
+	}
+}
+
+func TestTracedJobsBypassCluster(t *testing.T) {
+	exec := &fakeExecutor{ok: true}
+	m := New(Config{Workers: 1, Cluster: exec})
+	defer m.Drain(context.Background())
+
+	spec := dispatchSpec()
+	spec.Trace = true
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if job.Status() != StatusDone {
+		t.Fatalf("status = %s (%s)", job.Status(), job.Err())
+	}
+	if exec.calls.Load() != 0 {
+		t.Fatal("traced job was dispatched to the cluster; its events cannot stream from there")
+	}
+}
+
+// fakeReporter scripts the /healthz workers section.
+type fakeReporter struct{ ws WorkersStatus }
+
+func (f *fakeReporter) WorkersStatus() WorkersStatus { return f.ws }
+
+func TestHealthzWorkersSection(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Drain(context.Background())
+
+	get := func(h *fakeReporter) map[string]any {
+		t.Helper()
+		var rep WorkersReporter
+		if h != nil {
+			rep = h
+		}
+		srv := httptest.NewServer(NewHandler(m, "test", rep))
+		defer srv.Close()
+		var body map[string]any
+		getJSONBody(t, srv.URL+"/healthz", &body)
+		return body
+	}
+
+	// Cluster mode off: no workers section, status ok.
+	body := get(nil)
+	if _, present := body["workers"]; present {
+		t.Fatal("workers section present without a reporter")
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("status = %v, want ok", body["status"])
+	}
+
+	// Cluster mode on with an empty fleet: degraded, counters visible.
+	body = get(&fakeReporter{ws: WorkersStatus{Connected: 0, LeasesExpired: 7}})
+	if body["status"] != "degraded" {
+		t.Fatalf("status with empty fleet = %v, want degraded", body["status"])
+	}
+	ws, _ := body["workers"].(map[string]any)
+	if ws == nil || ws["connected"] != float64(0) || ws["leases_expired"] != float64(7) {
+		t.Fatalf("workers section = %v", body["workers"])
+	}
+
+	// Workers connected: back to ok.
+	body = get(&fakeReporter{ws: WorkersStatus{Connected: 2, LeasesActive: 1}})
+	if body["status"] != "ok" {
+		t.Fatalf("status with workers = %v, want ok", body["status"])
+	}
+	ws, _ = body["workers"].(map[string]any)
+	if ws == nil || ws["connected"] != float64(2) || ws["leases_active"] != float64(1) {
+		t.Fatalf("workers section = %v", body["workers"])
+	}
+}
+
+func getJSONBody(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

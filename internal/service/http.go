@@ -21,6 +21,20 @@ const (
 // maxSpecBytes bounds a job-submission body.
 const maxSpecBytes = 1 << 20
 
+// WorkersStatus is the cluster coordinator's contribution to /healthz:
+// the connected-worker count and the lease counters operators alarm
+// on. internal/cluster's Coordinator implements WorkersReporter.
+type WorkersStatus struct {
+	Connected     int   `json:"connected"`
+	LeasesActive  int   `json:"leases_active"`
+	LeasesExpired int64 `json:"leases_expired"`
+}
+
+// WorkersReporter reports the worker fleet's state for /healthz.
+type WorkersReporter interface {
+	WorkersStatus() WorkersStatus
+}
+
 // NewHandler returns the server's HTTP API over a manager:
 //
 //	POST   /v1/jobs            submit a job (202; 400 invalid, 429 full, 503 draining)
@@ -30,10 +44,16 @@ const maxSpecBytes = 1 << 20
 //	GET    /healthz            liveness (includes version and drain state)
 //	GET    /metrics            text exposition of the manager's registry
 //
+// workers, when non-nil, adds a "workers" section to /healthz and flips
+// its status to "degraded" while cluster mode has zero workers
+// connected (jobs still run — the local pool absorbs them — but the
+// operator asked for a fleet and has none). Pass nil when cluster mode
+// is off.
+//
 // Every route is instrumented with a request counter and a latency
 // histogram in the manager's registry.
-func NewHandler(m *Manager, version string) http.Handler {
-	h := &api{m: m, version: version}
+func NewHandler(m *Manager, version string, workers WorkersReporter) http.Handler {
+	h := &api{m: m, version: version, workers: workers}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", h.instrument("POST /v1/jobs", h.submit))
 	mux.HandleFunc("GET /v1/jobs/{id}", h.instrument("GET /v1/jobs/{id}", h.get))
@@ -47,6 +67,7 @@ func NewHandler(m *Manager, version string) http.Handler {
 type api struct {
 	m       *Manager
 	version string
+	workers WorkersReporter
 }
 
 // statusRecorder captures the response code for instrumentation.
@@ -192,16 +213,26 @@ func (h *api) trace(w http.ResponseWriter, r *http.Request) {
 func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
 	// A saturated queue is still a live process (200), but the status
 	// body flips to "degraded" so operators see back-pressure before
-	// submissions start bouncing with 429s.
+	// submissions start bouncing with 429s. The same goes for cluster
+	// mode with an empty fleet: work still runs (local fallback), but
+	// the capacity the operator provisioned is missing.
 	status := "ok"
 	if h.m.QueueSaturated() {
 		status = "degraded"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   status,
+	body := map[string]any{
 		"version":  h.version,
 		"draining": h.m.Draining(),
-	})
+	}
+	if h.workers != nil {
+		ws := h.workers.WorkersStatus()
+		body["workers"] = ws
+		if ws.Connected == 0 {
+			status = "degraded"
+		}
+	}
+	body["status"] = status
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (h *api) metrics(w http.ResponseWriter, r *http.Request) {

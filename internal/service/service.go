@@ -76,7 +76,23 @@ const (
 	MetricJobsRunning      = "service_jobs_running"
 	MetricJobDuration      = "service_job_duration_us"
 	MetricStoreWriteErrors = "service_store_write_errors_total"
+	// MetricJobsExecuted counts executions by dispatch path, e.g.
+	// `service_jobs_executed_total{path="cluster"}` vs `path="local"`.
+	MetricJobsExecuted = "service_jobs_executed_total"
 )
+
+// Executor is the dispatch seam between the job manager and the
+// distributed execution plane (internal/cluster's coordinator
+// implements it). Execute runs cfg remotely: ok=true means the cluster
+// owned the outcome — rows on success, err for a remote execution
+// failure or a cancelled/expired ctx, exactly as a local run would
+// report. ok=false (with err nil) means the fleet could not take the
+// unit — no workers connected, coordinator draining, lease retry
+// budget exhausted — and the manager runs the job on its local pool
+// instead, so enabling cluster mode can never strand work.
+type Executor interface {
+	Execute(ctx context.Context, cfg experiments.ScenarioConfig) (rows []experiments.ScenarioRow, ok bool, err error)
+}
 
 // Config configures a Manager. Zero values pick serving defaults.
 type Config struct {
@@ -113,6 +129,10 @@ type Config struct {
 	// Version stamps store write-backs so operators can tell which
 	// build produced a cached result.
 	Version string
+	// Cluster, when non-nil, dispatches job execution to the worker
+	// fleet with local fallback (see Executor). Traced jobs always run
+	// locally — their live engine events cannot stream across the wire.
+	Cluster Executor
 }
 
 // Job is one submitted scenario run.
@@ -526,7 +546,7 @@ func (m *Manager) runJob(job *Job) {
 		cfg.Trace = job.appendTrace
 	}
 	start := time.Now()
-	rows, err := experiments.RunScenario(cfg)
+	rows, err := m.execute(runCtx, job, cfg)
 	m.jobDur.Observe(time.Since(start).Microseconds())
 
 	var outcome Status
@@ -567,6 +587,31 @@ func (m *Manager) runJob(job *Job) {
 	}
 	job.cancel() // release the context's resources
 	m.retire(job)
+}
+
+// execute runs one job through the configured dispatch path: the
+// cluster fleet when available, the local pool otherwise (and always
+// for traced jobs). The remote spec omits the execution-only fields
+// (Context/Trace/Metrics are json:"-"), so the unit's content address
+// and its results are identical to a local run's.
+func (m *Manager) execute(ctx context.Context, job *Job, cfg experiments.ScenarioConfig) ([]experiments.ScenarioRow, error) {
+	if m.cfg.Cluster != nil && !job.spec.Trace {
+		rows, ok, err := m.cfg.Cluster.Execute(ctx, cfg)
+		if ok {
+			m.countExecuted("cluster")
+			return rows, err
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Fall through: the fleet could not take the unit.
+	}
+	m.countExecuted("local")
+	return experiments.RunScenario(cfg)
+}
+
+func (m *Manager) countExecuted(path string) {
+	m.reg.Counter(MetricJobsExecuted + `{path="` + path + `"}`).Inc()
 }
 
 func (m *Manager) countOutcome(s Status) {

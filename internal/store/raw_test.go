@@ -1,0 +1,64 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestPutScenarioRaw covers the cluster write-back path: verified raw
+// bytes stored under a precomputed content address, first write wins.
+func TestPutScenarioRaw(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := experiments.ScenarioConfig{N: 10, Trials: 2, Seed: 5}
+	spec.Normalize()
+	key, err := ScenarioKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []experiments.ScenarioRow{}
+	raw, _ := json.Marshal(rows)
+
+	if err := s.PutScenarioRaw("", raw, Meta{}); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.PutScenarioRaw(key, raw, Meta{Version: "remote"}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("get after raw put = (ok=%v, err=%v)", ok, err)
+	}
+	if !bytes.Equal(e.Value, raw) {
+		t.Fatalf("stored bytes %q differ from written bytes %q", e.Value, raw)
+	}
+	if e.Kind != KindScenario || e.Meta.Version != "remote" {
+		t.Fatalf("entry metadata = %+v", e)
+	}
+
+	// First write wins: a duplicate completion (reassigned unit finishing
+	// twice) must not overwrite the stored result.
+	if err := s.PutScenarioRaw(key, json.RawMessage(`[{"bogus":true}]`), Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	e2, _, _ := s.Get(key)
+	if !bytes.Equal(e2.Value, raw) {
+		t.Fatal("duplicate raw put overwrote the first result")
+	}
+
+	// The typed read path decodes what the raw path wrote.
+	got, ok, err := s.GetScenario(spec)
+	if err != nil || !ok {
+		t.Fatalf("GetScenario after raw put = (ok=%v, err=%v)", ok, err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(rows))
+	}
+}

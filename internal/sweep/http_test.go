@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *metrics.Registry) {
 	sm := sweep.NewManager(sweep.Config{Service: svc, Store: st, Metrics: reg})
 
 	root := http.NewServeMux()
-	root.Handle("/", service.NewHandler(svc, "test"))
+	root.Handle("/", service.NewHandler(svc, "test", nil))
 	sweep.Register(root, sm)
 	srv := httptest.NewServer(root)
 	t.Cleanup(func() {

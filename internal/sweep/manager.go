@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/service"
@@ -407,23 +408,35 @@ submission:
 	m.retire(sw)
 }
 
+// queueFullPolicy is the schedule for waiting out a saturated job
+// queue: quick first retries (a worker slot frees on millisecond
+// scales), flattening out so a long-stalled queue is not hammered.
+var queueFullPolicy = backoff.Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond}
+
 // submitCell pushes one cell into the service, waiting out transient
-// queue-full rejections.
+// queue-full rejections on the shared bounded-backoff schedule (the
+// same helper the cluster worker uses to wait out an idle coordinator
+// and to resubmit results when a worker dies mid-upload).
 func (m *Manager) submitCell(sw *Sweep, cell Cell) (*service.Job, error) {
-	for {
-		job, err := m.cfg.Service.Submit(service.Spec{ScenarioConfig: cell.Spec})
-		if err == nil {
-			return job, nil
+	var job *service.Job
+	err := backoff.Retry(context.Background(), sw.stopped, queueFullPolicy, func() (bool, error) {
+		j, serr := m.cfg.Service.Submit(service.Spec{ScenarioConfig: cell.Spec})
+		if serr == nil {
+			job = j
+			return true, nil
 		}
-		if !errors.Is(err, service.ErrQueueFull) {
-			return nil, err
+		if errors.Is(serr, service.ErrQueueFull) {
+			return false, nil // back-pressure, not failure
 		}
-		select {
-		case <-sw.stopped:
-			return nil, service.ErrDraining
-		case <-time.After(2 * time.Millisecond):
-		}
+		return false, serr
+	})
+	if errors.Is(err, backoff.ErrStopped) {
+		return nil, service.ErrDraining
 	}
+	if err != nil {
+		return nil, err
+	}
+	return job, nil
 }
 
 // collect records a finished cell and writes executed results back to

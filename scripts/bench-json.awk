@@ -1,0 +1,16 @@
+# Converts `go test -bench` output to machine-readable JSON: one object
+# per benchmark with iterations plus every reported metric (ns/op, B/op,
+# allocs/op, custom ReportMetric units). Shared by the Makefile's bench
+# and bench-cluster targets.
+BEGIN { print "[" }
+/^Benchmark/ {
+  if (seen++) printf ",\n";
+  name = $1; sub(/-[0-9]+$/, "", name);
+  printf "  {\"name\": \"%s\", \"iterations\": %s", name, $2;
+  for (i = 3; i < NF; i += 2) {
+    unit = $(i + 1); gsub(/\//, "_per_", unit);
+    printf ", \"%s\": %s", unit, $i;
+  }
+  printf "}";
+}
+END { print "\n]" }

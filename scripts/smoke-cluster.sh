@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Two-process cluster smoke test: a real vmat-server -cluster process
+# and a real vmat-worker process, talking over loopback HTTP. Verifies
+# the worker registers (healthz leaves "degraded"), one job dispatches
+# through the fleet (service_jobs_executed_total{path="cluster"}), and
+# both processes drain cleanly on SIGTERM with exit code 0.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18097}"
+BASE="http://127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+WORKER_PID=""
+
+cleanup() {
+  [ -n "$WORKER_PID" ] && kill "$WORKER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "smoke-cluster: FAIL: $*" >&2
+  echo "--- server log ---" >&2; cat "$WORK/server.log" >&2 || true
+  echo "--- worker log ---" >&2; cat "$WORK/worker.log" >&2 || true
+  exit 1
+}
+
+echo "smoke-cluster: building binaries"
+go build -o "$WORK/vmat-server" ./cmd/vmat-server
+go build -o "$WORK/vmat-worker" ./cmd/vmat-worker
+
+echo "smoke-cluster: starting vmat-server -cluster on :${PORT}"
+"$WORK/vmat-server" -addr "127.0.0.1:${PORT}" -cluster -lease-ttl 5s \
+  -data-dir "$WORK/store" >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null || fail "server never became healthy"
+
+# Cluster mode with an empty fleet must report degraded.
+curl -fsS "$BASE/healthz" | grep -q '"degraded"' \
+  || fail "healthz not degraded with zero workers"
+
+echo "smoke-cluster: starting vmat-worker"
+"$WORK/vmat-worker" -server "$BASE" -name smoke-1 >"$WORK/worker.log" 2>&1 &
+WORKER_PID=$!
+
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" | grep -q '"status":"ok"'; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' \
+  || fail "healthz still degraded after the worker joined"
+
+echo "smoke-cluster: submitting a job through the fleet"
+JOB_ID=$(curl -fsS -X POST "$BASE/v1/jobs" -d \
+  '{"n":30,"topology":"geometric","query":"min","attack":"drop","malicious":1,"trials":3,"seed":7}' \
+  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$JOB_ID" ] || fail "job submission returned no id"
+
+for _ in $(seq 1 300); do
+  STATUS=$(curl -fsS "$BASE/v1/jobs/$JOB_ID" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+  case "$STATUS" in
+    done) break ;;
+    failed|cancelled) fail "job ended $STATUS" ;;
+  esac
+  sleep 0.1
+done
+[ "$STATUS" = done ] || fail "job never finished (last status: ${STATUS:-none})"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q 'service_jobs_executed_total{path="cluster"} 1' \
+  || fail "job did not dispatch through the cluster"
+echo "$METRICS" | grep -q 'cluster_units_completed_total{worker="smoke-1"} 1' \
+  || fail "worker completion not counted"
+
+echo "smoke-cluster: draining both processes"
+kill -TERM "$WORKER_PID"
+wait "$WORKER_PID" || fail "worker exited non-zero on SIGTERM"
+WORKER_PID=""
+grep -q "deregistered" "$WORK/worker.log" || fail "worker did not deregister on drain"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+grep -q "drained, bye" "$WORK/server.log" || fail "server did not drain cleanly"
+
+echo "smoke-cluster: PASS"
