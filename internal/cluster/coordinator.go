@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,10 +53,12 @@ type unitState struct {
 
 	// Terminal outcome, set before done closes. abandoned means the
 	// cluster gave up (drain or retry budget) and the caller should
-	// execute locally.
+	// execute locally; finished means a verified completion won.
+	// Exactly one close(done) follows either flag being set.
 	rows      []experiments.ScenarioRow
 	errMsg    string
 	abandoned bool
+	finished  bool
 	done      chan struct{}
 }
 
@@ -154,6 +157,20 @@ func (c *Coordinator) rejectResult(reason string) {
 	c.reg.Counter(MetricResultsRejected + `{reason="` + reason + `"}`).Inc()
 }
 
+// sanitizeName restricts a worker-supplied name to [a-zA-Z0-9_.-]:
+// the name is interpolated into the worker="..." metric label, where a
+// quote, brace, or newline would corrupt the exposition format.
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+			return r
+		}
+		return -1
+	}, s)
+}
+
 // Register admits a worker and assigns its identity and cadence.
 func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 	c.mu.Lock()
@@ -161,7 +178,7 @@ func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 	c.nextWorker++
 	w := &workerState{
 		id:       fmt.Sprintf("w%04d", c.nextWorker),
-		name:     req.Name,
+		name:     sanitizeName(req.Name),
 		version:  req.Version,
 		lastSeen: time.Now(),
 		units:    map[string]bool{},
@@ -261,10 +278,13 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) error {
 // must match the unit's content address and the CRC32 must match the
 // row bytes. A verified result is written back to the store (when
 // configured) and handed to the waiting Execute call. A failed check
-// costs the worker its lease — the unit is requeued under its attempt
-// budget. Completions for units the coordinator no longer tracks
-// (finished by another worker, abandoned, or cancelled) are counted
-// stale and acknowledged.
+// costs the reporter its lease — the unit is requeued under its attempt
+// budget — but only when the reporter still holds the lease: a failed
+// check or error report from a stale worker (expired and reassigned)
+// must not release the current holder's lease, burn the unit's attempt
+// budget, or terminate a unit another worker is executing. Completions
+// for units the coordinator no longer tracks (finished by another
+// worker, abandoned, or cancelled) are counted stale and acknowledged.
 func (c *Coordinator) Complete(req CompleteRequest) error {
 	c.mu.Lock()
 	if w, ok := c.workers[req.WorkerID]; ok {
@@ -276,14 +296,19 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 		c.stale.Inc()
 		return nil
 	}
+	holder := u.worker == req.WorkerID
 	if req.Key != u.unit.Key {
-		c.releaseLeaseLocked(u)
-		c.requeueLocked(u, "content address mismatch from "+req.WorkerID)
+		c.rejectLocked(u, holder, "content address mismatch from "+req.WorkerID)
 		c.mu.Unlock()
 		c.rejectResult("key")
 		return nil
 	}
 	if req.Error != "" {
+		if !holder {
+			c.mu.Unlock()
+			c.stale.Inc()
+			return nil
+		}
 		// A deterministic execution failure: the remote run failed the
 		// same way a local one would. Complete the unit as failed.
 		workerName := c.workerNameLocked(req.WorkerID)
@@ -295,16 +320,14 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 		return nil
 	}
 	if crc32.ChecksumIEEE(req.Rows) != req.CRC32 {
-		c.releaseLeaseLocked(u)
-		c.requeueLocked(u, "CRC mismatch from "+req.WorkerID)
+		c.rejectLocked(u, holder, "CRC mismatch from "+req.WorkerID)
 		c.mu.Unlock()
 		c.rejectResult("crc")
 		return nil
 	}
 	var rows []experiments.ScenarioRow
 	if err := json.Unmarshal(req.Rows, &rows); err != nil {
-		c.releaseLeaseLocked(u)
-		c.requeueLocked(u, "undecodable rows from "+req.WorkerID)
+		c.rejectLocked(u, holder, "undecodable rows from "+req.WorkerID)
 		c.mu.Unlock()
 		c.rejectResult("decode")
 		return nil
@@ -351,8 +374,27 @@ func (c *Coordinator) finishLocked(u *unitState) {
 		}
 		u.worker = ""
 		c.active.Dec()
+	} else {
+		// A requeued unit completed late by its original holder must
+		// leave the pending queue too, or it would be leased — and
+		// executed — a second time after finishing.
+		c.removePendingLocked(u)
 	}
+	u.finished = true
 	delete(c.units, u.unit.ID)
+}
+
+// rejectLocked handles a completion that failed verification: the
+// reporter loses its lease and the unit is requeued, but only when the
+// reporter actually holds the lease — a stale reporter's bad payload is
+// its own problem, not the current holder's. Callers hold c.mu.
+func (c *Coordinator) rejectLocked(u *unitState, holder bool, why string) {
+	if !holder {
+		c.stale.Inc()
+		return
+	}
+	c.releaseLeaseLocked(u)
+	c.requeueLocked(u, why)
 }
 
 // releaseLeaseLocked detaches a unit from its current holder without
@@ -384,6 +426,9 @@ func (c *Coordinator) expireLeaseLocked(u *unitState) {
 // an abandoned unit's done channel is closed here (no field writes
 // race: abandoned is set before close).
 func (c *Coordinator) requeueLocked(u *unitState, why string) {
+	if u.finished || u.abandoned {
+		return // already terminal; done is closed (or about to be)
+	}
 	if c.draining || u.attempts >= c.cfg.MaxAttempts {
 		delete(c.units, u.unit.ID)
 		u.abandoned = true
@@ -527,6 +572,9 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	pending := c.pending
 	c.pending = nil
 	for _, u := range pending {
+		if u.finished || u.abandoned {
+			continue // already terminal; its done channel is closed
+		}
 		delete(c.units, u.unit.ID)
 		u.abandoned = true
 		c.abandoned.Inc()

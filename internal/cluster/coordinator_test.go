@@ -308,6 +308,143 @@ func TestStaleCompletionCountedAndAcked(t *testing.T) {
 	}
 }
 
+// A unit whose lease expired sits in the pending queue when its
+// original worker's valid completion arrives late. The completion wins
+// (first-write-wins), and the finished unit must leave the pending
+// queue: it must not be leasable again, must not leak an active lease,
+// and a later Drain must not close its done channel a second time.
+func TestLateCompletionOfRequeuedUnitFinishesIt(t *testing.T) {
+	reg := metrics.New()
+	c := newTestCoordinator(t, CoordinatorConfig{
+		LeaseTTL:  20 * time.Millisecond,
+		WorkerTTL: time.Hour,
+		Metrics:   reg,
+	})
+	w := c.Register(RegisterRequest{Name: "slow"})
+
+	res := executeAsync(c, context.Background(), testSpec(12))
+	unit := leaseUnit(t, c, w.WorkerID)
+	// Never heartbeat: wait for the lease to expire and the unit to be
+	// requeued.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(MetricLeasesReassigned).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The original worker finishes anyway; the valid result is accepted.
+	completeUnit(t, c, w.WorkerID, unit)
+	if r := <-res; !r.ok || r.err != nil {
+		t.Fatalf("Execute = (ok=%v, err=%v), want late completion accepted", r.ok, r.err)
+	}
+	// The finished unit must be gone from the pending queue…
+	if u2, _, err := c.Lease(w.WorkerID); err != nil || u2 != nil {
+		t.Fatalf("finished unit leased again: (%v, %v)", u2, err)
+	}
+	// …and from the lease table.
+	if ws := c.WorkersStatus(); ws.LeasesActive != 0 {
+		t.Fatalf("leases active = %d after completion, want 0", ws.LeasesActive)
+	}
+	// Drain must not re-abandon (double-close) the finished unit.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatalf("drain after late completion: %v", err)
+	}
+}
+
+// A stale worker (lease expired and reassigned) reporting a corrupt
+// payload or an execution error must not release the current holder's
+// lease, burn the unit's attempt budget, or terminate the unit under
+// the worker now running it.
+func TestStaleWorkerCompletionDoesNotDisturbCurrentHolder(t *testing.T) {
+	reg := metrics.New()
+	c := newTestCoordinator(t, CoordinatorConfig{
+		LeaseTTL:  20 * time.Millisecond,
+		WorkerTTL: time.Hour,
+		Metrics:   reg,
+	})
+	w1 := c.Register(RegisterRequest{Name: "stale"})
+	w2 := c.Register(RegisterRequest{Name: "fresh"})
+
+	res := executeAsync(c, context.Background(), testSpec(13))
+	unit := leaseUnit(t, c, w1.WorkerID)
+	// w1 goes silent; the lease expires and w2 picks the unit up.
+	unit2 := leaseUnit(t, c, w2.WorkerID)
+	if unit2.ID != unit.ID {
+		t.Fatalf("reassigned unit %s, leased %s", unit.ID, unit2.ID)
+	}
+	// Keep w2's lease alive for the rest of the test.
+	stopBeat := make(chan struct{})
+	defer close(stopBeat)
+	go func() {
+		for {
+			select {
+			case <-stopBeat:
+				return
+			case <-time.After(5 * time.Millisecond):
+				c.Heartbeat(HeartbeatRequest{WorkerID: w2.WorkerID, Units: []string{unit.ID}})
+			}
+		}
+	}()
+
+	staleBefore := reg.Counter(MetricResultsStale).Value()
+	// Stale w1 reports a CRC mismatch, then an execution error.
+	rows, _ := experiments.RunScenario(unit.Spec)
+	raw, _ := json.Marshal(rows)
+	if err := c.Complete(CompleteRequest{
+		WorkerID: w1.WorkerID, UnitID: unit.ID, Key: unit.Key,
+		Rows: raw, CRC32: crc32.ChecksumIEEE(raw) + 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(CompleteRequest{
+		WorkerID: w1.WorkerID, UnitID: unit.ID, Key: unit.Key,
+		Error: "stale synthetic failure",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricResultsStale).Value() - staleBefore; got != 2 {
+		t.Fatalf("stale completions = %d, want 2", got)
+	}
+	// w2 still holds the lease: the stale reports neither released it
+	// nor requeued the unit.
+	if ws := c.WorkersStatus(); ws.LeasesActive != 1 {
+		t.Fatalf("leases active = %d after stale reports, want 1", ws.LeasesActive)
+	}
+	// w2's valid result wins; the stale error did not terminate the unit.
+	completeUnit(t, c, w2.WorkerID, unit2)
+	if r := <-res; !r.ok || r.err != nil {
+		t.Fatalf("Execute = (ok=%v, err=%v), want current holder's success", r.ok, r.err)
+	}
+}
+
+// Worker-supplied names are restricted to label-safe characters before
+// they reach the worker="..." metric label.
+func TestRegisterSanitizesWorkerName(t *testing.T) {
+	reg := metrics.New()
+	c := newTestCoordinator(t, CoordinatorConfig{Metrics: reg})
+	w := c.Register(RegisterRequest{Name: "al\"pha}\nbeta{"})
+
+	res := executeAsync(c, context.Background(), testSpec(14))
+	completeUnit(t, c, w.WorkerID, leaseUnit(t, c, w.WorkerID))
+	if r := <-res; !r.ok || r.err != nil {
+		t.Fatalf("Execute = (ok=%v, err=%v)", r.ok, r.err)
+	}
+	if v := reg.Counter(MetricUnitsCompleted + `{worker="alphabeta"}`).Value(); v != 1 {
+		t.Fatalf("sanitized per-worker completions = %d, want 1", v)
+	}
+	// A name that sanitizes to nothing falls back to the assigned ID.
+	w2 := c.Register(RegisterRequest{Name: "\"\n{}"})
+	if ws := c.WorkersStatus(); ws.Connected != 2 {
+		t.Fatalf("connected = %d, want 2", ws.Connected)
+	}
+	if w2.WorkerID == "" {
+		t.Fatal("no worker ID assigned")
+	}
+}
+
 func TestDrainAbandonsPendingAndWaitsInFlight(t *testing.T) {
 	c := newTestCoordinator(t, CoordinatorConfig{WorkerTTL: time.Hour})
 	w := c.Register(RegisterRequest{})

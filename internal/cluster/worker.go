@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backoff"
@@ -59,7 +60,7 @@ type Worker struct {
 	log       func(format string, args ...any)
 
 	id        string
-	completed int
+	completed atomic.Int64
 }
 
 // CoordinatorHandshake is the cadence learned at registration.
@@ -88,7 +89,8 @@ func NewWorker(cfg WorkerConfig) *Worker {
 }
 
 // Completed returns how many units this worker finished and reported.
-func (w *Worker) Completed() int { return w.completed }
+// Safe to call while Run is executing.
+func (w *Worker) Completed() int { return int(w.completed.Load()) }
 
 // Run is the worker's main loop. Cancelling ctx is the graceful-drain
 // signal: the worker finishes the unit it holds (if any), reports the
@@ -156,7 +158,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := w.executeAndReport(*unit); err != nil {
 			return err
 		}
-		w.completed++
+		w.completed.Add(1)
 	}
 }
 
@@ -331,7 +333,7 @@ func (w *Worker) deregister() error {
 			w.log("deregister failed: %v", err)
 		}
 	}
-	w.log("drained after %d completed units, deregistered", w.completed)
+	w.log("drained after %d completed units, deregistered", w.completed.Load())
 	return nil
 }
 
