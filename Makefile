@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_JSON ?= BENCH_PR5.json
+BENCH_JSON ?= BENCH_PR6.json
 CLUSTER_BENCH_JSON ?= BENCH_CLUSTER.json
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X main.version=$(VERSION)"
@@ -19,13 +19,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The race-sensitive subset: packages with real concurrency (per-slot
-# step goroutines, parallel trial workers, the job queue, the result
-# store's shared journal, the sweep orchestrator's fan-out, the cluster
-# coordinator/worker plane and its shared backoff helper) plus the fault
-# schedule and the engine's deadline/degradation paths, which both run
-# under the per-slot fan-out. CI runs this instead of the full -race
-# sweep to keep the loop fast.
+# The race-sensitive subset: packages with real concurrency (parallel
+# trial workers, the job queue, the result store's shared journal, the
+# sweep orchestrator's fan-out, the cluster coordinator/worker plane and
+# its shared backoff helper). The simnet event loop itself is
+# single-threaded, but simnet/core/faults stay in this list because
+# RunTrials drives many engine executions — each with its own network,
+# fault schedule, and deadline/degradation paths — concurrently, which
+# is exactly where accidental sharing between executions would surface.
+# CI runs this instead of the full -race sweep to keep the loop fast.
 race-focus:
 	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff
 
@@ -55,18 +57,20 @@ smoke-cluster: build
 	./scripts/smoke-cluster.sh
 
 # Runs every testing.B wrapper once with -benchmem and records the
-# results as machine-readable JSON (one object per benchmark with
-# ns/op, B/op, allocs/op) in $(BENCH_JSON). The raw go output is kept
-# alongside in $(BENCH_JSON:.json=.txt).
+# results as machine-readable JSON in $(BENCH_JSON): an "env" object
+# (go version, GOOS/GOARCH, CPU model, GOMAXPROCS) so the numbers are
+# interpretable across machines, and a "benchmarks" array with one
+# object per benchmark (ns/op, B/op, allocs/op, custom metrics). The
+# raw go output is kept alongside in $(BENCH_JSON:.json=.txt).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 1 . | tee $(BENCH_JSON:.json=.txt)
-	awk -f scripts/bench-json.awk $(BENCH_JSON:.json=.txt) > $(BENCH_JSON)
+	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(BENCH_JSON:.json=.txt) > $(BENCH_JSON)
 
 # The distributed-plane comparison only: the same job batch dispatched
 # to the local pool vs a two-worker fleet over loopback HTTP.
 bench-cluster:
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterDispatch' -benchmem -count 1 . | tee $(CLUSTER_BENCH_JSON:.json=.txt)
-	awk -f scripts/bench-json.awk $(CLUSTER_BENCH_JSON:.json=.txt) > $(CLUSTER_BENCH_JSON)
+	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(CLUSTER_BENCH_JSON:.json=.txt) > $(CLUSTER_BENCH_JSON)
 
 clean:
 	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt) $(CLUSTER_BENCH_JSON) $(CLUSTER_BENCH_JSON:.json=.txt)

@@ -7,9 +7,15 @@
 //	vmat-bench -exp fig7            # Figure 7 at paper scale
 //	vmat-bench -exp fig8 -quick     # Figure 8, reduced trials
 //	vmat-bench -exp all -quick      # everything, reduced scale
+//	vmat-bench -exp scale           # simulator capacity sweep to 1M nodes
 //
 // Experiments: fig7, fig8, comm, rounds, pinpoint, campaign, wormhole,
-// choking, faults, all.
+// choking, faults, scale, all. The scale sweep measures this machine's
+// wall clock and memory, so it is excluded from "all" (whose rows are
+// deterministic and cacheable) and must be requested explicitly.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering
+// the selected experiments.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/keydist"
+	"repro/internal/prof"
 	"repro/internal/store"
 )
 
@@ -35,11 +42,13 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vmat-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|scenario|faults|all")
+	exp := fs.String("exp", "all", "experiment: fig7|fig8|msweep|comm|rounds|pinpoint|campaign|wormhole|choking|loss|avail|scenario|faults|scale|all (scale is not part of all)")
 	quick := fs.Bool("quick", false, "reduced scale (fewer trials, smaller networks)")
 	seed := fs.Uint64("seed", 2011, "simulation seed")
 	workers := fs.Int("workers", 0, "parallel trial workers (0 = all cores); results are identical for any value")
 	cacheDir := fs.String("cache-dir", "", "persist experiment rows in a content-addressed store under this directory; repeated runs print from disk")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +57,11 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, "vmat-bench", version)
 		return nil
 	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	var cache *benchCache
 	if *cacheDir != "" {
@@ -73,6 +87,7 @@ func run(args []string, w io.Writer) error {
 		"msweep":   func() error { return runMSweep(w, cache, *quick, *seed, *workers) },
 		"scenario": func() error { return runScenario(w, cache, *quick, *seed, *workers) },
 		"faults":   func() error { return runFaults(w, cache, *quick, *seed, *workers) },
+		"scale":    func() error { return runScale(w, *quick, *seed) },
 	}
 	if *exp == "all" {
 		for _, name := range []string{"fig7", "fig8", "msweep", "comm", "rounds", "pinpoint", "campaign", "wormhole", "choking", "loss", "avail", "scenario", "faults"} {
@@ -203,6 +218,23 @@ func runFaults(w io.Writer, c *benchCache, quick bool, seed uint64, workers int)
 		return err
 	}
 	return experiments.FaultsTable(rows).Write(w)
+}
+
+// runScale probes the simulator's capacity ceiling: full MIN queries on
+// 10k/100k/1M-node grids with wall-clock and memory columns. Its rows
+// measure this machine, so they bypass the content-addressed cache (a
+// cached timing would silently misreport a different host or build).
+func runScale(w io.Writer, quick bool, seed uint64) error {
+	cfg := experiments.DefaultScale()
+	if quick {
+		cfg = experiments.QuickScale()
+	}
+	cfg.Seed = seed
+	rows, err := experiments.RunScale(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.ScaleTable(rows).Write(w)
 }
 
 func runComm(w io.Writer, c *benchCache, quick bool, seed uint64, workers int) error {

@@ -10,6 +10,9 @@
 //	vmat-sim -n 80 -attack drop-choke -malicious 3 -multipath
 //
 // Attacks: none, drop, hide, junk, choke, drop-choke, mute.
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering
+// the execution.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/crypto"
 	"repro/internal/faults"
 	"repro/internal/keydist"
+	"repro/internal/prof"
 	"repro/internal/service"
 	"repro/internal/simnet"
 	"repro/internal/topology"
@@ -59,9 +63,11 @@ func run(args []string, w io.Writer) error {
 	burstLoss := fs.Float64("burst-loss", 0, "bad-state loss rate of the Gilbert-Elliott burst chain (0 = off)")
 	arq := fs.Bool("arq", false, "enable the link-layer ARQ (per-hop acks, bounded-backoff retransmissions)")
 	maxSlots := fs.Int("max-slots", 0, "execution slot deadline (0 = default when faults/ARQ are on, unlimited otherwise)")
-	workers := fs.Int("workers", 0, "per-slot step goroutines (0 = all cores); results are identical for any value")
+	workers := fs.Int("workers", 0, "accepted for compatibility; the simulator is a single-threaded event loop")
 	verbose := fs.Bool("v", false, "print the execution event trace")
 	trace := fs.Bool("trace", false, "print the execution event trace as NDJSON (same encoding as the server's /trace endpoint)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,12 +79,21 @@ func run(args []string, w io.Writer) error {
 	if *n < 2 {
 		return fmt.Errorf("need at least 2 nodes, got %d", *n)
 	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	rng := crypto.NewStreamFromSeed(*seed)
 	graph, err := buildTopology(*topo, *n, rng)
 	if err != nil {
 		return err
 	}
+	// A grid rounds the node count up to fill its rectangle; keep every
+	// downstream consumer (deployment, malicious sampling, truth loops)
+	// on the actual size.
+	*n = graph.NumNodes()
 	params := keydist.Params{PoolSize: 10000, RingSize: 300}
 	dep, err := keydist.NewDeployment(*n, params, crypto.KeyFromUint64(*seed), rng.Fork([]byte("keys")))
 	if err != nil {

@@ -97,10 +97,14 @@ func Flood(net *simnet.Network, v Verifier, origin topology.NodeID, a Announceme
 	forward func(topology.NodeID) bool, maxSlots int) FloodResult {
 
 	n := net.Graph().NumNodes()
-	// received is indexed per node; each step goroutine touches only its
-	// own node's element, so no further synchronization is needed.
+	// received is indexed per node; each node's step touches only its own
+	// element. The sweep is sparse: only the origin is woken explicitly
+	// (to inject the announcement), every other node acts purely on
+	// receipt, so a flood costs work proportional to the traffic it
+	// creates rather than to network size.
 	received := make([]bool, n)
-	slots := net.RunUntilQuiescent(maxSlots, func(ctx *simnet.Context) {
+	net.WakeAt(net.Slot(), origin)
+	slots := net.RunUntilQuiescentActive(maxSlots, func(ctx *simnet.Context) {
 		id := ctx.Node()
 		if received[id] {
 			return

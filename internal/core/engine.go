@@ -224,7 +224,7 @@ type Engine struct {
 	l         int
 	instances int
 	net       *simnet.Network
-	sensors   []*sensorState
+	sensors   []sensorState // flat per-node state, indexed by NodeID
 	rng       *crypto.Stream
 	channel   *authbcast.Channel
 	verifier  authbcast.Verifier
@@ -345,11 +345,23 @@ func NewEngine(cfg Config) (*Engine, error) {
 		netCfg.ExtraLink = func(from, to topology.NodeID) bool { return mal[from] && mal[to] }
 	}
 	e.net = simnet.New(cfg.Graph, netCfg)
+	if len(cfg.Malicious) > 0 {
+		// Malicious sensors may act spontaneously on any slot, so sparse
+		// phase sweeps must never skip them.
+		active := make([]topology.NodeID, 0, len(cfg.Malicious))
+		for id := range cfg.Malicious {
+			active = append(active, id)
+		}
+		e.net.SetAlwaysActive(active)
+	}
 
+	// Per-node protocol state lives in one flat array: at million-node
+	// scale this is a single allocation with linear access, not n heap
+	// objects chased through pointers.
 	n := cfg.Graph.NumNodes()
-	e.sensors = make([]*sensorState, n)
+	e.sensors = make([]sensorState, n)
 	for id := 0; id < n; id++ {
-		e.sensors[id] = newSensorState(topology.NodeID(id), e.instances,
+		e.sensors[id].init(topology.NodeID(id), e.instances,
 			e.rng.Fork([]byte("sensor"), crypto.Uint64(uint64(id))))
 	}
 	e.bsDelivery = make([]deliveryInfo, e.instances)
@@ -468,8 +480,8 @@ func (e *Engine) TreeLevels() ([]int, error) {
 	e.announce(StartAnnounce{Nonce: e.queryNonce, Instances: e.instances, L: e.l})
 	e.runTreeFormation()
 	levels := make([]int, len(e.sensors))
-	for id, s := range e.sensors {
-		levels[id] = s.level
+	for id := range e.sensors {
+		levels[id] = e.sensors[id].level
 	}
 	return levels, nil
 }
@@ -689,7 +701,7 @@ func (e *Engine) acceptEnvelope(m simnet.Message, self topology.NodeID) (inner, 
 // defers to the adversary for malicious ones.
 func (e *Engine) phaseStep(phase Phase, honest func(*sensorState, *simnet.Context)) simnet.StepFunc {
 	return func(ctx *simnet.Context) {
-		s := e.sensors[ctx.Node()]
+		s := &e.sensors[ctx.Node()]
 		if e.isMalicious(s.id) {
 			e.cfg.Adversary.Step(phase, &AdvContext{
 				engine: e, state: s, ctx: ctx, phase: phase, honest: honest,

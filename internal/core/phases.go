@@ -16,8 +16,7 @@ import (
 // structurally impossible.
 func (e *Engine) runTreeFormation() {
 	e.phaseStart = e.net.Slot()
-	bs := e.sensors[topology.BaseStation]
-	bs.level = 0
+	e.sensors[topology.BaseStation].level = 0
 
 	honest := func(s *sensorState, ctx *simnet.Context) {
 		local := ctx.Slot() - e.phaseStart
@@ -56,7 +55,11 @@ func (e *Engine) runTreeFormation() {
 			e.sendSealed(ctx, nb, TreeFormMsg{})
 		}
 	}
-	e.net.RunSlots(e.l+1, e.phaseStep(PhaseTree, honest))
+	// Sparse sweep: only the base station acts on a schedule (the slot-0
+	// flood start); every other sensor joins the moment the flood reaches
+	// it.
+	e.net.WakeAt(e.phaseStart, topology.BaseStation)
+	e.net.RunSlotsActive(e.l+1, e.phaseStep(PhaseTree, honest))
 }
 
 func dedupe(ids []topology.NodeID) []topology.NodeID {
@@ -80,8 +83,12 @@ func dedupe(ids []topology.NodeID) []topology.NodeID {
 func (e *Engine) runAggregation() []Record {
 	e.phaseStart = e.net.Slot()
 
-	// Every participant starts from its own authenticated records.
-	for _, s := range e.sensors {
+	// Every participant starts from its own authenticated records. Each
+	// level-i sensor has exactly one scheduled obligation — transmit its
+	// minima in local slot L-i — so that is its wake slot; collection in
+	// earlier slots is driven by the arriving child messages themselves.
+	for i := range e.sensors {
+		s := &e.sensors[i]
 		if s.id != topology.BaseStation && s.level == -1 {
 			continue // never reached by tree formation
 		}
@@ -89,9 +96,12 @@ func (e *Engine) runAggregation() []Record {
 			s.best[inst] = e.ownRecord(s.id, inst)
 			s.bestInKey[inst] = NoKey
 		}
+		if s.level >= 1 && s.level <= e.l {
+			e.net.WakeAt(e.phaseStart+e.l-s.level, s.id)
+		}
 	}
 
-	bs := e.sensors[topology.BaseStation]
+	bs := &e.sensors[topology.BaseStation]
 	honest := func(s *sensorState, ctx *simnet.Context) {
 		local := ctx.Slot() - e.phaseStart
 		if s.id == topology.BaseStation {
@@ -132,7 +142,7 @@ func (e *Engine) runAggregation() []Record {
 			}
 		}
 	}
-	e.net.RunSlots(e.l+1, e.phaseStep(PhaseAggregation, honest))
+	e.net.RunSlotsActive(e.l+1, e.phaseStep(PhaseAggregation, honest))
 	return bs.best
 }
 
@@ -238,7 +248,11 @@ func (e *Engine) runConfirmation() []receivedVeto {
 			return
 		}
 	}
-	e.net.RunSlots(e.l+1, e.phaseStep(PhaseConfirmation, honest))
+	// Every sensor must compare its own reading against the announced
+	// minimum in local slot 0, so the first confirmation slot is a full
+	// sweep; afterwards only veto traffic keeps nodes active.
+	e.net.WakeAllAt(e.phaseStart)
+	e.net.RunSlotsActive(e.l+1, e.phaseStep(PhaseConfirmation, honest))
 	return arrived
 }
 

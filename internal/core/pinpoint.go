@@ -69,7 +69,7 @@ func (e *Engine) pinpointVeto(v VetoMsg) (*Outcome, error) {
 // receive a record of the instance with value <= vmax from a child at the
 // given level via the given edge key?
 func (e *Engine) baseReceived(instance int, vmax float64, childLevel, keyIndex int) bool {
-	bs := e.sensors[topology.BaseStation]
+	bs := &e.sensors[topology.BaseStation]
 	return bs.satisfies(Predicate{
 		Kind:     PredReceivedAgg,
 		Instance: instance,

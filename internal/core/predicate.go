@@ -71,7 +71,12 @@ func (e *Engine) runPredicateTest(key KeyRef, pred Predicate) bool {
 		}
 		ctx.Broadcast(PredicateReply{MAC: reply})
 	}
-	e.net.RunUntilQuiescent(2*e.l+4, step)
+	// Only the key holders act on a schedule (their slot-`start` answer
+	// window); the relay wave is driven entirely by the reply itself.
+	for id := range holders {
+		e.net.WakeAt(start, id)
+	}
+	e.net.RunUntilQuiescentActive(2*e.l+4, step)
 	label := "pool-key"
 	keyIdx := key.PoolIndex
 	node := NoNode

@@ -45,8 +45,9 @@ type sofTuple struct {
 }
 
 // sensorState is the per-execution protocol state of one node, including
-// the base station (level 0). Each state is touched only by its own
-// node's step goroutine during a phase, and by the engine between phases.
+// the base station (level 0). States live in one flat array indexed by
+// node ID; each is touched only by its own node's step during a phase,
+// and by the engine between phases.
 type sensorState struct {
 	id    topology.NodeID
 	level int // -1 until tree formation assigns one; base station: 0
@@ -71,19 +72,26 @@ type sensorState struct {
 	rng *crypto.Stream
 }
 
+// newSensorState builds one standalone state (tests exercise audit-tuple
+// logic on it directly); engine executions init slots of a flat array
+// instead.
 func newSensorState(id topology.NodeID, instances int, rng *crypto.Stream) *sensorState {
-	s := &sensorState{
-		id:        id,
-		level:     -1,
-		best:      make([]Record, instances),
-		bestInKey: make([]int, instances),
-		rng:       rng,
-	}
+	s := new(sensorState)
+	s.init(id, instances, rng)
+	return s
+}
+
+// init prepares one slot of the flat sensor-state array.
+func (s *sensorState) init(id topology.NodeID, instances int, rng *crypto.Stream) {
+	s.id = id
+	s.level = -1
+	s.best = make([]Record, instances)
+	s.bestInKey = make([]int, instances)
+	s.rng = rng
 	for i := range s.best {
 		s.best[i] = Record{Origin: id, Instance: i, Value: Inf()}
 		s.bestInKey[i] = NoKey
 	}
-	return s
 }
 
 // noteReceivedRecord merges a child record into the running minima and

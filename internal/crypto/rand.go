@@ -44,6 +44,14 @@ func (s *Stream) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// FirstUint64 returns the first value a stream seeded with seed would
+// draw, without constructing a Stream. Hot one-draw derivations (the
+// synopsis generator makes one per hash) use it to stay allocation-free.
+func FirstUint64(seed uint64) uint64 {
+	s := Stream{state: seed}
+	return s.Uint64()
+}
+
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (s *Stream) Intn(n int) int {
 	if n <= 0 {

@@ -1,0 +1,32 @@
+//go:build amd64 && !purego
+
+package crypto
+
+// sha256seed2 is the SHA-NI kernel in seedhash_amd64.s: SHA-256 over a
+// pre-padded two-block buffer, returning BE64(digest[0:8]).
+//
+//go:noescape
+func sha256seed2(p *[128]byte) uint64
+
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// haveSeedKernel reports whether the CPU has the SHA extensions (plus
+// the SSSE3/SSE4.1 the kernel's shuffles need). Checked once at init;
+// without it SeedHash2Block falls back to crypto/sha256, which computes
+// the identical value.
+var haveSeedKernel = detectSeedKernel()
+
+func detectSeedKernel() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const ssse3Bit, sse41Bit = 1 << 9, 1 << 19
+	if c1&ssse3Bit == 0 || c1&sse41Bit == 0 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const shaBit = 1 << 29
+	return b7&shaBit != 0
+}

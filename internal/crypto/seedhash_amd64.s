@@ -1,0 +1,290 @@
+// SHA-NI kernel for the synopsis seed-hash fast path: SHA-256 over a
+// message pre-padded into exactly two 64-byte blocks, returning only the
+// first two state words (the stream seed). The round flow is the
+// canonical Intel SHA extensions sequence (the same flow crypto/sha256
+// uses), specialized here: the initial state is a packed constant, the
+// two-block trip count is hardwired, and no digest is materialized —
+// the seed comes straight out of the ABEF state register.
+//
+// Register roles: X1/X2 current state (ABEF/CDGH), X9/X10 state saved
+// for the final Davies-Meyer add, X0 round constant+message word, X3-X6
+// the rolling 16-word message schedule, X7 schedule temp, X8 the
+// big-endian load shuffle mask.
+
+#include "textflag.h"
+
+// func sha256seed2(p *[128]byte) uint64
+// Requires: SHA, SSE2, SSSE3, SSE4.1
+TEXT ·sha256seed2(SB), NOSPLIT, $0-16
+	MOVQ  p+0(FP), SI
+	LEAQ  k256seed<>+0(SB), AX
+	MOVOU seedIV0<>+0(SB), X1
+	MOVOU seedIV1<>+0(SB), X2
+	MOVOU seedFlip<>+0(SB), X8
+	LEAQ  128(SI), DX
+
+blockLoop:
+	// save hash values for addition after rounds
+	MOVOU X1, X9
+	MOVOU X2, X10
+
+	// do rounds 0-59
+	MOVOU     (SI), X0
+	PSHUFB      X8, X0
+	MOVOU     X0, X3
+	PADDD       (AX), X0
+	SHA256RNDS2 X0, X1, X2
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	MOVOU     16(SI), X0
+	PSHUFB      X8, X0
+	MOVOU     X0, X4
+	PADDD       16(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X4, X3
+	MOVOU     32(SI), X0
+	PSHUFB      X8, X0
+	MOVOU     X0, X5
+	PADDD       32(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X5, X4
+	MOVOU     48(SI), X0
+	PSHUFB      X8, X0
+	MOVOU     X0, X6
+	PADDD       48(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X6, X7
+	PALIGNR     $0x04, X5, X7
+	PADDD       X7, X3
+	SHA256MSG2  X6, X3
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X6, X5
+	MOVOU     X3, X0
+	PADDD       64(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X3, X7
+	PALIGNR     $0x04, X6, X7
+	PADDD       X7, X4
+	SHA256MSG2  X3, X4
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X3, X6
+	MOVOU     X4, X0
+	PADDD       80(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X4, X7
+	PALIGNR     $0x04, X3, X7
+	PADDD       X7, X5
+	SHA256MSG2  X4, X5
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X4, X3
+	MOVOU     X5, X0
+	PADDD       96(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X5, X7
+	PALIGNR     $0x04, X4, X7
+	PADDD       X7, X6
+	SHA256MSG2  X5, X6
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X5, X4
+	MOVOU     X6, X0
+	PADDD       112(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X6, X7
+	PALIGNR     $0x04, X5, X7
+	PADDD       X7, X3
+	SHA256MSG2  X6, X3
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X6, X5
+	MOVOU     X3, X0
+	PADDD       128(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X3, X7
+	PALIGNR     $0x04, X6, X7
+	PADDD       X7, X4
+	SHA256MSG2  X3, X4
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X3, X6
+	MOVOU     X4, X0
+	PADDD       144(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X4, X7
+	PALIGNR     $0x04, X3, X7
+	PADDD       X7, X5
+	SHA256MSG2  X4, X5
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X4, X3
+	MOVOU     X5, X0
+	PADDD       160(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X5, X7
+	PALIGNR     $0x04, X4, X7
+	PADDD       X7, X6
+	SHA256MSG2  X5, X6
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X5, X4
+	MOVOU     X6, X0
+	PADDD       176(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X6, X7
+	PALIGNR     $0x04, X5, X7
+	PADDD       X7, X3
+	SHA256MSG2  X6, X3
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X6, X5
+	MOVOU     X3, X0
+	PADDD       192(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X3, X7
+	PALIGNR     $0x04, X6, X7
+	PADDD       X7, X4
+	SHA256MSG2  X3, X4
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	SHA256MSG1  X3, X6
+	MOVOU     X4, X0
+	PADDD       208(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X4, X7
+	PALIGNR     $0x04, X3, X7
+	PADDD       X7, X5
+	SHA256MSG2  X4, X5
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+	MOVOU     X5, X0
+	PADDD       224(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	MOVOU     X5, X7
+	PALIGNR     $0x04, X4, X7
+	PADDD       X7, X6
+	SHA256MSG2  X5, X6
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+
+	// do rounds 60-63
+	MOVOU     X6, X0
+	PADDD       240(AX), X0
+	SHA256RNDS2 X0, X1, X2
+	PSHUFD      $0x0e, X0, X0
+	SHA256RNDS2 X0, X2, X1
+
+	// add current hash values with previously saved
+	PADDD X9, X1
+	PADDD X10, X2
+
+	// advance to the second (final) block
+	ADDQ $0x40, SI
+	CMPQ DX, SI
+	JNE  blockLoop
+
+	// seed = a<<32 | b: the high qword of the ABEF register read as a
+	// little-endian uint64 is exactly BE64(digest[0:8]).
+	PEXTRQ $1, X1, AX
+	MOVQ   AX, ret+8(FP)
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// SHA-256 initial state packed for SHA256RNDS2: seedIV0 = ABEF (dwords
+// f,e,b,a low to high), seedIV1 = CDGH (dwords h,g,d,c).
+DATA seedIV0<>+0(SB)/8, $0x510e527f9b05688c
+DATA seedIV0<>+8(SB)/8, $0x6a09e667bb67ae85
+GLOBL seedIV0<>(SB), RODATA|NOPTR, $16
+
+DATA seedIV1<>+0(SB)/8, $0x1f83d9ab5be0cd19
+DATA seedIV1<>+8(SB)/8, $0x3c6ef372a54ff53a
+GLOBL seedIV1<>(SB), RODATA|NOPTR, $16
+
+// Per-dword byte reversal: big-endian message words from little-endian
+// loads.
+DATA seedFlip<>+0(SB)/8, $0x0405060700010203
+DATA seedFlip<>+8(SB)/8, $0x0c0d0e0f08090a0b
+GLOBL seedFlip<>(SB), RODATA|NOPTR, $16
+
+// The 64 SHA-256 round constants (FIPS 180-4).
+DATA k256seed<>+0(SB)/4, $0x428a2f98
+DATA k256seed<>+4(SB)/4, $0x71374491
+DATA k256seed<>+8(SB)/4, $0xb5c0fbcf
+DATA k256seed<>+12(SB)/4, $0xe9b5dba5
+DATA k256seed<>+16(SB)/4, $0x3956c25b
+DATA k256seed<>+20(SB)/4, $0x59f111f1
+DATA k256seed<>+24(SB)/4, $0x923f82a4
+DATA k256seed<>+28(SB)/4, $0xab1c5ed5
+DATA k256seed<>+32(SB)/4, $0xd807aa98
+DATA k256seed<>+36(SB)/4, $0x12835b01
+DATA k256seed<>+40(SB)/4, $0x243185be
+DATA k256seed<>+44(SB)/4, $0x550c7dc3
+DATA k256seed<>+48(SB)/4, $0x72be5d74
+DATA k256seed<>+52(SB)/4, $0x80deb1fe
+DATA k256seed<>+56(SB)/4, $0x9bdc06a7
+DATA k256seed<>+60(SB)/4, $0xc19bf174
+DATA k256seed<>+64(SB)/4, $0xe49b69c1
+DATA k256seed<>+68(SB)/4, $0xefbe4786
+DATA k256seed<>+72(SB)/4, $0x0fc19dc6
+DATA k256seed<>+76(SB)/4, $0x240ca1cc
+DATA k256seed<>+80(SB)/4, $0x2de92c6f
+DATA k256seed<>+84(SB)/4, $0x4a7484aa
+DATA k256seed<>+88(SB)/4, $0x5cb0a9dc
+DATA k256seed<>+92(SB)/4, $0x76f988da
+DATA k256seed<>+96(SB)/4, $0x983e5152
+DATA k256seed<>+100(SB)/4, $0xa831c66d
+DATA k256seed<>+104(SB)/4, $0xb00327c8
+DATA k256seed<>+108(SB)/4, $0xbf597fc7
+DATA k256seed<>+112(SB)/4, $0xc6e00bf3
+DATA k256seed<>+116(SB)/4, $0xd5a79147
+DATA k256seed<>+120(SB)/4, $0x06ca6351
+DATA k256seed<>+124(SB)/4, $0x14292967
+DATA k256seed<>+128(SB)/4, $0x27b70a85
+DATA k256seed<>+132(SB)/4, $0x2e1b2138
+DATA k256seed<>+136(SB)/4, $0x4d2c6dfc
+DATA k256seed<>+140(SB)/4, $0x53380d13
+DATA k256seed<>+144(SB)/4, $0x650a7354
+DATA k256seed<>+148(SB)/4, $0x766a0abb
+DATA k256seed<>+152(SB)/4, $0x81c2c92e
+DATA k256seed<>+156(SB)/4, $0x92722c85
+DATA k256seed<>+160(SB)/4, $0xa2bfe8a1
+DATA k256seed<>+164(SB)/4, $0xa81a664b
+DATA k256seed<>+168(SB)/4, $0xc24b8b70
+DATA k256seed<>+172(SB)/4, $0xc76c51a3
+DATA k256seed<>+176(SB)/4, $0xd192e819
+DATA k256seed<>+180(SB)/4, $0xd6990624
+DATA k256seed<>+184(SB)/4, $0xf40e3585
+DATA k256seed<>+188(SB)/4, $0x106aa070
+DATA k256seed<>+192(SB)/4, $0x19a4c116
+DATA k256seed<>+196(SB)/4, $0x1e376c08
+DATA k256seed<>+200(SB)/4, $0x2748774c
+DATA k256seed<>+204(SB)/4, $0x34b0bcb5
+DATA k256seed<>+208(SB)/4, $0x391c0cb3
+DATA k256seed<>+212(SB)/4, $0x4ed8aa4a
+DATA k256seed<>+216(SB)/4, $0x5b9cca4f
+DATA k256seed<>+220(SB)/4, $0x682e6ff3
+DATA k256seed<>+224(SB)/4, $0x748f82ee
+DATA k256seed<>+228(SB)/4, $0x78a5636f
+DATA k256seed<>+232(SB)/4, $0x84c87814
+DATA k256seed<>+236(SB)/4, $0x8cc70208
+DATA k256seed<>+240(SB)/4, $0x90befffa
+DATA k256seed<>+244(SB)/4, $0xa4506ceb
+DATA k256seed<>+248(SB)/4, $0xbef9a3f7
+DATA k256seed<>+252(SB)/4, $0xc67178f2
+GLOBL k256seed<>(SB), RODATA|NOPTR, $256

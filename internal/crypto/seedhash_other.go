@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package crypto
+
+const haveSeedKernel = false
+
+func sha256seed2(p *[128]byte) uint64 {
+	panic("crypto: sha256seed2 kernel unavailable on this platform")
+}

@@ -62,12 +62,31 @@ func RunFig8(cfg Fig8Config) []Fig8Row {
 			cfg.Trials, cfg.Workers,
 			func(_ int, rng *crypto.Stream) (float64, error) {
 				nonce := crypto.Uint64(rng.Uint64())
-				mins := make([]float64, cfg.Synopses)
-				for i := range mins {
-					mins[i] = math.Inf(1)
+				// Track per-instance minima as raw 53-bit draws: the
+				// draw-to-synopsis map is monotone, so the element-wise
+				// minimum commutes with it and one conversion per instance
+				// at the end replaces a logarithm per (sensor, instance)
+				// pair. This sweep is the experiment's entire cost — m×Count
+				// derivations per trial.
+				g := synopsis.NewGenerator(nonce, 1)
+				minU := make([]uint64, cfg.Synopses)
+				for i := range minU {
+					minU[i] = math.MaxUint64
 				}
 				for id := 1; id <= count; id++ {
-					synopsis.MergeMins(mins, synopsis.Vector(nonce, topology.NodeID(id), 1, cfg.Synopses))
+					for i := range minU {
+						if u := g.U53(topology.NodeID(id), i); u < minU[i] {
+							minU[i] = u
+						}
+					}
+				}
+				mins := make([]float64, cfg.Synopses)
+				for i, u := range minU {
+					if u == math.MaxUint64 {
+						mins[i] = synopsis.None()
+					} else {
+						mins[i] = g.ValueFromU53(u)
+					}
 				}
 				est := synopsis.EstimateSum(mins)
 				if cfg.Unbiased {

@@ -1,0 +1,15 @@
+//go:build linux
+
+package experiments
+
+import "syscall"
+
+// peakRSSMB returns the process's peak resident set size in MiB (Linux
+// reports ru_maxrss in KiB), or 0 if the syscall fails.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}

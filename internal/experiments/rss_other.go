@@ -1,0 +1,7 @@
+//go:build !linux
+
+package experiments
+
+// peakRSSMB reports 0 on platforms without getrusage peak-RSS support;
+// the scale table shows heap figures either way.
+func peakRSSMB() float64 { return 0 }

@@ -11,12 +11,31 @@
 // paper: the bounded-error guard band reduces to "transmit mid-interval",
 // an additive constant the evaluation never depends on.
 //
-// Within a slot, every node's step function runs concurrently (one
-// goroutine per node, joined at a barrier), matching the physical reality
-// that sensors act independently; determinism is preserved by collecting
-// outgoing messages at the barrier in node order and sorting inboxes with
-// a configurable delivery order. Experiments install an adversary-favoring
-// order to model worst-case message timing.
+// # Execution model and determinism
+//
+// One execution is a deterministic single-threaded event loop: sensors
+// are indexed slots in flat arrays, a slot executes as a sweep over the
+// node set in ascending node-ID order, and message delivery is a queue
+// append. Every run of the same configuration replays the identical
+// event sequence because each ordering decision is structural, not
+// scheduled: steps run in node order, outgoing messages merge in node
+// order and are stamped with a global send sequence, inboxes sort by
+// (From, seq) plus the configurable Orderer, and every random coin
+// (loss, faults) is drawn from a seeded stream at a fixed point in the
+// delivery pipeline. There are no goroutines, channels, or atomics in
+// the loop — parallelism belongs one level up, across independent trials
+// (see internal/experiments.RunTrials), where it scales without touching
+// the per-execution event order.
+//
+// Protocol drivers with slot-triggered behavior can register wake-ups
+// (WakeAt, WakeAllAt, SetAlwaysActive) and run sparse sweeps
+// (RunSlotsActive, RunUntilQuiescentActive) that step only nodes with a
+// reason to act: a non-empty inbox, a scheduled wake, or standing
+// always-active status. Because a skipped step is one that could only
+// have been a no-op, sparse sweeps are bit-identical to dense ones while
+// making slot cost proportional to activity instead of network size —
+// the property that lets million-node topologies run in memory and time
+// proportional to traffic.
 //
 // Message delivery takes one slot. Messages are delivered only over edges
 // of the supplied graph (optionally restricted by a live link filter, used
@@ -26,10 +45,7 @@ package simnet
 
 import (
 	"cmp"
-	"runtime"
 	"slices"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/crypto"
 	"repro/internal/topology"
@@ -61,11 +77,12 @@ type Message struct {
 
 // FaultModel is the per-slot fault-injection hook (implemented by
 // faults.Schedule). The network calls BeginSlot exactly once per slot
-// from its driver goroutine before any delivery; NodeDown and LinkDown
-// must then be pure reads until the next BeginSlot (they are consulted
-// during delivery and step setup). DeliveryLost is drawn once per
-// delivery attempt on the driver goroutine, in deterministic message
-// order, so fault sequences reproduce exactly from a seed.
+// before any delivery; NodeDown and LinkDown must then be pure reads
+// until the next BeginSlot (they are consulted during delivery and step
+// setup, and a sparse sweep may consult them for fewer nodes than a
+// dense one). DeliveryLost is drawn once per delivery attempt, in
+// deterministic message order, so fault sequences reproduce exactly from
+// a seed.
 type FaultModel interface {
 	BeginSlot(slot int)
 	NodeDown(id topology.NodeID) bool
@@ -100,13 +117,15 @@ type Config struct {
 	// communicate out of band (e.g. the wormhole of Figure 2(c)).
 	ExtraLink func(from, to topology.NodeID) bool
 
-	// Sequential disables the per-slot goroutine fan-out and runs node
-	// steps in node order on the calling goroutine. Useful for debugging.
+	// Sequential is retained for configuration compatibility. The event
+	// loop always runs node steps sequentially in node order; the flag
+	// has no effect.
 	Sequential bool
 
-	// Workers caps the per-slot step fan-out; 0 uses GOMAXPROCS. Trial-
-	// parallel experiment harnesses set 1 so each simulated network stays
-	// on its own worker instead of oversubscribing the machine.
+	// Workers is retained for configuration compatibility. Execution is
+	// single-threaded per network — rows were already bit-identical for
+	// every worker count, and trial-level parallelism (experiments'
+	// RunTrials) is where cores pay off — so the knob has no effect.
 	Workers int
 
 	// DropRate, with DropRNG, drops each delivered message independently
@@ -196,15 +215,23 @@ type Network struct {
 	// The per-slot hot loop reuses these buffers across slots so steady-
 	// state execution allocates nothing: per-node inboxes, the Context
 	// structs handed to step functions, and the pending buffer all keep
-	// their backing arrays between slots.
+	// their backing arrays between slots. Only inboxes touched by a
+	// delivery are truncated (touched tracks them), so idle nodes cost
+	// nothing per slot.
 	inboxes [][]Message
 	ctxs    []Context
+	touched []topology.NodeID
 
-	// Drop counters are incremented from concurrent step goroutines (via
-	// Context.Send) and read by Stats, so they live outside Stats as
-	// atomics.
-	droppedCapacity atomic.Int64
-	droppedNoLink   atomic.Int64
+	// Sparse-sweep scheduling: wakes maps a slot to the nodes explicitly
+	// scheduled to step in it, wakeAll marks slots where every node
+	// steps, alwaysActive lists nodes stepped every slot (sorted), and
+	// activeStamp/active are the per-slot active-set scratch (a node is
+	// in this slot's set when its stamp equals slot+1).
+	wakes        map[int][]topology.NodeID
+	wakeAll      map[int]bool
+	alwaysActive []topology.NodeID
+	activeStamp  []int
+	active       []topology.NodeID
 
 	// Link-layer ARQ state: unacked frames in send order, and the
 	// normalized (defaults-applied) configuration.
@@ -236,13 +263,9 @@ func New(g *topology.Graph, cfg Config) *Network {
 // Graph returns the underlying physical graph.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
-// Stats returns a snapshot copy of the accounting counters. The drop
-// counters are loaded atomically, so a snapshot is safe even while step
-// goroutines of the current slot are still sending.
+// Stats returns a snapshot copy of the accounting counters.
 func (n *Network) Stats() Stats {
 	s := n.stats
-	s.DroppedCapacity = n.droppedCapacity.Load()
-	s.DroppedNoLink = n.droppedNoLink.Load()
 	s.BytesSent = append([]int64(nil), n.stats.BytesSent...)
 	s.BytesReceived = append([]int64(nil), n.stats.BytesReceived...)
 	s.MessagesSent = append([]int64(nil), n.stats.MessagesSent...)
@@ -257,17 +280,18 @@ func (n *Network) Slot() int { return n.slot }
 func (n *Network) Pending() int { return len(n.pending) }
 
 // StepFunc is one node's behavior for one slot: it receives the node's
-// inbox for the slot and sends messages through the context. Step
-// functions for different nodes run concurrently; a step function must
-// only touch state owned by its node (or synchronize explicitly). The
-// Context and its Inbox slice are only valid for the duration of the
-// call — both are reused by the network on the next slot, so a step must
-// copy out any Message values it wants to keep.
+// inbox for the slot and sends messages through the context. Steps run
+// sequentially in ascending node order within a slot; a step function
+// should still only touch state owned by its node, so behavior cannot
+// come to depend on the sweep order. The Context and its Inbox slice are
+// only valid for the duration of the call — both are reused by the
+// network on the next slot, so a step must copy out any Message values
+// it wants to keep.
 type StepFunc func(ctx *Context)
 
 // Context is handed to a StepFunc; it carries the node identity, the slot
-// inbox, and buffers outgoing sends until the slot barrier. Contexts are
-// pooled per node and recycled every slot.
+// inbox, and buffers outgoing sends until the end-of-slot merge. Contexts
+// are pooled per node and recycled every slot.
 type Context struct {
 	net   *Network
 	node  topology.NodeID
@@ -293,11 +317,11 @@ func (c *Context) Neighbors() []topology.NodeID { return c.net.graph.Neighbors(c
 // is no usable link; such messages are dropped and counted.
 func (c *Context) Send(to topology.NodeID, p Payload) bool {
 	if limit := c.net.cfg.MaxSendsPerSlot; limit > 0 && c.sends >= limit {
-		c.net.noteCapacityDrop()
+		c.net.stats.DroppedCapacity++
 		return false
 	}
 	if !c.net.linkAllowed(c.node, to) {
-		c.net.noteLinkDrop()
+		c.net.stats.DroppedNoLink++
 		return false
 	}
 	c.sends++
@@ -330,15 +354,61 @@ func (n *Network) linkAllowed(from, to topology.NodeID) bool {
 	return n.cfg.ExtraLink != nil && n.cfg.ExtraLink(from, to)
 }
 
-func (n *Network) noteCapacityDrop() { n.droppedCapacity.Add(1) }
+// WakeAt schedules id to step in the given (absolute) slot of a sparse
+// sweep, whether or not it receives anything. Protocol drivers use it
+// for slot-triggered behavior: flood origins, per-level aggregation send
+// slots, predicate-test reply holders. Wakes for past slots are ignored;
+// wakes are consumed when their slot executes. Dense sweeps step every
+// node regardless.
+func (n *Network) WakeAt(slot int, id topology.NodeID) {
+	if slot < n.slot || int(id) < 0 || int(id) >= len(n.ctxs) {
+		return
+	}
+	if n.wakes == nil {
+		n.wakes = make(map[int][]topology.NodeID)
+	}
+	n.wakes[slot] = append(n.wakes[slot], id)
+}
 
-func (n *Network) noteLinkDrop() { n.droppedNoLink.Add(1) }
+// WakeAllAt schedules every node to step in the given slot of a sparse
+// sweep (the SOF confirmation phase needs one such slot: every sensor
+// checks its own reading against the announced minimum).
+func (n *Network) WakeAllAt(slot int) {
+	if slot < n.slot {
+		return
+	}
+	if n.wakeAll == nil {
+		n.wakeAll = make(map[int]bool)
+	}
+	n.wakeAll[slot] = true
+}
+
+// SetAlwaysActive declares nodes that step in every sparse-swept slot
+// regardless of traffic. The engine registers the malicious set here: an
+// adversary may act spontaneously (inject, flood, probe) on any slot, so
+// its nodes can never be skipped. The slice is copied and sorted.
+func (n *Network) SetAlwaysActive(ids []topology.NodeID) {
+	n.alwaysActive = append(n.alwaysActive[:0], ids...)
+	slices.Sort(n.alwaysActive)
+}
 
 // RunSlots executes exactly count slots, invoking step once per node per
-// slot.
+// slot (a dense sweep).
 func (n *Network) RunSlots(count int, step StepFunc) {
 	for i := 0; i < count; i++ {
-		n.runOneSlot(step)
+		n.runOneSlot(step, false)
+	}
+}
+
+// RunSlotsActive executes exactly count slots as sparse sweeps: step runs
+// only for nodes with a non-empty inbox, a matching WakeAt/WakeAllAt
+// registration, or always-active status. Skipping a node is bit-identical
+// to dense execution whenever its step would have been a no-op — the
+// caller's contract is that steps act only on received messages or at
+// pre-registered slots.
+func (n *Network) RunSlotsActive(count int, step StepFunc) {
+	for i := 0; i < count; i++ {
+		n.runOneSlot(step, true)
 	}
 }
 
@@ -349,34 +419,49 @@ func (n *Network) RunSlots(count int, step StepFunc) {
 // keyed predicate test's reply relay) terminate as soon as the network
 // drains, which keeps long binary-search pinpointing runs cheap.
 func (n *Network) RunUntilQuiescent(maxSlots int, step StepFunc) int {
+	return n.runUntilQuiescent(maxSlots, step, false)
+}
+
+// RunUntilQuiescentActive is RunUntilQuiescent with sparse sweeps. The
+// drain condition is unchanged — pending wakes in later slots do not keep
+// the run alive, exactly as a dense run would stop stepping reactive
+// nodes once nothing is in flight.
+func (n *Network) RunUntilQuiescentActive(maxSlots int, step StepFunc) int {
+	return n.runUntilQuiescent(maxSlots, step, true)
+}
+
+func (n *Network) runUntilQuiescent(maxSlots int, step StepFunc, sparse bool) int {
 	ran := 0
 	for ran < maxSlots {
 		if ran > 0 && len(n.pending) == 0 {
 			break
 		}
-		n.runOneSlot(step)
+		n.runOneSlot(step, sparse)
 		ran++
 	}
 	return ran
 }
 
-func (n *Network) runOneSlot(step StepFunc) {
-	numNodes := n.graph.NumNodes()
+// runOneSlot advances the network one slot: fault-state tick, delivery of
+// last slot's sends into inboxes, ARQ tick, inbox ordering, the node
+// sweep, and the deterministic merge of outgoing messages. Everything
+// runs on the calling goroutine; the check order in the delivery loop is
+// load-bearing for reproducibility (fault coins only when Faults is set,
+// then DropRNG, then bursty loss, in message order).
+func (n *Network) runOneSlot(step StepFunc, sparse bool) {
 	faults := n.cfg.Faults
 	if faults != nil {
 		faults.BeginSlot(n.slot)
 	}
 
-	// Deliver pending messages into per-node inboxes. The inbox slices are
-	// reused across slots (truncated, backing arrays kept), so a steady-
-	// state slot performs no allocation here. The check order matters for
-	// reproducibility: fault checks run only when Faults is configured, so
-	// the DropRNG coin sequence — and therefore every byte of behavior —
-	// is unchanged when they are not.
+	// Truncate only the inboxes the previous slot touched (backing arrays
+	// kept), then deliver pending messages. A steady-state slot allocates
+	// nothing here, and an idle node costs nothing.
 	inboxes := n.inboxes
-	for id := range inboxes {
+	for _, id := range n.touched {
 		inboxes[id] = inboxes[id][:0]
 	}
+	n.touched = n.touched[:0]
 	for _, m := range n.pending {
 		if faults != nil && (faults.NodeDown(m.From) || faults.NodeDown(m.To) || faults.LinkDown(m.From, m.To)) {
 			n.stats.DroppedFault++
@@ -394,6 +479,9 @@ func (n *Network) runOneSlot(step StepFunc) {
 			continue // duplicate suppressed by the receiver
 		}
 		m.Slot = n.slot
+		if len(inboxes[m.To]) == 0 {
+			n.touched = append(n.touched, m.To)
+		}
 		inboxes[m.To] = append(inboxes[m.To], m)
 		n.stats.BytesReceived[m.To] += int64(m.Payload.WireSize())
 		n.stats.MessagesReceived[m.To]++
@@ -402,7 +490,7 @@ func (n *Network) runOneSlot(step StepFunc) {
 	if n.cfg.ARQ != nil {
 		n.arqTick()
 	}
-	for id := range inboxes {
+	for _, id := range n.touched {
 		box := inboxes[id]
 		slices.SortFunc(box, func(a, b Message) int {
 			if a.From != b.From {
@@ -415,82 +503,109 @@ func (n *Network) runOneSlot(step StepFunc) {
 		}
 	}
 
-	// Run every node's step, concurrently unless configured otherwise. The
-	// Context structs are reused across slots too; only their per-slot
-	// fields are reset (the out buffers keep their backing arrays).
-	// Crashed nodes are marked down here, on the driver goroutine, so the
-	// concurrent fan-out below never calls into the fault model.
-	for id := 0; id < numNodes; id++ {
-		c := &n.ctxs[id]
-		c.net = n
-		c.node = topology.NodeID(id)
-		c.slot = n.slot
-		c.Inbox = inboxes[id]
-		c.out = c.out[:0]
-		c.sends = 0
-		c.down = faults != nil && faults.NodeDown(c.node)
-	}
-	workers := n.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > numNodes {
-		workers = numNodes
-	}
-	if n.cfg.Sequential || workers == 1 || numNodes == 1 {
-		for id := range n.ctxs {
-			if n.ctxs[id].down {
-				continue
-			}
-			step(&n.ctxs[id])
-		}
+	// Sweep the slot's node set in ascending node order: reset each
+	// node's context, run its step unless it is crashed, and merge its
+	// outgoing messages immediately — sweep order is merge order, so
+	// sequence stamping matches the dense order restricted to the nodes
+	// that act.
+	if sparse {
+		n.sweepNodes(step, faults, n.activeSet())
 	} else {
-		var wg sync.WaitGroup
-		stride := (numNodes + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * stride
-			hi := lo + stride
-			if hi > numNodes {
-				hi = numNodes
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(ctxs []Context) {
-				defer wg.Done()
-				for i := range ctxs {
-					if ctxs[i].down {
-						continue
-					}
-					step(&ctxs[i])
-				}
-			}(n.ctxs[lo:hi])
-		}
-		wg.Wait()
-	}
-
-	// Merge outgoing messages in node order for determinism, stamping
-	// sequence numbers and sender-side accounting. With the ARQ enabled
-	// every frame gets a tracking entry; the message copy placed in
-	// pending (and any retransmitted copy) carries a pointer back to it.
-	for id := range n.ctxs {
-		for _, m := range n.ctxs[id].out {
-			m.seq = n.seq
-			n.seq++
-			n.stats.BytesSent[m.From] += int64(m.Payload.WireSize())
-			n.stats.MessagesSent[m.From]++
-			if n.cfg.ARQ != nil {
-				e := &arqEntry{lastSent: n.slot}
-				m.arq = e
-				e.msg = m
-				n.arq = append(n.arq, e)
-			}
-			n.pending = append(n.pending, m)
-		}
+		n.sweepAll(step, faults)
 	}
 	n.slot++
 	n.stats.Slots++
+}
+
+// activeSet collects this slot's sparse active set in ascending node
+// order: explicitly woken nodes, nodes with a non-empty inbox, and the
+// always-active set. A WakeAllAt registration short-circuits to nil with
+// all=true semantics handled by the caller via the second return.
+func (n *Network) activeSet() []topology.NodeID {
+	if n.wakeAll[n.slot] {
+		delete(n.wakeAll, n.slot)
+		delete(n.wakes, n.slot)
+		if cap(n.active) < len(n.ctxs) {
+			n.active = make([]topology.NodeID, 0, len(n.ctxs))
+		}
+		n.active = n.active[:0]
+		for id := range n.ctxs {
+			n.active = append(n.active, topology.NodeID(id))
+		}
+		return n.active
+	}
+	if n.activeStamp == nil {
+		n.activeStamp = make([]int, len(n.ctxs))
+	}
+	stamp := n.slot + 1 // nonzero, unique per slot
+	n.active = n.active[:0]
+	mark := func(id topology.NodeID) {
+		if n.activeStamp[id] != stamp {
+			n.activeStamp[id] = stamp
+			n.active = append(n.active, id)
+		}
+	}
+	for _, id := range n.touched {
+		mark(id)
+	}
+	if ids, ok := n.wakes[n.slot]; ok {
+		for _, id := range ids {
+			mark(id)
+		}
+		delete(n.wakes, n.slot)
+	}
+	for _, id := range n.alwaysActive {
+		mark(id)
+	}
+	slices.Sort(n.active)
+	return n.active
+}
+
+// sweepAll steps every node in node order (the dense sweep).
+func (n *Network) sweepAll(step StepFunc, faults FaultModel) {
+	for id := range n.ctxs {
+		n.stepNode(step, faults, topology.NodeID(id))
+	}
+}
+
+// sweepNodes steps the given (ascending) node set.
+func (n *Network) sweepNodes(step StepFunc, faults FaultModel, ids []topology.NodeID) {
+	for _, id := range ids {
+		n.stepNode(step, faults, id)
+	}
+}
+
+// stepNode resets one node's context, runs its step unless crashed, and
+// merges its sends into the pending queue with sequence stamps and
+// sender-side accounting. With the ARQ enabled every frame gets a
+// tracking entry; the message copy placed in pending (and any
+// retransmitted copy) carries a pointer back to it.
+func (n *Network) stepNode(step StepFunc, faults FaultModel, id topology.NodeID) {
+	c := &n.ctxs[id]
+	c.net = n
+	c.node = id
+	c.slot = n.slot
+	c.Inbox = n.inboxes[id]
+	c.out = c.out[:0]
+	c.sends = 0
+	c.down = faults != nil && faults.NodeDown(id)
+	if c.down {
+		return
+	}
+	step(c)
+	for _, m := range c.out {
+		m.seq = n.seq
+		n.seq++
+		n.stats.BytesSent[m.From] += int64(m.Payload.WireSize())
+		n.stats.MessagesSent[m.From]++
+		if n.cfg.ARQ != nil {
+			e := &arqEntry{lastSent: n.slot}
+			m.arq = e
+			e.msg = m
+			n.arq = append(n.arq, e)
+		}
+		n.pending = append(n.pending, m)
+	}
 }
 
 // MaliciousFirstOrder returns an Orderer that moves messages originated by

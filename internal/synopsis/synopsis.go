@@ -20,6 +20,7 @@
 package synopsis
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -35,31 +36,128 @@ func None() float64 { return math.Inf(1) }
 // sensor with the given reading. It panics if reading <= 0; zero-reading
 // sensors contribute None().
 func Generate(nonce []byte, id topology.NodeID, reading int64, instance int) float64 {
-	if reading <= 0 {
-		panic(fmt.Sprintf("synopsis: reading must be positive, got %d", reading))
-	}
-	stream := crypto.NewStream(
-		[]byte("synopsis"),
-		nonce,
-		crypto.Uint64(uint64(id)),
-		crypto.Uint64(uint64(instance)),
-		crypto.Int64(reading),
-	)
-	return stream.ExpFloat64(1 / float64(reading))
+	var g Generator
+	g.init(nonce, reading)
+	return g.Generate(id, instance)
 }
 
 // Vector returns the sensor's synopses for all m instances at once.
 func Vector(nonce []byte, id topology.NodeID, reading int64, m int) []float64 {
 	out := make([]float64, m)
-	for i := range out {
-		if reading <= 0 {
+	if reading <= 0 {
+		for i := range out {
 			out[i] = None()
-		} else {
-			out[i] = Generate(nonce, id, reading, i)
 		}
+		return out
+	}
+	var g Generator
+	g.init(nonce, reading)
+	for i := range out {
+		out[i] = g.Generate(id, i)
 	}
 	return out
 }
+
+// Generator derives synopses for a fixed (nonce, reading) across many
+// (sensor, instance) pairs. It produces bit-identical values to Generate
+// but amortizes the per-call setup: the PRG seed-hash input — the
+// length-prefixed ("synopsis", nonce, id, instance, reading) encoding —
+// is laid out and SHA-padded once, and each call patches only the eight
+// id bytes and eight instance bytes before one two-block seed hash
+// (hardware SHA when available). Estimator sweeps that touch millions of
+// (sensor, instance) pairs (the Figure 8 accuracy experiment, COUNT
+// verification at the base station) are the intended users.
+type Generator struct {
+	buf     [128]byte
+	msgLen  int
+	idOff   int
+	instOff int
+	mean    float64
+
+	// Long nonces push the encoding past the two-block seed-hash limit;
+	// those fall back to the general stream path per call (nonce and
+	// reading retained for it). Protocol nonces are far below the limit.
+	fallback bool
+	nonce    []byte
+	reading  int64
+}
+
+// NewGenerator returns a Generator for the given query nonce and claimed
+// reading. It panics if reading <= 0 (zero-reading sensors contribute
+// None() and derive nothing).
+func NewGenerator(nonce []byte, reading int64) *Generator {
+	g := new(Generator)
+	g.init(nonce, reading)
+	return g
+}
+
+func (g *Generator) init(nonce []byte, reading int64) {
+	if reading <= 0 {
+		panic(fmt.Sprintf("synopsis: reading must be positive, got %d", reading))
+	}
+	g.mean = 1 / float64(reading)
+	g.reading = reading
+	g.nonce = nonce
+	// Length-prefixed layout: 8-byte big-endian length before each part,
+	// mirroring crypto.HashOf. The id and instance fields sit at fixed
+	// offsets once the nonce length is known.
+	msgLen := 5*8 + len("synopsis") + len(nonce) + 3*8
+	if msgLen > crypto.SeedMaxMsg {
+		g.fallback = true
+		return
+	}
+	msg := make([]byte, 0, msgLen)
+	msg = appendLenPrefixed(msg, []byte("synopsis"))
+	msg = appendLenPrefixed(msg, nonce)
+	g.idOff = len(msg) + 8
+	msg = appendLenPrefixed(msg, make([]byte, 8))
+	g.instOff = len(msg) + 8
+	msg = appendLenPrefixed(msg, make([]byte, 8))
+	msg = appendLenPrefixed(msg, crypto.Int64(reading))
+	g.msgLen = len(msg)
+	crypto.Pad2Block(&g.buf, msg)
+}
+
+func appendLenPrefixed(b, part []byte) []byte {
+	var l [8]byte
+	binary.BigEndian.PutUint64(l[:], uint64(len(part)))
+	b = append(b, l[:]...)
+	return append(b, part...)
+}
+
+// U53 returns the raw 53-bit uniform draw behind the (id, instance)
+// synopsis: the value u with synopsis = -ln(1 - u/2^53) / reading.
+// Because that map is monotone in u, minima can be tracked on raw draws
+// and converted once at the end (see ValueFromU53), skipping a logarithm
+// per pair.
+func (g *Generator) U53(id topology.NodeID, instance int) uint64 {
+	if g.fallback {
+		stream := crypto.NewStream(
+			[]byte("synopsis"),
+			g.nonce,
+			crypto.Uint64(uint64(id)),
+			crypto.Uint64(uint64(instance)),
+			crypto.Int64(g.reading),
+		)
+		return stream.Uint64() >> 11
+	}
+	binary.BigEndian.PutUint64(g.buf[g.idOff:], uint64(id))
+	binary.BigEndian.PutUint64(g.buf[g.instOff:], uint64(instance))
+	return crypto.FirstUint64(crypto.SeedHash2Block(&g.buf, g.msgLen)) >> 11
+}
+
+// Generate returns the (id, instance) synopsis, identically to the
+// package-level Generate for the Generator's nonce and reading.
+func (g *Generator) Generate(id topology.NodeID, instance int) float64 {
+	return g.valueFromU53(g.U53(id, instance))
+}
+
+func (g *Generator) valueFromU53(u uint64) float64 {
+	return -math.Log(1-float64(u)/(1<<53)) * g.mean
+}
+
+// ValueFromU53 converts a raw draw from U53 back to the synopsis value.
+func (g *Generator) ValueFromU53(u uint64) float64 { return g.valueFromU53(u) }
 
 // VerifyReading checks a reported synopsis value against the reading
 // domain: it returns the reading in domain whose deterministic synopsis

@@ -1,16 +1,33 @@
-# Converts `go test -bench` output to machine-readable JSON: one object
-# per benchmark with iterations plus every reported metric (ns/op, B/op,
-# allocs/op, custom ReportMetric units). Shared by the Makefile's bench
-# and bench-cluster targets.
-BEGIN { print "[" }
+# Converts `go test -bench` output to machine-readable JSON: an "env"
+# object capturing the machine the numbers were taken on (go version via
+# -v goversion=..., goos/goarch/cpu from the bench header, GOMAXPROCS
+# from the benchmark name suffix) and a "benchmarks" array with one
+# object per benchmark holding iterations plus every reported metric
+# (ns/op, B/op, allocs/op, custom ReportMetric units). Shared by the
+# Makefile's bench and bench-cluster targets.
+BEGIN { nb = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { cpu = $0; sub(/^cpu: */, "", cpu) }
 /^Benchmark/ {
-  if (seen++) printf ",\n";
+  procs = $1; sub(/.*-/, "", procs);
+  if (procs ~ /^[0-9]+$/) gomaxprocs = procs;
   name = $1; sub(/-[0-9]+$/, "", name);
-  printf "  {\"name\": \"%s\", \"iterations\": %s", name, $2;
+  line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2);
   for (i = 3; i < NF; i += 2) {
     unit = $(i + 1); gsub(/\//, "_per_", unit);
-    printf ", \"%s\": %s", unit, $i;
+    line = line sprintf(", \"%s\": %s", unit, $i);
   }
-  printf "}";
+  bench[nb++] = line "}";
 }
-END { print "\n]" }
+END {
+  # go test omits the -N name suffix exactly when GOMAXPROCS is 1.
+  if (gomaxprocs == "" && nb > 0) gomaxprocs = 1;
+  print "{";
+  printf "  \"env\": {\"go\": \"%s\", \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"gomaxprocs\": %s},\n",
+    goversion, goos, goarch, cpu, (gomaxprocs == "" ? "null" : gomaxprocs);
+  print "  \"benchmarks\": [";
+  for (i = 0; i < nb; i++) print bench[i] (i < nb - 1 ? "," : "");
+  print "  ]";
+  print "}";
+}
