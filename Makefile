@@ -1,6 +1,6 @@
 GO ?= go
 BENCH_JSON ?= BENCH_PR6.json
-CLUSTER_BENCH_JSON ?= BENCH_CLUSTER.json
+CLUSTER_BENCH_JSON ?= BENCH_PR7.json
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X main.version=$(VERSION)"
 
@@ -29,7 +29,7 @@ race:
 # is exactly where accidental sharing between executions would surface.
 # CI runs this instead of the full -race sweep to keep the loop fast.
 race-focus:
-	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff
+	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff ./internal/shard ./internal/wire
 
 vet:
 	$(GO) vet ./...
@@ -66,10 +66,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count 1 . | tee $(BENCH_JSON:.json=.txt)
 	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(BENCH_JSON:.json=.txt) > $(BENCH_JSON)
 
-# The distributed-plane comparison only: the same job batch dispatched
-# to the local pool vs a two-worker fleet over loopback HTTP.
+# The distributed-plane comparisons only: the same job batch dispatched
+# to the local pool vs a two-worker HTTP-polling fleet, and one large
+# scenario dispatched at shard granularities whole/64/256/1024 trials
+# across 1/2/4 wire-streaming workers. -benchtime 2x bounds the sweep's
+# wall time; the JSON records GOMAXPROCS, without which the speedup
+# columns are meaningless (a single-core runner cannot show one).
 bench-cluster:
-	$(GO) test -run '^$$' -bench 'BenchmarkClusterDispatch' -benchmem -count 1 . | tee $(CLUSTER_BENCH_JSON:.json=.txt)
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterDispatch|BenchmarkShardGranularity' -benchmem -benchtime 2x -count 1 . | tee $(CLUSTER_BENCH_JSON:.json=.txt)
 	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(CLUSTER_BENCH_JSON:.json=.txt) > $(CLUSTER_BENCH_JSON)
 
 clean:

@@ -328,6 +328,84 @@ func BenchmarkClusterDispatch(b *testing.B) {
 	})
 }
 
+// BenchmarkShardGranularity measures the sharded streaming fabric's
+// reason to exist: ONE large scenario (1024 trials, spec.Workers=1 so a
+// single job cannot parallelize inside the trial loop) dispatched to
+// wire-streaming fleets of 1/2/4 workers at shard granularities
+// whole/64/256/1024 trials, against the serial local pool. Whole-unit
+// dispatch cannot beat local no matter the fleet size — one unit, one
+// worker — while 64-trial shards spread the same scenario across every
+// conn; the gap between shard sizes prices the per-unit protocol
+// overhead (grant + completion + merge) against lost parallelism.
+func BenchmarkShardGranularity(b *testing.B) {
+	spec := service.Spec{ScenarioConfig: experiments.ScenarioConfig{
+		N: 24, Topology: "line", Query: "min", Attack: "none",
+		Trials: 1024, Seed: 2011, Workers: 1,
+	}}
+
+	runOne := func(b *testing.B, mgr *service.Manager) {
+		b.Helper()
+		job, err := mgr.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if job.Status() != service.StatusDone {
+			b.Fatalf("job finished %s: %s", job.Status(), job.Err())
+		}
+	}
+
+	b.Run("local-serial", func(b *testing.B) {
+		mgr := service.New(service.Config{QueueSize: 4, Workers: 1, Retain: 4, Metrics: metrics.New()})
+		defer mgr.Drain(context.Background())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOne(b, mgr)
+		}
+	})
+
+	for _, sh := range []int{0, 64, 256, 1024} {
+		for _, nw := range []int{1, 2, 4} {
+			name := fmt.Sprintf("shard=%d/workers=%d", sh, nw)
+			if sh == 0 {
+				name = fmt.Sprintf("shard=whole/workers=%d", nw)
+			}
+			b.Run(name, func(b *testing.B) {
+				coord := cluster.NewCoordinator(cluster.CoordinatorConfig{ShardTrials: sh, Metrics: metrics.New()})
+				defer coord.Close()
+				if _, err := coord.StartWire("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				mux := http.NewServeMux()
+				cluster.RegisterHTTP(mux, coord)
+				srv := httptest.NewServer(mux)
+				defer srv.Close()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				for i := 0; i < nw; i++ {
+					w := cluster.NewWorker(cluster.WorkerConfig{
+						Server: srv.URL,
+						Name:   fmt.Sprintf("bench-%d", i),
+						Poll:   backoff.Policy{Base: time.Millisecond, Max: 5 * time.Millisecond},
+					})
+					go w.Run(ctx)
+				}
+				for coord.WorkersStatus().WireConnected < nw {
+					time.Sleep(time.Millisecond)
+				}
+				mgr := service.New(service.Config{QueueSize: 4, Workers: 4, Retain: 4, Metrics: metrics.New(), Cluster: coord})
+				defer mgr.Drain(context.Background())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runOne(b, mgr)
+				}
+			})
+		}
+	}
+}
+
 // --- micro-benchmarks ---
 
 func BenchmarkComputeMAC(b *testing.B) {

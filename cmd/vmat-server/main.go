@@ -27,10 +27,14 @@
 // With -cluster, the server additionally hosts the distributed
 // execution plane: vmat-worker processes register under /v1/cluster,
 // claim work units via time-bounded leases, and execute jobs and sweep
-// cells remotely. Zero connected workers (or a crashed one whose lease
-// retry budget runs out) degrades to the local pool — cluster mode can
-// never strand work — and /healthz grows a "workers" section that
-// reports "degraded" while the fleet is empty.
+// cells remotely. By default workers stream those units over one
+// persistent binary conn (-wire-addr; empty falls back to HTTP lease
+// polling), and -shard-trials N splits each scenario into trial-range
+// units so a single large job spreads across the whole fleet. Zero
+// connected workers (or a crashed one whose lease retry budget runs
+// out) degrades to the local pool — cluster mode can never strand
+// work — and /healthz grows a "workers" section that reports
+// "degraded" while the fleet is empty.
 //
 // On SIGTERM/SIGINT the server drains gracefully: it stops leasing
 // cluster units and waits for in-flight leases, stops accepting work,
@@ -80,6 +84,8 @@ func run(args []string, w io.Writer) error {
 	clusterOn := fs.Bool("cluster", false, "host the distributed execution plane (vmat-worker fleet) under /v1/cluster")
 	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "cluster lease lifetime without a heartbeat before a unit is reassigned")
 	leaseRetries := fs.Int("lease-retries", 3, "leases one unit may consume before falling back to local execution")
+	shardTrials := fs.Int("shard-trials", 0, "split cluster scenarios into work units of at most this many trials (0 = whole-scenario units)")
+	wireAddr := fs.String("wire-addr", ":8081", "streaming-transport listen address for cluster workers (empty = HTTP lease polling only)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +120,7 @@ func run(args []string, w io.Writer) error {
 		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
 			LeaseTTL:    *leaseTTL,
 			MaxAttempts: *leaseRetries,
+			ShardTrials: *shardTrials,
 			Store:       st,
 			Metrics:     reg,
 			Log:         logf,
@@ -121,7 +128,15 @@ func run(args []string, w io.Writer) error {
 		})
 		defer coord.Close()
 		workersRep, exec = coord, coord
-		logf("cluster mode on: leasing under /v1/cluster (lease TTL %s, %d attempts per unit)", *leaseTTL, *leaseRetries)
+		logf("cluster mode on: leasing under /v1/cluster (lease TTL %s, %d attempts per unit, shard %d trials)",
+			*leaseTTL, *leaseRetries, *shardTrials)
+		if *wireAddr != "" {
+			bound, err := coord.StartWire(*wireAddr)
+			if err != nil {
+				return err
+			}
+			logf("cluster streaming transport on %s", bound)
+		}
 	}
 	mgr := service.New(service.Config{
 		QueueSize:  *queue,

@@ -6,11 +6,15 @@
 //	vmat-worker -server http://localhost:8080 -name lab-3
 //
 // The worker registers with the coordinator at -server (a vmat-server
-// started with -cluster), then loops: lease one content-addressed unit,
-// run it through the same deterministic trial-runner as every other
-// entry point, heartbeat while it runs, and upload the result with its
-// content key and a CRC32 of the encoded rows so the coordinator can
-// verify the bytes before write-back.
+// started with -cluster). When the coordinator advertises its streaming
+// transport, the worker opens one persistent binary conn and executes
+// batched unit grants from it — whole scenarios or trial-range shards —
+// streaming each completion back with the unit's content key and a
+// CRC32 of the encoded rows so the coordinator can verify the bytes
+// before write-back. A lost conn or restarted coordinator is survived
+// in place: the worker re-registers and reconnects on a jittered
+// backoff. With -http-poll (or no advertised transport) it falls back
+// to leasing one unit at a time over HTTP.
 //
 // On SIGTERM/SIGINT the worker drains gracefully: it finishes the unit
 // it holds (the coordinator keeps the lease alive via heartbeats),
@@ -45,6 +49,8 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("vmat-worker", flag.ContinueOnError)
 	server := fs.String("server", "http://localhost:8080", "coordinator base URL (a vmat-server run with -cluster)")
 	name := fs.String("name", "", "stable worker name for logs and per-worker metrics (default: coordinator-assigned ID)")
+	httpPoll := fs.Bool("http-poll", false, "poll the HTTP lease endpoint even when the coordinator advertises the streaming transport")
+	prefetch := fs.Int("prefetch", 2, "units to hold over the streaming transport (one executing, the rest queued)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,10 +64,12 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "vmat-worker: "+format+"\n", args...)
 	}
 	worker := cluster.NewWorker(cluster.WorkerConfig{
-		Server:  *server,
-		Name:    *name,
-		Version: version,
-		Log:     logf,
+		Server:      *server,
+		Name:        *name,
+		Version:     version,
+		DisableWire: *httpPoll,
+		Prefetch:    *prefetch,
+		Log:         logf,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

@@ -7,16 +7,19 @@
 // deterministic bounded-exponential schedule plus a cancellable retry
 // driver.
 //
-// The schedule is intentionally jitter-free: every consumer in this
-// repository is either a test that wants reproducible timing or a
-// single-digit fleet where synchronized retries cannot stampede
-// anything. (The simulator's link-layer ARQ keeps its own slot-domain
-// backoff in internal/simnet — that one is part of the modeled
-// protocol, not wall-clock plumbing.)
+// The schedule is jitter-free by default — tests want reproducible
+// timing, and most consumers are single-process retry loops — but
+// fleet-facing consumers opt into jitter via Policy.Jitter: when a
+// coordinator restart disconnects every worker at the same instant,
+// jitter-free reconnects would arrive as a synchronized stampede on
+// every retry round. (The simulator's link-layer ARQ keeps its own
+// slot-domain backoff in internal/simnet — that one is part of the
+// modeled protocol, not wall-clock plumbing.)
 package backoff
 
 import (
 	"context"
+	"math/rand"
 	"time"
 )
 
@@ -29,6 +32,11 @@ type Policy struct {
 	// Max caps the delay growth. Required; Max < Base is treated as
 	// Base (a constant schedule).
 	Max time.Duration
+	// Jitter, when in (0, 1], spreads each delay uniformly over
+	// [d*(1-Jitter), d*(1+Jitter)] so a fleet knocked over at the same
+	// instant (coordinator restart, network blip) does not retry in
+	// lockstep. Zero keeps the deterministic schedule.
+	Jitter float64
 }
 
 // Default is the serving-layer schedule: quick first retries (queue
@@ -36,19 +44,34 @@ type Policy struct {
 var Default = Policy{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond}
 
 // Delay returns the delay before retry attempt (0-based): Base<<attempt
-// capped at Max, with shift overflow treated as capped.
+// capped at Max, with shift overflow treated as capped, then jittered
+// when the policy asks for it.
 func (p Policy) Delay(attempt int) time.Duration {
 	d := p.Base
 	for i := 0; i < attempt; i++ {
 		d *= 2
 		if d >= p.Max || d <= 0 { // <= 0: overflow
-			return max(p.Max, p.Base)
+			d = max(p.Max, p.Base)
+			break
 		}
 	}
 	if d > p.Max && p.Max >= p.Base {
-		return p.Max
+		d = p.Max
 	}
-	return d
+	return p.jitter(d)
+}
+
+// jitter spreads d over [d*(1-Jitter), d*(1+Jitter)], floored at 0.
+func (p Policy) jitter(d time.Duration) time.Duration {
+	if p.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	j := p.Jitter
+	if j > 1 {
+		j = 1
+	}
+	spread := 1 + j*(2*rand.Float64()-1)
+	return time.Duration(float64(d) * spread)
 }
 
 // Retry runs fn until it reports done, sleeping the policy's schedule

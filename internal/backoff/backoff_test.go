@@ -87,3 +87,38 @@ func TestRetryContextCancel(t *testing.T) {
 		t.Fatalf("Retry = %v, want context.Canceled", err)
 	}
 }
+
+func TestJitterStaysInBand(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Jitter: 0.25}
+	for attempt := 0; attempt < 8; attempt++ {
+		base := Policy{Base: p.Base, Max: p.Max}.Delay(attempt)
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		varied := false
+		for i := 0; i < 64; i++ {
+			d := p.Delay(attempt)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+			if d != base {
+				varied = true
+			}
+		}
+		if !varied {
+			t.Fatalf("attempt %d: 64 jittered delays all equal %v", attempt, base)
+		}
+	}
+	// Jitter > 1 clamps; zero stays deterministic.
+	wild := Policy{Base: time.Millisecond, Max: time.Millisecond, Jitter: 5}
+	for i := 0; i < 64; i++ {
+		if d := wild.Delay(0); d < 0 || d > 2*time.Millisecond {
+			t.Fatalf("clamped jitter produced %v", d)
+		}
+	}
+	plain := Policy{Base: 3 * time.Millisecond, Max: 24 * time.Millisecond}
+	for i := 0; i < 4; i++ {
+		if plain.Delay(2) != 12*time.Millisecond {
+			t.Fatal("jitter-free schedule is no longer deterministic")
+		}
+	}
+}

@@ -7,19 +7,28 @@
 // (fail-stop crash, bounded retries, graceful degradation) from the
 // simulated sensor network up to the serving layer:
 //
-//   - Workers register over HTTP and claim content-addressed work units
-//     via time-bounded leases.
+//   - Workers register over HTTP (the bootstrap/fallback path) and
+//     claim content-addressed work units via time-bounded leases —
+//     either by polling the HTTP lease endpoint or, when the
+//     coordinator hosts the streaming transport (internal/wire), over
+//     one persistent conn carrying batched grants, streamed
+//     completions, and piggybacked heartbeats.
+//   - With sharding on (CoordinatorConfig.ShardTrials > 0), a scenario
+//     is split into per-trial-range units (internal/shard); the
+//     coordinator merges completed shard rows back in trial order and
+//     feeds the store only once the whole scenario is assembled.
 //   - A heartbeat extends a worker's leases; a lease that outlives its
 //     TTL (worker crash, network partition, missed heartbeats) is
 //     reassigned to the queue with a bounded attempt budget.
 //   - Completed results echo the unit's content address and a CRC32 of
-//     the encoded rows; the coordinator verifies both before accepting
-//     the result and writing it back to the internal/store journal.
+//     the encoded rows; shard results must additionally carry exactly
+//     the trial indices of their range. The coordinator verifies all of
+//     it before accepting a result.
 //   - Because every unit is a pure function of its spec, and the store
 //     is first-write-wins, results are bit-identical no matter how many
 //     workers run, crash, or duplicate work — the end-to-end test in
 //     this package pins a sweep's CSV export across 0 workers (local
-//     fallback), 1 worker, and 3 workers with one killed mid-sweep.
+//     fallback), 1 worker, and sharded fleets with one killed mid-sweep.
 //
 // The coordinator implements service.Executor: the job manager
 // dispatches execution through it when cluster mode is on and falls
@@ -33,7 +42,7 @@ import (
 	"errors"
 	"time"
 
-	"repro/internal/experiments"
+	"repro/internal/shard"
 )
 
 // Metric names the cluster plane reports. Per-worker completions carry
@@ -54,6 +63,16 @@ const (
 	// heartbeats from the same worker — the operational signal for
 	// late heartbeats before they become expired leases.
 	MetricHeartbeatGap = "cluster_heartbeat_gap_us"
+	// MetricShardsPlanned counts shard units created by the planner
+	// (scenarios leased whole are not counted — watch leases_granted
+	// for those).
+	MetricShardsPlanned = "cluster_shards_planned_total"
+	// MetricShardsMerged counts verified shard results merged into
+	// their parent scenario's assembly.
+	MetricShardsMerged = "cluster_shards_merged_total"
+	// MetricScenariosAssembled counts scenarios whose every shard
+	// merged, i.e. completed sharded Execute calls.
+	MetricScenariosAssembled = "cluster_scenarios_assembled_total"
 )
 
 // ErrUnknownWorker is returned to a worker the coordinator does not
@@ -66,15 +85,14 @@ var ErrUnknownWorker = errors.New("cluster: unknown worker")
 // report and no deregistration.
 var ErrAborted = errors.New("cluster: worker aborted (simulated crash)")
 
-// Unit is one leased piece of work: a fully normalized scenario spec
-// and its content address in the result store. The key doubles as the
-// integrity anchor — a completing worker must echo it, and the
-// coordinator recomputes nothing it cannot check.
-type Unit struct {
-	ID   string                     `json:"id"`
-	Key  string                     `json:"key"`
-	Spec experiments.ScenarioConfig `json:"spec"`
-}
+// Unit is one leased piece of work: a fully normalized scenario spec,
+// its content address, and — when the coordinator shards — the trial
+// range this unit covers plus the parent scenario's address. The key
+// doubles as the integrity anchor: a completing worker must echo it,
+// and the coordinator recomputes nothing it cannot check. Unit is the
+// shard descriptor itself, so the HTTP lease JSON, the binary wire
+// grants, and the planner all speak the same type.
+type Unit = shard.Descriptor
 
 // Wire types for the /v1/cluster API. Durations travel as nanoseconds
 // (Go's time.Duration JSON form); the protocol is internal to the two
@@ -94,6 +112,11 @@ type RegisterResponse struct {
 	// Heartbeat is the interval the worker must beat at while holding a
 	// lease (and the cap on its idle poll backoff).
 	Heartbeat time.Duration `json:"heartbeat"`
+	// Wire, when non-empty, is the coordinator's streaming-transport
+	// address (host:port). The worker opens one persistent conn there
+	// instead of polling the HTTP lease endpoint; an empty Wire (or a
+	// failed dial) keeps it on HTTP polling.
+	Wire string `json:"wire,omitempty"`
 }
 
 // LeaseRequest asks for one unit of work.
@@ -135,4 +158,31 @@ type CompleteRequest struct {
 // left (it finishes its current unit before deregistering).
 type DeregisterRequest struct {
 	WorkerID string `json:"worker_id"`
+}
+
+// Streaming-transport payloads. The frame layer (internal/wire) moves
+// opaque typed payloads; these are their encodings. Hello/HelloAck/Want
+// are small JSON control messages; Grant carries a shard.EncodeBatch of
+// units; Complete and Heartbeat reuse the HTTP request types verbatim,
+// so both transports verify completions through the same code.
+
+// helloPayload opens a worker's conn with its registered identity.
+type helloPayload struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// helloAckPayload accepts or rejects the Hello. A rejected worker
+// (coordinator restarted, worker expired) re-registers over HTTP and
+// reconnects with its new identity.
+type helloAckPayload struct {
+	OK        bool          `json:"ok"`
+	Error     string        `json:"error,omitempty"`
+	LeaseTTL  time.Duration `json:"lease_ttl,omitempty"`
+	Heartbeat time.Duration `json:"heartbeat,omitempty"`
+}
+
+// wantPayload advertises how many more units the worker can take; the
+// coordinator pushes Grant frames until the demand is satisfied.
+type wantPayload struct {
+	N int `json:"n"`
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/store"
 )
 
@@ -25,15 +26,23 @@ type CoordinatorConfig struct {
 	// Default LeaseTTL/3.
 	HeartbeatInterval time.Duration
 	// WorkerTTL is how long a worker may go silent (no lease poll, no
-	// heartbeat) before it is expired and its leases reassigned.
-	// Default 3*HeartbeatInterval.
+	// heartbeat, no wire frame) before it is expired and its leases
+	// reassigned. Default 3*HeartbeatInterval.
 	WorkerTTL time.Duration
 	// MaxAttempts bounds how many leases one unit may consume before
-	// the coordinator abandons it back to the local pool. Default 3.
+	// the coordinator abandons its scenario back to the local pool.
+	// Default 3.
 	MaxAttempts int
-	// Store, when non-nil, receives verified remote results (raw bytes,
-	// CRC-checked against the unit's content address) before the
-	// waiting Execute call returns.
+	// ShardTrials, when positive, splits each scenario into trial-range
+	// units of at most this many trials (internal/shard), leased
+	// independently and merged in trial order. Zero leases whole
+	// scenarios — the pre-sharding behavior.
+	ShardTrials int
+	// Store, when non-nil, receives verified remote results before the
+	// waiting Execute call returns: raw CRC-checked bytes for
+	// whole-scenario units, the assembled row set (under the parent
+	// scenario's address) once every shard of a sharded scenario has
+	// merged. Partial assemblies never touch the store.
 	Store *store.Store
 	// Metrics receives cluster counters. Nil creates a private registry.
 	Metrics *metrics.Registry
@@ -44,22 +53,39 @@ type CoordinatorConfig struct {
 	Version string
 }
 
-// unitState is one live unit: pending (worker == "") or leased.
-type unitState struct {
-	unit     Unit
-	attempts int    // leases granted so far
-	worker   string // current lease holder, "" when pending
-	expiry   time.Time
+// group is one Execute call: a scenario split into one or more units.
+// A whole-scenario group has a single unit and no merger; a sharded
+// group owns a shard.Merger assembling its rows. The group — not the
+// unit — is the terminal-state holder: exactly one close(done) follows
+// finished or abandoned being set.
+type group struct {
+	key  string // parent scenario content address
+	spec experiments.ScenarioConfig
+	all  []*unitState  // every unit of this scenario
+	mrg  *shard.Merger // nil for whole-scenario groups
 
-	// Terminal outcome, set before done closes. abandoned means the
-	// cluster gave up (drain or retry budget) and the caller should
-	// execute locally; finished means a verified completion won.
-	// Exactly one close(done) follows either flag being set.
 	rows      []experiments.ScenarioRow
+	rawRows   json.RawMessage // whole-scenario fast path: verified remote bytes
+	duration  int64           // accumulated shard execution micros, for store meta
 	errMsg    string
 	abandoned bool
 	finished  bool
 	done      chan struct{}
+}
+
+// terminal reports whether the group reached its outcome. Guarded by
+// the coordinator's mu.
+func (g *group) terminal() bool { return g.finished || g.abandoned }
+
+// unitState is one live unit: pending (worker == "") or leased.
+type unitState struct {
+	unit     Unit
+	grp      *group
+	shardIdx int // index into the group's shard plan (0 when whole)
+	attempts int // leases granted so far
+	worker   string
+	expiry   time.Time
+	finished bool // this unit completed (its group may still be open)
 }
 
 // workerState is one registered worker.
@@ -72,9 +98,10 @@ type workerState struct {
 	units    map[string]bool // unit IDs currently leased to this worker
 }
 
-// Coordinator owns the worker table, the pending-unit queue, and the
-// lease table. It implements service.Executor and
-// service.WorkersReporter. All methods are safe for concurrent use.
+// Coordinator owns the worker table, the pending-unit queue, the lease
+// table, and (when started) the streaming-transport listener. It
+// implements service.Executor and service.WorkersReporter. All methods
+// are safe for concurrent use.
 type Coordinator struct {
 	cfg CoordinatorConfig
 	reg *metrics.Registry
@@ -89,6 +116,8 @@ type Coordinator struct {
 	nextWorker uint64
 	expired    int64 // cumulative expired leases, for WorkersStatus
 
+	wire *wireServer // nil until StartWire
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	loopDone  chan struct{}
@@ -101,11 +130,15 @@ type Coordinator struct {
 	abandoned  *metrics.Counter
 	stale      *metrics.Counter
 	workerExp  *metrics.Counter
+	shardsPl   *metrics.Counter
+	shardsMg   *metrics.Counter
+	assembled  *metrics.Counter
 	hbGap      *metrics.Histogram
 }
 
 // NewCoordinator starts a coordinator and its lease-expiry loop. Call
-// Close (after Drain) to stop the loop.
+// StartWire to host the streaming transport, and Close (after Drain)
+// to stop everything.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 10 * time.Second
@@ -141,6 +174,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		abandoned:  cfg.Metrics.Counter(MetricUnitsAbandoned),
 		stale:      cfg.Metrics.Counter(MetricResultsStale),
 		workerExp:  cfg.Metrics.Counter(MetricWorkersExpired),
+		shardsPl:   cfg.Metrics.Counter(MetricShardsPlanned),
+		shardsMg:   cfg.Metrics.Counter(MetricShardsMerged),
+		assembled:  cfg.Metrics.Counter(MetricScenariosAssembled),
 		hbGap: cfg.Metrics.Histogram(MetricHeartbeatGap, []int64{
 			1_000, 10_000, 100_000, 1_000_000, 10_000_000, 60_000_000,
 		}),
@@ -171,7 +207,8 @@ func sanitizeName(s string) string {
 	}, s)
 }
 
-// Register admits a worker and assigns its identity and cadence.
+// Register admits a worker and assigns its identity and cadence. The
+// response advertises the streaming transport when it is running.
 func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -190,11 +227,15 @@ func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 	c.connected.Set(int64(len(c.workers)))
 	c.log("cluster: worker %s (%q, version %s) registered, fleet size %d",
 		w.id, w.name, w.version, len(c.workers))
-	return RegisterResponse{
+	resp := RegisterResponse{
 		WorkerID:  w.id,
 		LeaseTTL:  c.cfg.LeaseTTL,
 		Heartbeat: c.cfg.HeartbeatInterval,
 	}
+	if c.wire != nil {
+		resp.Wire = c.wire.addr
+	}
+	return resp
 }
 
 // Deregister removes a worker gracefully. Any lease it still holds
@@ -221,6 +262,26 @@ func (c *Coordinator) dropWorkerLocked(w *workerState, why string) {
 	delete(c.workers, w.id)
 	c.connected.Set(int64(len(c.workers)))
 	c.log("cluster: worker %s (%q) %s, fleet size %d", w.id, w.name, why, len(c.workers))
+}
+
+// workerKnown reports whether the ID belongs to a registered worker;
+// the wire handshake checks it before accepting a conn.
+func (c *Coordinator) workerKnown(workerID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.workers[workerID]
+	return ok
+}
+
+// touchWorker refreshes a worker's liveness. Every wire frame counts:
+// a conn streaming completions is alive whether or not an explicit
+// heartbeat is due — that is the piggyback.
+func (c *Coordinator) touchWorker(workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = time.Now()
+	}
 }
 
 // Lease grants the oldest pending unit to the worker, or (nil, ttl,
@@ -275,16 +336,19 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) error {
 }
 
 // Complete accepts a finished unit after verifying it: the echoed key
-// must match the unit's content address and the CRC32 must match the
-// row bytes. A verified result is written back to the store (when
-// configured) and handed to the waiting Execute call. A failed check
-// costs the reporter its lease — the unit is requeued under its attempt
-// budget — but only when the reporter still holds the lease: a failed
-// check or error report from a stale worker (expired and reassigned)
-// must not release the current holder's lease, burn the unit's attempt
-// budget, or terminate a unit another worker is executing. Completions
-// for units the coordinator no longer tracks (finished by another
-// worker, abandoned, or cancelled) are counted stale and acknowledged.
+// must match the unit's content address, the CRC32 must match the row
+// bytes, and a shard's rows must carry exactly the trial indices of its
+// range. A whole-scenario result is written back to the store and
+// handed to the waiting Execute call; a shard result is merged, and the
+// group completes (store write-back under the parent address, Execute
+// returns) only when its last shard merges. A failed check costs the
+// reporter its lease — the unit is requeued under its attempt budget —
+// but only when the reporter still holds the lease: a failed check or
+// error report from a stale worker (expired and reassigned) must not
+// release the current holder's lease, burn the unit's attempt budget,
+// or terminate a unit another worker is executing. Completions for
+// units the coordinator no longer tracks (finished by another worker,
+// abandoned, or cancelled) are counted stale and acknowledged.
 func (c *Coordinator) Complete(req CompleteRequest) error {
 	c.mu.Lock()
 	if w, ok := c.workers[req.WorkerID]; ok {
@@ -296,6 +360,7 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 		c.stale.Inc()
 		return nil
 	}
+	g := u.grp
 	holder := u.worker == req.WorkerID
 	if req.Key != u.unit.Key {
 		c.rejectLocked(u, holder, "content address mismatch from "+req.WorkerID)
@@ -310,13 +375,16 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 			return nil
 		}
 		// A deterministic execution failure: the remote run failed the
-		// same way a local one would. Complete the unit as failed.
+		// same way a local one would. The whole scenario completes as
+		// failed — sibling shards of the same group are withdrawn; any
+		// still executing will report stale completions.
 		workerName := c.workerNameLocked(req.WorkerID)
 		c.finishLocked(u)
+		g.errMsg = req.Error
+		c.finishGroupLocked(g)
 		c.mu.Unlock()
 		c.countCompleted(workerName)
-		u.errMsg = req.Error
-		close(u.done)
+		close(g.done)
 		return nil
 	}
 	if crc32.ChecksumIEEE(req.Rows) != req.CRC32 {
@@ -333,21 +401,57 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 		return nil
 	}
 	workerName := c.workerNameLocked(req.WorkerID)
-	c.finishLocked(u)
+	if g.mrg != nil {
+		// Merge-time validation (row count, trial indices) happens
+		// before the unit finishes so a bad payload is a lease-costing
+		// reject, not a wedged assembly.
+		if err := g.mrg.Add(u.shardIdx, rows); err != nil {
+			c.rejectLocked(u, holder, err.Error()+" from "+req.WorkerID)
+			c.mu.Unlock()
+			c.rejectResult("range")
+			return nil
+		}
+		c.finishLocked(u)
+		c.shardsMg.Inc()
+		g.duration += req.DurationMicros
+		if !g.mrg.Done() {
+			c.mu.Unlock()
+			c.countCompleted(workerName)
+			return nil // more shards outstanding
+		}
+		g.rows = g.mrg.Rows()
+		c.assembled.Inc()
+		c.finishGroupLocked(g)
+	} else {
+		c.finishLocked(u)
+		g.rows = rows
+		g.rawRows = req.Rows
+		g.duration = req.DurationMicros
+		c.finishGroupLocked(g)
+	}
 	c.mu.Unlock()
 
 	// Write-back outside the lock: the journal fsyncs on every record.
 	// First-write-wins makes a duplicate completion (a reassigned unit
-	// finishing twice) a no-op.
+	// finishing twice) a no-op. A whole-scenario result reuses the
+	// verified remote bytes; an assembled scenario is encoded once here.
 	if c.cfg.Store != nil {
-		meta := store.Meta{DurationMicros: req.DurationMicros, Version: c.cfg.Version}
-		if err := c.cfg.Store.PutScenarioRaw(u.unit.Key, req.Rows, meta); err != nil {
-			c.log("cluster: store write-back for %s failed: %v", u.unit.Key, err)
+		raw := g.rawRows
+		if raw == nil {
+			var err error
+			if raw, err = json.Marshal(g.rows); err != nil {
+				c.log("cluster: encode assembled rows for %s failed: %v", g.key, err)
+			}
+		}
+		if raw != nil {
+			meta := store.Meta{DurationMicros: g.duration, Version: c.cfg.Version}
+			if err := c.cfg.Store.PutScenarioRaw(g.key, raw, meta); err != nil {
+				c.log("cluster: store write-back for %s failed: %v", g.key, err)
+			}
 		}
 	}
 	c.countCompleted(workerName)
-	u.rows = rows
-	close(u.done)
+	close(g.done)
 	return nil
 }
 
@@ -366,7 +470,7 @@ func (c *Coordinator) countCompleted(workerName string) {
 }
 
 // finishLocked removes a unit that reached a verified terminal outcome
-// from every table. Callers hold c.mu and close u.done after unlocking.
+// from every table. Callers hold c.mu.
 func (c *Coordinator) finishLocked(u *unitState) {
 	if u.worker != "" {
 		if w, ok := c.workers[u.worker]; ok {
@@ -382,6 +486,27 @@ func (c *Coordinator) finishLocked(u *unitState) {
 	}
 	u.finished = true
 	delete(c.units, u.unit.ID)
+}
+
+// finishGroupLocked marks a group terminal and withdraws its remaining
+// units (sibling shards of a failed or fully-assembled scenario).
+// Callers hold c.mu and close g.done after unlocking.
+func (c *Coordinator) finishGroupLocked(g *group) {
+	g.finished = true
+	c.withdrawGroupUnitsLocked(g)
+}
+
+// withdrawGroupUnitsLocked removes every still-live unit of g from the
+// coordinator's tables. Leased siblings lose their lease; their
+// eventual completions are counted stale. Callers hold c.mu.
+func (c *Coordinator) withdrawGroupUnitsLocked(g *group) {
+	for _, su := range g.all {
+		if cur := c.units[su.unit.ID]; cur == su {
+			c.releaseLeaseLocked(su)
+			delete(c.units, su.unit.ID)
+			c.removePendingLocked(su)
+		}
+	}
 }
 
 // rejectLocked handles a completion that failed verification: the
@@ -422,25 +547,38 @@ func (c *Coordinator) expireLeaseLocked(u *unitState) {
 }
 
 // requeueLocked puts a released unit back in the queue under its
-// attempt budget, or abandons it to the local pool. Callers hold c.mu;
-// an abandoned unit's done channel is closed here (no field writes
-// race: abandoned is set before close).
+// attempt budget, or abandons its whole group to the local pool: a
+// scenario missing one shard can never be assembled, so sibling shards
+// of an abandoned unit are worthless. Callers hold c.mu; an abandoned
+// group's done channel is closed here (no field writes race: abandoned
+// is set before close).
 func (c *Coordinator) requeueLocked(u *unitState, why string) {
-	if u.finished || u.abandoned {
+	if u.finished || u.grp.terminal() {
 		return // already terminal; done is closed (or about to be)
 	}
 	if c.draining || u.attempts >= c.cfg.MaxAttempts {
-		delete(c.units, u.unit.ID)
-		u.abandoned = true
-		c.abandoned.Inc()
-		c.log("cluster: unit %s abandoned after %d attempts (%s); falling back to local execution",
-			u.unit.ID, u.attempts, why)
-		close(u.done)
+		c.abandonGroupLocked(u.grp, fmt.Sprintf("unit %s after %d attempts: %s", u.unit.ID, u.attempts, why))
 		return
 	}
 	c.pending = append(c.pending, u)
 	c.reassigned.Inc()
+	c.notifyWorkLocked()
 	c.log("cluster: unit %s requeued (%s), attempt %d of %d", u.unit.ID, why, u.attempts, c.cfg.MaxAttempts)
+}
+
+// abandonGroupLocked hands a whole scenario back to the local pool:
+// every live unit of the group is withdrawn (leased siblings' eventual
+// completions become stale) and the waiting Execute call is released
+// with ok=false. Callers hold c.mu.
+func (c *Coordinator) abandonGroupLocked(g *group, why string) {
+	if g.terminal() {
+		return
+	}
+	g.abandoned = true
+	c.abandoned.Inc()
+	c.withdrawGroupUnitsLocked(g)
+	c.log("cluster: scenario %.12s abandoned (%s); falling back to local execution", g.key, why)
+	close(g.done)
 }
 
 // expiryLoop scans for expired leases and silent workers.
@@ -484,12 +622,22 @@ func (c *Coordinator) sweepExpired() {
 	}
 }
 
-// Execute implements service.Executor: it queues the spec as a unit and
-// waits for a worker to complete it. ok=false means the fleet could not
-// take the unit — no workers connected, coordinator draining, or the
-// lease retry budget exhausted — and the caller should execute locally.
-// A remote execution failure (the scenario itself erred) returns
-// ok=true with that error, exactly as a local run would.
+// notifyWorkLocked wakes the wire server's grant feeders: pending work
+// appeared. Callers hold c.mu (the wake itself is lock-free on the
+// coordinator side).
+func (c *Coordinator) notifyWorkLocked() {
+	if c.wire != nil {
+		c.wire.wake()
+	}
+}
+
+// Execute implements service.Executor: it plans the spec into units
+// (one per ShardTrials-sized trial range, or the whole scenario) and
+// waits for the fleet to complete them all. ok=false means the fleet
+// could not take the work — no workers connected, coordinator draining,
+// or a unit's lease retry budget exhausted — and the caller should
+// execute locally. A remote execution failure (the scenario itself
+// erred) returns ok=true with that error, exactly as a local run would.
 func (c *Coordinator) Execute(ctx context.Context, spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, bool, error) {
 	key, err := store.ScenarioKey(spec)
 	if err != nil {
@@ -500,33 +648,56 @@ func (c *Coordinator) Execute(ctx context.Context, spec experiments.ScenarioConf
 		c.mu.Unlock()
 		return nil, false, nil
 	}
-	c.nextUnit++
-	u := &unitState{
-		unit: Unit{ID: fmt.Sprintf("u%06d", c.nextUnit), Key: key, Spec: spec},
-		done: make(chan struct{}),
+	g := &group{key: key, spec: spec, done: make(chan struct{})}
+	if ranges := shard.Plan(spec.Trials, c.cfg.ShardTrials); ranges != nil {
+		g.mrg = shard.NewMerger(ranges)
+		c.shardsPl.Add(int64(len(ranges)))
+		for i, r := range ranges {
+			c.nextUnit++
+			g.all = append(g.all, &unitState{
+				unit: Unit{
+					ID:     fmt.Sprintf("u%06d", c.nextUnit),
+					Key:    shard.Key(key, r.Start, r.End),
+					Parent: key,
+					Start:  r.Start,
+					End:    r.End,
+					Spec:   spec,
+				},
+				grp:      g,
+				shardIdx: i,
+			})
+		}
+	} else {
+		c.nextUnit++
+		g.all = []*unitState{{
+			unit: Unit{ID: fmt.Sprintf("u%06d", c.nextUnit), Key: key, Spec: spec},
+			grp:  g,
+		}}
 	}
-	c.units[u.unit.ID] = u
-	c.pending = append(c.pending, u)
+	for _, u := range g.all {
+		c.units[u.unit.ID] = u
+		c.pending = append(c.pending, u)
+	}
+	c.notifyWorkLocked()
 	c.mu.Unlock()
 
 	select {
-	case <-u.done:
-		if u.abandoned {
+	case <-g.done:
+		if g.abandoned {
 			return nil, false, nil
 		}
-		if u.errMsg != "" {
-			return nil, true, fmt.Errorf("cluster: remote execution failed: %s", u.errMsg)
+		if g.errMsg != "" {
+			return nil, true, fmt.Errorf("cluster: remote execution failed: %s", g.errMsg)
 		}
-		return u.rows, true, nil
+		return g.rows, true, nil
 	case <-ctx.Done():
-		// Cancelled or timed out: withdraw the unit. A worker already
-		// running it will report a stale completion, which is counted
-		// and dropped.
+		// Cancelled or timed out: withdraw the whole group. Workers
+		// already running its units will report stale completions,
+		// which are counted and dropped.
 		c.mu.Lock()
-		if _, live := c.units[u.unit.ID]; live {
-			c.releaseLeaseLocked(u)
-			delete(c.units, u.unit.ID)
-			c.removePendingLocked(u)
+		if !g.terminal() {
+			g.abandoned = true // terminal, but done is NOT closed: only Execute waits on it
+			c.withdrawGroupUnitsLocked(g)
 		}
 		c.mu.Unlock()
 		return nil, true, ctx.Err()
@@ -547,24 +718,33 @@ func (c *Coordinator) removePendingLocked(u *unitState) {
 // WorkersStatus implements service.WorkersReporter for /healthz.
 func (c *Coordinator) WorkersStatus() service.WorkersStatus {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	active := 0
 	for _, u := range c.units {
 		if u.worker != "" {
 			active++
 		}
 	}
-	return service.WorkersStatus{
+	st := service.WorkersStatus{
 		Connected:     len(c.workers),
 		LeasesActive:  active,
 		LeasesExpired: c.expired,
 	}
+	wire := c.wire
+	c.mu.Unlock()
+	if wire != nil {
+		st.WireConnected = wire.connCount()
+	}
+	return st
 }
 
-// Drain stops granting leases, abandons every pending unit back to the
-// local pool, and waits until no lease is in flight (workers finish and
-// report their current units through the still-open listener) or ctx
-// expires. Call before draining the sweep and job managers so their
+// Drain stops granting leases, abandons every scenario that still has
+// pending (unleased) units back to the local pool, and waits until no
+// lease is in flight — workers finish and report their current units
+// through the still-open listener and wire conns — or ctx expires. A
+// sharded scenario whose every unit is leased drains to completion;
+// one missing even a single unleased shard can never be assembled, so
+// it is abandoned whole (its leased siblings' completions will be
+// stale). Call before draining the sweep and job managers so their
 // fallback executions still have a pool to run on.
 func (c *Coordinator) Drain(ctx context.Context) error {
 	c.mu.Lock()
@@ -572,13 +752,10 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	pending := c.pending
 	c.pending = nil
 	for _, u := range pending {
-		if u.finished || u.abandoned {
+		if u.finished || u.grp.terminal() {
 			continue // already terminal; its done channel is closed
 		}
-		delete(c.units, u.unit.ID)
-		u.abandoned = true
-		c.abandoned.Inc()
-		close(u.done)
+		c.abandonGroupLocked(u.grp, "drain")
 	}
 	c.mu.Unlock()
 
@@ -599,8 +776,17 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	}
 }
 
-// Close stops the expiry loop. Idempotent; call after Drain.
+// Close stops the expiry loop and the wire listener. Idempotent; call
+// after Drain.
 func (c *Coordinator) Close() {
-	c.closeOnce.Do(func() { close(c.closed) })
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		w := c.wire
+		c.mu.Unlock()
+		if w != nil {
+			w.close()
+		}
+	})
 	<-c.loopDone
 }

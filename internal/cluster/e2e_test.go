@@ -16,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/sweep"
+	"repro/internal/wire"
 )
 
 // e2eGrid is the sweep every fleet size runs: 8 cells, each a few dozen
@@ -24,22 +25,29 @@ import (
 const e2eGrid = `{"n": [24, 30], "query": ["min", "count"], "loss_rate": [0, 0.1], "trials": 6, "seed": 99}`
 
 // runClusteredSweep stands up a full server stack (job manager, sweep
-// orchestrator, coordinator, HTTP mux) plus an in-process worker fleet,
-// runs e2eGrid through it over HTTP, and returns the CSV export and the
-// stack's metrics registry. killOne crashes the first worker fail-stop
-// on its first lease — no completion, no deregistration — so its lease
-// must expire and be reassigned. No store is configured: every cell
-// executes, so the CSV reflects this run alone.
-func runClusteredSweep(t *testing.T, nWorkers int, killOne bool) ([]byte, *metrics.Registry) {
+// orchestrator, coordinator, streaming transport, HTTP mux) plus an
+// in-process worker fleet, runs e2eGrid through it, and returns the CSV
+// export and the stack's metrics registry. Workers stream units over
+// the wire transport, exactly as vmat-worker does by default. killOne
+// crashes the first worker fail-stop on its first lease — no
+// completion, no deregistration — so its lease must expire and be
+// reassigned. shardTrials > 0 splits every cell into trial-range units.
+// No store is configured: every cell executes, so the CSV reflects this
+// run alone.
+func runClusteredSweep(t *testing.T, nWorkers int, killOne bool, shardTrials int) ([]byte, *metrics.Registry) {
 	t.Helper()
 	reg := metrics.New()
 	coord := NewCoordinator(CoordinatorConfig{
 		LeaseTTL:          400 * time.Millisecond,
 		HeartbeatInterval: 50 * time.Millisecond,
 		WorkerTTL:         time.Hour, // the killed worker must not free its lease by expiring
+		ShardTrials:       shardTrials,
 		Metrics:           reg,
 	})
 	defer coord.Close()
+	if _, err := coord.StartWire("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
 	mgr := service.New(service.Config{Metrics: reg, Cluster: coord, Workers: 4, Version: "e2e"})
 	swm := sweep.NewManager(sweep.Config{Service: mgr, Metrics: reg, Version: "e2e"})
 	mux := http.NewServeMux()
@@ -58,7 +66,7 @@ func runClusteredSweep(t *testing.T, nWorkers int, killOne bool) ([]byte, *metri
 	defer cancelWorkers()
 	var runDones []chan error
 	for i := 0; i < nWorkers; i++ {
-		cfg := WorkerConfig{Server: srv.URL, Name: fmt.Sprintf("e2e-%d", i), Poll: fastPoll()}
+		cfg := WorkerConfig{Server: srv.URL, Name: fmt.Sprintf("e2e-%d", i), Poll: fastPoll(), Reconnect: fastReconnect()}
 		if killOne && i == 0 {
 			abort := make(chan struct{})
 			var once sync.Once
@@ -177,7 +185,7 @@ func TestSweepBitIdenticalAcrossFleets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-fleet e2e sweep is not short")
 	}
-	local, localReg := runClusteredSweep(t, 0, false)
+	local, localReg := runClusteredSweep(t, 0, false, 0)
 	if !bytes.Contains(local, []byte("\n")) || len(local) == 0 {
 		t.Fatalf("local CSV is empty")
 	}
@@ -189,7 +197,7 @@ func TestSweepBitIdenticalAcrossFleets(t *testing.T) {
 		t.Fatalf("0-worker sweep executed %d units on a cluster it does not have", v)
 	}
 
-	one, oneReg := runClusteredSweep(t, 1, false)
+	one, oneReg := runClusteredSweep(t, 1, false, 0)
 	if !bytes.Equal(local, one) {
 		t.Fatalf("1-worker CSV differs from local CSV:\nlocal:\n%s\nworker:\n%s", local, one)
 	}
@@ -197,7 +205,7 @@ func TestSweepBitIdenticalAcrossFleets(t *testing.T) {
 		t.Fatal("1-worker sweep never dispatched to the cluster")
 	}
 
-	killed, killedReg := runClusteredSweep(t, 3, true)
+	killed, killedReg := runClusteredSweep(t, 3, true, 0)
 	if !bytes.Equal(local, killed) {
 		t.Fatalf("kill-case CSV differs from local CSV:\nlocal:\n%s\nkilled:\n%s", local, killed)
 	}
@@ -206,5 +214,36 @@ func TestSweepBitIdenticalAcrossFleets(t *testing.T) {
 	}
 	if v := killedReg.Counter(MetricLeasesExpired).Value(); v == 0 {
 		t.Fatal("killed worker's lease never expired")
+	}
+}
+
+// TestShardedSweepBitIdenticalWithKilledWorker is the sharded fabric's
+// end-to-end contract: split every cell into trial-range shards, spread
+// them over a 4-worker streaming fleet, kill one worker fail-stop
+// mid-shard — and the merged CSV must still be byte-identical to the
+// 0-worker local run, with the reassignment path provably exercised.
+func TestShardedSweepBitIdenticalWithKilledWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded e2e sweep is not short")
+	}
+	local, _ := runClusteredSweep(t, 0, false, 0)
+	if len(local) == 0 {
+		t.Fatal("local CSV is empty")
+	}
+	sharded, reg := runClusteredSweep(t, 4, true, 2)
+	if !bytes.Equal(local, sharded) {
+		t.Fatalf("sharded kill-case CSV differs from local CSV:\nlocal:\n%s\nsharded:\n%s", local, sharded)
+	}
+	if v := reg.Counter(MetricShardsPlanned).Value(); v == 0 {
+		t.Fatal("sharded sweep planned no shards")
+	}
+	if v := reg.Counter(MetricShardsMerged).Value(); v == 0 {
+		t.Fatal("sharded sweep merged no shards")
+	}
+	if v := reg.Counter(MetricLeasesReassigned).Value(); v == 0 {
+		t.Fatal("killing a worker mid-shard produced no lease reassignment")
+	}
+	if v := reg.Counter(wire.MetricFramesSent).Value(); v == 0 {
+		t.Fatal("sharded sweep never used the streaming transport")
 	}
 }

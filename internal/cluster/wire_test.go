@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// fastReconnect keeps restart tests quick while still exercising the
+// jittered schedule.
+func fastReconnect() backoff.Policy {
+	return backoff.Policy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond, Jitter: 0.3}
+}
+
+// waitWired blocks until n workers hold a live streaming conn.
+func waitWired(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.WorkersStatus().WireConnected < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached %d wire conns: %+v", n, c.WorkersStatus())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A worker offered the streaming transport executes sharded units over
+// it — batched grants in, streamed completions out — and the results
+// match a whole local run exactly.
+func TestWorkerExecutesUnitsOverWire(t *testing.T) {
+	reg := metrics.New()
+	cfg := fastCadence()
+	cfg.Metrics = reg
+	cfg.ShardTrials = 2
+	c, srv := newTestPlane(t, cfg)
+	if _, err := c.StartWire("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{Server: srv.URL, Name: "wired", Poll: fastPoll(), Reconnect: fastReconnect()})
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+	waitConnected(t, c, 1)
+	waitWired(t, c, 1)
+
+	for i := 0; i < 3; i++ {
+		spec := shardSpec(uint64(60+i), 4)
+		rows, ok, err := c.Execute(context.Background(), spec)
+		if !ok || err != nil {
+			t.Fatalf("Execute %d over wire = (ok=%v, err=%v)", i, ok, err)
+		}
+		want, _ := experiments.RunScenario(spec)
+		if !reflect.DeepEqual(rows, want) {
+			t.Fatalf("unit %d: wire rows differ from local run", i)
+		}
+	}
+	if got := w.Completed(); got != 6 { // 3 scenarios × 2 shards each
+		t.Fatalf("worker completed %d units, want 6", got)
+	}
+	if v := reg.Counter(wire.MetricFramesSent).Value(); v == 0 {
+		t.Fatal("no frames sent by the wire server")
+	}
+	if v := reg.Counter(wire.MetricFramesReceived).Value(); v == 0 {
+		t.Fatal("no frames received by the wire server")
+	}
+	if v := reg.Counter(MetricScenariosAssembled).Value(); v != 3 {
+		t.Fatalf("scenarios assembled = %d, want 3", v)
+	}
+
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run after graceful cancel: %v", err)
+	}
+	if ws := c.WorkersStatus(); ws.Connected != 0 {
+		t.Fatalf("worker did not deregister on drain: %+v", ws)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.WorkersStatus().WireConnected != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("wire conn survived the worker's exit: %+v", c.WorkersStatus())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// restartableStack is a coordinator + HTTP API + streaming transport
+// whose HTTP address can be re-bound after a kill, simulating a
+// vmat-server restart.
+type restartableStack struct {
+	c    *Coordinator
+	srv  *http.Server
+	addr string
+}
+
+func startStack(t *testing.T, addr string, reg *metrics.Registry) *restartableStack {
+	t.Helper()
+	cfg := fastCadence()
+	cfg.Metrics = reg
+	c := NewCoordinator(cfg)
+	if _, err := c.StartWire("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	RegisterHTTP(mux, c)
+	srv := &http.Server{Handler: mux}
+	// The restarted listener may race the dying one's close; retry the
+	// bind briefly like an init system would.
+	var ln net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	go srv.Serve(ln)
+	return &restartableStack{c: c, srv: srv, addr: ln.Addr().String()}
+}
+
+func (s *restartableStack) kill() {
+	s.srv.Close()
+	s.c.Close()
+}
+
+// The resilience contract: kill the server outright — listener, wire
+// transport, coordinator state, worker table, everything — restart it
+// on the same HTTP address, and a running worker must rejoin (fresh
+// registration, fresh wire conn to the NEW transport port) and execute
+// work for the new coordinator without being restarted itself.
+func TestWorkerSurvivesCoordinatorRestart(t *testing.T) {
+	first := startStack(t, "127.0.0.1:0", metrics.New())
+	w := NewWorker(WorkerConfig{
+		Server: "http://" + first.addr, Name: "survivor",
+		Poll: fastPoll(), Reconnect: fastReconnect(),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+	waitConnected(t, first.c, 1)
+	waitWired(t, first.c, 1)
+
+	spec := shardSpec(70, 4)
+	want, _ := experiments.RunScenario(spec)
+	if rows, ok, err := first.c.Execute(context.Background(), spec); !ok || err != nil || !reflect.DeepEqual(rows, want) {
+		t.Fatalf("Execute before restart = (ok=%v, err=%v)", ok, err)
+	}
+
+	// Kill everything. The worker's conn drops and its dials bounce off
+	// a dead address while we hold the port down.
+	first.kill()
+	time.Sleep(50 * time.Millisecond)
+
+	second := startStack(t, first.addr, metrics.New())
+	defer second.kill()
+	waitConnected(t, second.c, 1) // the worker re-registered on its own
+	waitWired(t, second.c, 1)     // ...and found the NEW wire port
+	if rows, ok, err := second.c.Execute(context.Background(), spec); !ok || err != nil || !reflect.DeepEqual(rows, want) {
+		t.Fatalf("Execute after restart = (ok=%v, err=%v)", ok, err)
+	}
+	if w.Reconnects() == 0 {
+		t.Fatal("worker reports zero reconnects across a coordinator restart")
+	}
+
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run after restart + drain: %v", err)
+	}
+}
+
+// A worker whose conn is severed mid-session (not a coordinator
+// restart: the coordinator still knows it) reconnects to the same
+// transport and keeps working; the server counts the reconnect.
+func TestWorkerReconnectsAfterConnLoss(t *testing.T) {
+	reg := metrics.New()
+	cfg := fastCadence()
+	cfg.Metrics = reg
+	c, srv := newTestPlane(t, cfg)
+	if _, err := c.StartWire("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{Server: srv.URL, Name: "blipped", Poll: fastPoll(), Reconnect: fastReconnect()})
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+	waitConnected(t, c, 1)
+	waitWired(t, c, 1)
+
+	// Sever every open conn server-side, as a middlebox or network blip
+	// would.
+	c.wire.mu.Lock()
+	for cn := range c.wire.open {
+		cn.wc.Close()
+	}
+	c.wire.mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(wire.MetricReconnects).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never observed the reconnect")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitWired(t, c, 1)
+	if _, ok, err := c.Execute(context.Background(), testSpec(71)); !ok || err != nil {
+		t.Fatalf("Execute after reconnect = (ok=%v, err=%v)", ok, err)
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run: %v", err)
+	}
+}
+
+// An HTTP-only worker (DisableWire, the -http-poll flag) still serves a
+// coordinator that hosts the transport — the fallback path stays live.
+func TestWorkerDisableWireFallsBackToPolling(t *testing.T) {
+	c, srv := newTestPlane(t, fastCadence())
+	if _, err := c.StartWire("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{Server: srv.URL, Name: "poller", Poll: fastPoll(), DisableWire: true})
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+	waitConnected(t, c, 1)
+
+	if _, ok, err := c.Execute(context.Background(), testSpec(72)); !ok || err != nil {
+		t.Fatalf("Execute via HTTP fallback = (ok=%v, err=%v)", ok, err)
+	}
+	if ws := c.WorkersStatus(); ws.WireConnected != 0 {
+		t.Fatalf("DisableWire worker opened a conn: %+v", ws)
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run: %v", err)
+	}
+}
+
+// A hostile client cannot take the transport down: garbage after the
+// handshake closes that conn (counted as a frame error) and the
+// listener keeps serving.
+func TestWireServerSurvivesHostileConn(t *testing.T) {
+	reg := metrics.New()
+	cfg := fastCadence()
+	cfg.Metrics = reg
+	c, srv := newTestPlane(t, cfg)
+	addr, err := c.StartWire("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Write([]byte("GET / HTTP/1.1\r\nHost: not-a-wire-client\r\n\r\n"))
+	nc.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Counter(wire.MetricFrameErrors).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("hostile conn never counted a frame error")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The transport still serves a real worker afterwards.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewWorker(WorkerConfig{Server: srv.URL, Name: "after-hostile", Poll: fastPoll(), Reconnect: fastReconnect()})
+	runDone := make(chan error, 1)
+	go func() { runDone <- w.Run(ctx) }()
+	waitConnected(t, c, 1)
+	waitWired(t, c, 1)
+	if _, ok, err := c.Execute(context.Background(), testSpec(73)); !ok || err != nil {
+		t.Fatalf("Execute after hostile conn = (ok=%v, err=%v)", ok, err)
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("worker run: %v", err)
+	}
+
+	// A worker the coordinator does not know is rejected at Hello and
+	// told why, so it can re-register.
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	conn := wire.NewConn(nc2)
+	conn.Send(wire.Hello, []byte(`{"worker_id":"w9999"}`))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	ft, payload, err := conn.Recv()
+	if err != nil || ft != wire.HelloAck {
+		t.Fatalf("unknown-worker Hello: frame %d, err %v", ft, err)
+	}
+	var ack helloAckPayload
+	if err := json.Unmarshal(payload, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.OK || ack.Error == "" {
+		t.Fatalf("unknown worker accepted: %+v", ack)
+	}
+}

@@ -8,12 +8,17 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/backoff"
 	"repro/internal/experiments"
+	"repro/internal/shard"
+	"repro/internal/wire"
 )
 
 // WorkerConfig configures a worker client. Server is required; zero
@@ -27,11 +32,24 @@ type WorkerConfig struct {
 	Name string
 	// Version is reported at registration.
 	Version string
-	// Poll is the idle-poll backoff schedule; its cap is additionally
-	// clamped to the coordinator's heartbeat interval so an idle worker
-	// never goes silent long enough to be expired. Zero picks
-	// {Base: 50ms, Max: 1s}.
+	// Poll is the idle-poll backoff schedule for the HTTP fallback
+	// path; its cap is additionally clamped to the coordinator's
+	// heartbeat interval so an idle worker never goes silent long
+	// enough to be expired. Zero picks {Base: 50ms, Max: 1s}.
 	Poll backoff.Policy
+	// Reconnect is the backoff schedule for re-dialling the streaming
+	// transport and re-registering after a conn loss or coordinator
+	// restart. Jittered by default so a restarted coordinator is not
+	// greeted by the whole fleet in lockstep. Zero picks
+	// {Base: 100ms, Max: 5s, Jitter: 0.3}.
+	Reconnect backoff.Policy
+	// DisableWire forces HTTP lease polling even when the coordinator
+	// advertises the streaming transport.
+	DisableWire bool
+	// Prefetch is how many units the worker asks to hold over the wire
+	// (one executing, the rest queued so the next starts without a
+	// round-trip). Default 2.
+	Prefetch int
 	// HTTPClient overrides the transport. Nil uses a client with a 30s
 	// request timeout.
 	HTTPClient *http.Client
@@ -39,8 +57,9 @@ type WorkerConfig struct {
 	Log func(format string, args ...any)
 
 	// RunUnit overrides unit execution (tests use it to gate timing).
-	// Nil runs experiments.RunScenario.
-	RunUnit func(experiments.ScenarioConfig) ([]experiments.ScenarioRow, error)
+	// Nil runs the unit's own Run: the trial range when sharded, the
+	// whole scenario otherwise.
+	RunUnit func(Unit) ([]experiments.ScenarioRow, error)
 	// OnLease, when non-nil, is called with each unit right after its
 	// lease is granted and before execution starts.
 	OnLease func(Unit)
@@ -50,29 +69,49 @@ type WorkerConfig struct {
 	Abort <-chan struct{}
 }
 
-// Worker is the client side of the execution plane: register, lease,
-// execute, heartbeat, complete, repeat. One worker holds at most one
-// lease at a time; run more processes (or more Workers) to scale out.
+// Worker is the client side of the execution plane: register over
+// HTTP, then either stream units over one persistent wire conn
+// (batched grants, streamed completions, piggybacked heartbeats) or
+// fall back to HTTP lease polling. It survives coordinator restarts:
+// a lost conn or forgotten identity re-registers and reconnects on a
+// jittered backoff without restarting the process.
 type Worker struct {
 	wc        WorkerConfig
 	handshake CoordinatorHandshake
 	client    *http.Client
 	log       func(format string, args ...any)
 
-	id        string
-	completed atomic.Int64
+	id         string
+	completed  atomic.Int64
+	sessions   atomic.Int64 // wire sessions established (first + reconnects)
+	reconnects atomic.Int64
+
+	heldMu sync.Mutex
+	held   map[string]bool // unit IDs granted but not yet reported
+
+	// lastRunDur is the wall time of the most recent runUnit call; units
+	// execute sequentially per worker, so a plain field suffices.
+	lastRunDur time.Duration
 }
 
-// CoordinatorHandshake is the cadence learned at registration.
+// CoordinatorHandshake is the cadence and transport address learned at
+// registration.
 type CoordinatorHandshake struct {
 	LeaseTTL  time.Duration
 	Heartbeat time.Duration
+	Wire      string
 }
 
 // NewWorker returns an unstarted worker client.
 func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.Poll.Base <= 0 {
 		cfg.Poll = backoff.Policy{Base: 50 * time.Millisecond, Max: time.Second}
+	}
+	if cfg.Reconnect.Base <= 0 {
+		cfg.Reconnect = backoff.Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second, Jitter: 0.3}
+	}
+	if cfg.Prefetch <= 0 {
+		cfg.Prefetch = 2
 	}
 	if cfg.HTTPClient == nil {
 		cfg.HTTPClient = &http.Client{Timeout: 30 * time.Second}
@@ -81,22 +120,28 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cfg.Log = func(string, ...any) {}
 	}
 	if cfg.RunUnit == nil {
-		cfg.RunUnit = func(spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, error) {
-			return experiments.RunScenario(spec)
+		cfg.RunUnit = func(u Unit) ([]experiments.ScenarioRow, error) {
+			return u.Run()
 		}
 	}
-	return &Worker{wc: cfg, client: cfg.HTTPClient, log: cfg.Log}
+	return &Worker{wc: cfg, client: cfg.HTTPClient, log: cfg.Log, held: map[string]bool{}}
 }
 
 // Completed returns how many units this worker finished and reported.
 // Safe to call while Run is executing.
 func (w *Worker) Completed() int { return int(w.completed.Load()) }
 
+// Reconnects returns how many times the worker re-established its
+// coordinator session (wire redial or full re-registration) after the
+// first. Safe to call while Run is executing.
+func (w *Worker) Reconnects() int { return int(w.reconnects.Load()) }
+
 // Run is the worker's main loop. Cancelling ctx is the graceful-drain
 // signal: the worker finishes the unit it holds (if any), reports the
 // result, deregisters, and returns nil — mirroring vmat-server's
 // SIGTERM drain. The test-only Abort channel instead stops the loop
-// dead with ErrAborted.
+// dead with ErrAborted. Conn loss and coordinator restarts are not
+// exits: the worker re-registers and resumes on a jittered backoff.
 func (w *Worker) Run(ctx context.Context) error {
 	if err := w.register(ctx); err != nil {
 		if ctx.Err() != nil {
@@ -104,12 +149,64 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		return err
 	}
-	w.log("registered as %s (lease TTL %s, heartbeat %s)", w.id, w.handshake.LeaseTTL, w.handshake.Heartbeat)
+	w.log("registered as %s (lease TTL %s, heartbeat %s, wire %q)",
+		w.id, w.handshake.LeaseTTL, w.handshake.Heartbeat, w.handshake.Wire)
+	if w.handshake.Wire == "" || w.wc.DisableWire {
+		return w.runHTTP(ctx)
+	}
+
+	attempt := 0
+	for {
+		if w.aborted() {
+			return ErrAborted
+		}
+		if ctx.Err() != nil {
+			return w.deregister()
+		}
+		established, err := w.runWire(ctx)
+		if established {
+			attempt = 0 // the session worked before it broke; start the schedule over
+		}
+		switch {
+		case err == nil:
+			return w.deregister() // graceful drain finished inside the session
+		case errors.Is(err, ErrAborted):
+			return ErrAborted
+		}
+		w.log("wire session lost (%v), reconnecting", err)
+		if !w.sleep(ctx, w.wc.Reconnect.Delay(attempt)) {
+			continue // woken by ctx or abort; loop top decides
+		}
+		attempt++
+		if errors.Is(err, ErrUnknownWorker) || !established {
+			// The coordinator forgot us, or the transport could not even
+			// be reached — a restarted coordinator hosts the wire on a
+			// fresh port, so the stale address must be thrown away.
+			// Re-register over HTTP (it retries its own backoff until
+			// the coordinator is back) to refresh identity and address.
+			w.log("re-registering with %s", w.wc.Server)
+			if rerr := w.register(ctx); rerr != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return rerr
+			}
+			if w.handshake.Wire == "" {
+				return w.runHTTP(ctx) // the new coordinator has no transport
+			}
+		}
+	}
+}
+
+// runHTTP is the fallback loop: poll for leases over HTTP, one unit at
+// a time. Used when the coordinator does not host the streaming
+// transport (or DisableWire is set).
+func (w *Worker) runHTTP(ctx context.Context) error {
 	pollCap := w.wc.Poll.Max
 	if w.handshake.Heartbeat > 0 && pollCap > w.handshake.Heartbeat {
 		pollCap = w.handshake.Heartbeat
 	}
-	poll := backoff.Policy{Base: w.wc.Poll.Base, Max: pollCap}
+	poll := backoff.Policy{Base: w.wc.Poll.Base, Max: pollCap, Jitter: w.wc.Poll.Jitter}
 
 	idle := 0 // consecutive empty polls, drives the poll backoff
 	for {
@@ -129,6 +226,7 @@ func (w *Worker) Run(ctx context.Context) error {
 					}
 					return rerr
 				}
+				w.reconnects.Add(1)
 				continue
 			}
 			if ctx.Err() != nil {
@@ -162,6 +260,207 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// runWire is one streaming session: dial, Hello, then execute granted
+// units until the conn dies (returns the error), the worker is
+// rejected (ErrUnknownWorker), drain completes (nil), or the abort
+// channel closes (ErrAborted). established reports whether the
+// handshake succeeded, so the caller can reset its backoff schedule.
+func (w *Worker) runWire(ctx context.Context) (established bool, err error) {
+	nc, err := net.DialTimeout("tcp", w.wireAddr(), 10*time.Second)
+	if err != nil {
+		return false, err
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+
+	hello, _ := json.Marshal(helloPayload{WorkerID: w.id})
+	if err := conn.Send(wire.Hello, hello); err != nil {
+		return false, err
+	}
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	t, payload, err := conn.Recv()
+	if err != nil {
+		return false, err
+	}
+	if t != wire.HelloAck {
+		return false, fmt.Errorf("cluster: unexpected %d frame in handshake", t)
+	}
+	var ack helloAckPayload
+	if err := json.Unmarshal(payload, &ack); err != nil {
+		return false, err
+	}
+	if !ack.OK {
+		return false, ErrUnknownWorker
+	}
+	conn.SetReadDeadline(time.Time{})
+	if w.sessions.Add(1) > 1 {
+		w.reconnects.Add(1) // a session after the first is a survived reconnect
+	}
+	if ack.LeaseTTL > 0 {
+		w.handshake.LeaseTTL = ack.LeaseTTL
+	}
+	if ack.Heartbeat > 0 {
+		w.handshake.Heartbeat = ack.Heartbeat
+	}
+
+	// The reader turns Grant frames into a unit queue; everything else
+	// it ignores (forward compatibility). A framing violation or conn
+	// loss surfaces on readErr and ends the session.
+	grants := make(chan Unit, 64)
+	readErr := make(chan error, 1)
+	sessionDone := make(chan struct{})
+	defer close(sessionDone)
+	go func() {
+		for {
+			t, payload, err := conn.Recv()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			if t != wire.Grant {
+				continue
+			}
+			units, err := shard.DecodeBatch(payload)
+			if err != nil {
+				readErr <- err // hostile or torn grant: drop the conn
+				return
+			}
+			for _, u := range units {
+				w.setHeld(u.ID, true)
+				if w.wc.OnLease != nil {
+					w.wc.OnLease(u)
+				}
+				select {
+				case grants <- u:
+				case <-sessionDone:
+					return
+				}
+			}
+		}
+	}()
+
+	// One heartbeat loop per conn, held units piggybacked. It beats
+	// even when idle: the frame doubles as the keepalive that stops
+	// the coordinator's read deadline from reaping a quiet conn.
+	go func() {
+		hb := w.handshake.Heartbeat
+		if hb <= 0 {
+			hb = time.Second
+		}
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sessionDone:
+				return
+			case <-w.wc.Abort:
+				return // a crashed worker stops beating; that's the point
+			case <-tick.C:
+				beat, _ := json.Marshal(HeartbeatRequest{WorkerID: w.id, Units: w.heldIDs()})
+				if err := conn.Send(wire.Heartbeat, beat); err != nil {
+					return // reader will surface the conn loss
+				}
+			}
+		}
+	}()
+
+	if err := w.sendWant(conn, w.wc.Prefetch); err != nil {
+		return true, err
+	}
+	for {
+		if ctx.Err() != nil {
+			// Graceful drain: queued grants are released by the Bye
+			// (deregistering requeues our leases at once).
+			conn.Send(wire.Bye, nil)
+			return true, nil
+		}
+		select {
+		case <-ctx.Done():
+			// handled at loop top
+		case <-w.wc.Abort:
+			return true, ErrAborted
+		case err := <-readErr:
+			return true, err
+		case u := <-grants:
+			if w.aborted() {
+				return true, ErrAborted // crashed between grant and execution
+			}
+			if err := w.executeWireUnit(conn, u); err != nil {
+				return true, err
+			}
+			if err := w.sendWant(conn, 1); err != nil {
+				return true, err
+			}
+		}
+	}
+}
+
+// executeWireUnit runs one granted unit and streams the completion
+// back over the conn. If the conn dies mid-upload, the result is too
+// valuable to drop — it falls back to the HTTP complete endpoint
+// before the session error propagates.
+func (w *Worker) executeWireUnit(conn *wire.Conn, unit Unit) error {
+	rows, runErr, crashed := w.runUnit(unit)
+	if crashed {
+		return ErrAborted // crashed mid-unit: no completion report
+	}
+	req := w.buildComplete(unit, rows, runErr)
+	w.setHeld(unit.ID, false)
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: encode completion for %s: %v", unit.ID, err)
+	}
+	if serr := conn.Send(wire.Complete, payload); serr != nil {
+		w.uploadComplete(req)
+		w.completed.Add(1)
+		return serr
+	}
+	w.completed.Add(1)
+	w.log("completed %s", unit.ID)
+	return nil
+}
+
+// runUnit executes one unit under the abort watch. crashed means the
+// simulated fail-stop fired during execution.
+func (w *Worker) runUnit(unit Unit) (rows []experiments.ScenarioRow, runErr error, crashed bool) {
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	go func() { // a crash aborts the execution itself, not just the loop
+		select {
+		case <-w.wc.Abort:
+			cancelRun()
+		case <-runCtx.Done():
+		}
+	}()
+	unit.Spec.Context = runCtx
+	start := time.Now()
+	rows, runErr = w.wc.RunUnit(unit)
+	cancelRun()
+	w.lastRunDur = time.Since(start)
+	return rows, runErr, w.aborted()
+}
+
+// buildComplete assembles the verified completion payload for a unit.
+func (w *Worker) buildComplete(unit Unit, rows []experiments.ScenarioRow, runErr error) CompleteRequest {
+	req := CompleteRequest{
+		WorkerID:       w.id,
+		UnitID:         unit.ID,
+		Key:            unit.Key,
+		DurationMicros: w.lastRunDur.Microseconds(),
+	}
+	if runErr != nil {
+		req.Error = runErr.Error()
+	} else {
+		raw, err := json.Marshal(rows)
+		if err != nil {
+			req.Error = fmt.Sprintf("marshal rows: %v", err)
+		} else {
+			req.Rows = raw
+			req.CRC32 = crc32.ChecksumIEEE(raw)
+		}
+	}
+	return req
+}
+
 // aborted reports whether the simulated-crash channel has closed.
 func (w *Worker) aborted() bool {
 	select {
@@ -187,56 +486,78 @@ func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
+// setHeld tracks the units this worker currently holds, for the
+// piggybacked heartbeats.
+func (w *Worker) setHeld(unitID string, held bool) {
+	w.heldMu.Lock()
+	defer w.heldMu.Unlock()
+	if held {
+		w.held[unitID] = true
+	} else {
+		delete(w.held, unitID)
+	}
+}
+
+func (w *Worker) heldIDs() []string {
+	w.heldMu.Lock()
+	defer w.heldMu.Unlock()
+	ids := make([]string, 0, len(w.held))
+	for id := range w.held {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// sendWant advertises capacity for n more units.
+func (w *Worker) sendWant(conn *wire.Conn, n int) error {
+	payload, _ := json.Marshal(wantPayload{N: n})
+	return conn.Send(wire.Want, payload)
+}
+
+// wireAddr resolves the advertised transport address: a listener bound
+// to the unspecified address (":0", "[::]:p") advertises a host the
+// worker cannot dial, so substitute the coordinator's HTTP host.
+func (w *Worker) wireAddr() string {
+	addr := w.handshake.Wire
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	ip := net.ParseIP(host)
+	if host == "" || (ip != nil && ip.IsUnspecified()) {
+		if u, err := url.Parse(w.wc.Server); err == nil && u.Hostname() != "" {
+			return net.JoinHostPort(u.Hostname(), port)
+		}
+	}
+	return addr
+}
+
 // executeAndReport runs one unit with a live heartbeat and uploads the
-// verified result. Graceful drain does not interrupt execution — the
-// lease is finished and reported first — but a simulated crash does.
+// verified result over HTTP (the fallback path). Graceful drain does
+// not interrupt execution — the lease is finished and reported first —
+// but a simulated crash does.
 func (w *Worker) executeAndReport(unit Unit) error {
 	// The heartbeat keeps the lease alive for as long as the unit runs.
 	hbStop := make(chan struct{})
 	hbDone := make(chan struct{})
 	go w.heartbeatLoop(unit.ID, hbStop, hbDone)
 
-	spec := unit.Spec
-	runCtx, cancelRun := context.WithCancel(context.Background())
-	go func() { // a crash aborts the execution itself, not just the loop
-		select {
-		case <-w.wc.Abort:
-			cancelRun()
-		case <-runCtx.Done():
-		}
-	}()
-	spec.Context = runCtx
-	start := time.Now()
-	rows, runErr := w.wc.RunUnit(spec)
-	cancelRun()
+	rows, runErr, crashed := w.runUnit(unit)
 	close(hbStop)
 	<-hbDone
-	if w.aborted() {
+	if crashed {
 		return ErrAborted // crashed mid-unit: no completion report
 	}
+	w.uploadComplete(w.buildComplete(unit, rows, runErr))
+	return nil
+}
 
-	req := CompleteRequest{
-		WorkerID:       w.id,
-		UnitID:         unit.ID,
-		Key:            unit.Key,
-		DurationMicros: time.Since(start).Microseconds(),
-	}
-	if runErr != nil {
-		req.Error = runErr.Error()
-	} else {
-		raw, err := json.Marshal(rows)
-		if err != nil {
-			req.Error = fmt.Sprintf("marshal rows: %v", err)
-		} else {
-			req.Rows = raw
-			req.CRC32 = crc32.ChecksumIEEE(raw)
-		}
-	}
-
-	// The result must not be lost to a transient coordinator hiccup:
-	// retry the upload on the shared backoff schedule, bounded so a
-	// permanently gone coordinator cannot wedge the worker forever
-	// (the lease would have expired and been reassigned long before).
+// uploadComplete posts one completion over HTTP, retrying transient
+// failures on the poll schedule. The result must not be lost to a
+// coordinator hiccup, but a permanently gone coordinator cannot wedge
+// the worker forever — the deadline is two lease TTLs, after which the
+// lease has certainly been reassigned.
+func (w *Worker) uploadComplete(req CompleteRequest) {
 	upCtx, cancel := context.WithTimeout(context.Background(), w.completeDeadline())
 	defer cancel()
 	err := backoff.Retry(upCtx, w.wc.Abort, w.wc.Poll, func() (bool, error) {
@@ -246,18 +567,12 @@ func (w *Worker) executeAndReport(unit Unit) error {
 			// coordinator will take the unit from whoever re-runs it.
 			return true, nil
 		}
-		w.log("completion upload for %s failed (%v), retrying", unit.ID, uerr)
+		w.log("completion upload for %s failed (%v), retrying", req.UnitID, uerr)
 		return false, nil
 	})
-	switch {
-	case errors.Is(err, backoff.ErrStopped):
-		return ErrAborted
-	case err != nil:
-		w.log("giving up on completion upload for %s: %v", unit.ID, err)
-	default:
-		w.log("completed %s (%s)", unit.ID, time.Since(start).Round(time.Millisecond))
+	if err != nil && !errors.Is(err, backoff.ErrStopped) {
+		w.log("giving up on completion upload for %s: %v", req.UnitID, err)
 	}
-	return nil
 }
 
 // completeDeadline bounds result-upload retries: two lease TTLs (after
@@ -270,7 +585,7 @@ func (w *Worker) completeDeadline() time.Duration {
 	return d
 }
 
-// heartbeatLoop beats for one held unit until stopped.
+// heartbeatLoop beats for one held unit until stopped (HTTP path).
 func (w *Worker) heartbeatLoop(unitID string, stop, done chan struct{}) {
 	defer close(done)
 	hb := w.handshake.Heartbeat
@@ -293,11 +608,13 @@ func (w *Worker) heartbeatLoop(unitID string, stop, done chan struct{}) {
 	}
 }
 
-// register joins the fleet, retrying transient failures on the poll
-// schedule until ctx is cancelled or the crash channel closes.
+// register joins the fleet, retrying transient failures on the
+// reconnect schedule until ctx is cancelled or the crash channel
+// closes. It learns the cadence and, when the coordinator hosts the
+// streaming transport, the wire address.
 func (w *Worker) register(ctx context.Context) error {
 	var resp RegisterResponse
-	err := backoff.Retry(ctx, w.wc.Abort, w.wc.Poll, func() (bool, error) {
+	err := backoff.Retry(ctx, w.wc.Abort, w.wc.Reconnect, func() (bool, error) {
 		rerr := w.post("/v1/cluster/register", RegisterRequest{Name: w.wc.Name, Version: w.wc.Version}, &resp)
 		if rerr != nil {
 			w.log("registration failed (%v), retrying", rerr)
@@ -312,7 +629,10 @@ func (w *Worker) register(ctx context.Context) error {
 		return err
 	}
 	w.id = resp.WorkerID
-	w.handshake = CoordinatorHandshake{LeaseTTL: resp.LeaseTTL, Heartbeat: resp.Heartbeat}
+	w.handshake = CoordinatorHandshake{LeaseTTL: resp.LeaseTTL, Heartbeat: resp.Heartbeat, Wire: resp.Wire}
+	w.heldMu.Lock()
+	w.held = map[string]bool{} // a new identity holds nothing
+	w.heldMu.Unlock()
 	return nil
 }
 

@@ -102,9 +102,9 @@ func TestWorkerGracefulDrainFinishesHeldLease(t *testing.T) {
 	w := NewWorker(WorkerConfig{
 		Server: srv.URL, Poll: fastPoll(),
 		OnLease: func(Unit) { close(leased) },
-		RunUnit: func(spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, error) {
+		RunUnit: func(u Unit) ([]experiments.ScenarioRow, error) {
 			<-gate // hold the lease until the test has cancelled ctx
-			return experiments.RunScenario(spec)
+			return u.Run()
 		},
 	})
 	runDone := make(chan error, 1)
@@ -142,10 +142,10 @@ func TestWorkerCrashMidUnitReassignsLease(t *testing.T) {
 	crashy := NewWorker(WorkerConfig{
 		Server: srv.URL, Name: "crashy", Poll: fastPoll(),
 		Abort: abort,
-		RunUnit: func(spec experiments.ScenarioConfig) ([]experiments.ScenarioRow, error) {
+		RunUnit: func(u Unit) ([]experiments.ScenarioRow, error) {
 			close(abort) // die the moment work starts
-			<-spec.Context.Done()
-			return nil, spec.Context.Err()
+			<-u.Spec.Context.Done()
+			return nil, u.Spec.Context.Err()
 		},
 	})
 	crashDone := make(chan error, 1)

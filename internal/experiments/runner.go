@@ -61,19 +61,42 @@ func subSeed(seed uint64, label string, idx uint64) uint64 {
 // for the determinism scheme. If any trial fails, the error of the
 // lowest-index failing trial is returned.
 func RunTrials[T any](seed uint64, n, workers int, fn func(trial int, rng *crypto.Stream) (T, error)) ([]T, error) {
-	if n <= 0 {
+	return RunTrialRange(seed, n, 0, n, workers, fn)
+}
+
+// RunTrialRange runs trials [start, end) of a total-trial experiment and
+// returns their results in trial order (len = end-start, index 0 is
+// trial start). The streams handed to fn are bit-identical to the ones
+// RunTrials(seed, total, ...) would derive for the same indices: forks
+// consume exactly one parent draw each, so the trials before start are
+// skipped with one discarded Uint64 per trial — no hashing, no
+// execution. This is what lets a scenario be split into trial-range
+// shards that different machines execute independently while the
+// concatenated rows stay bit-identical to a single-box run.
+func RunTrialRange[T any](seed uint64, total, start, end, workers int, fn func(trial int, rng *crypto.Stream) (T, error)) ([]T, error) {
+	if total <= 0 {
+		return nil, nil
+	}
+	if start < 0 || end > total || start > end {
+		return nil, fmt.Errorf("experiments: trial range [%d,%d) out of bounds for %d trials", start, end, total)
+	}
+	n := end - start
+	if n == 0 {
 		return nil, nil
 	}
 	parent := crypto.NewStreamFromSeed(seed)
+	for i := 0; i < start; i++ {
+		parent.Uint64()
+	}
 	streams := make([]*crypto.Stream, n)
 	for i := range streams {
-		streams[i] = parent.Fork([]byte("trial"), crypto.Uint64(uint64(i)))
+		streams[i] = parent.Fork([]byte("trial"), crypto.Uint64(uint64(start+i)))
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
 	if w := resolveWorkers(workers, n); w == 1 {
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = fn(i, streams[i])
+			results[i], errs[i] = fn(start+i, streams[i])
 		}
 	} else {
 		var next atomic.Int64
@@ -87,7 +110,7 @@ func RunTrials[T any](seed uint64, n, workers int, fn func(trial int, rng *crypt
 					if i >= n {
 						return
 					}
-					results[i], errs[i] = fn(i, streams[i])
+					results[i], errs[i] = fn(start+i, streams[i])
 				}
 			}()
 		}
@@ -95,7 +118,7 @@ func RunTrials[T any](seed uint64, n, workers int, fn func(trial int, rng *crypt
 	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("trial %d: %w", i, err)
+			return nil, fmt.Errorf("trial %d: %w", start+i, err)
 		}
 	}
 	return results, nil

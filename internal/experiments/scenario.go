@@ -209,6 +209,28 @@ func RunScenario(cfg ScenarioConfig) ([]ScenarioRow, error) {
 		})
 }
 
+// RunScenarioRange executes trials [start, end) of the scenario and
+// returns their rows in trial order (rows[0].Trial == start). The rows
+// are bit-identical to the corresponding slice of a full RunScenario:
+// the per-trial streams come from the same fork sequence (see
+// RunTrialRange), and each row carries its global trial index. This is
+// the execution primitive behind internal/shard — a fleet runs disjoint
+// ranges and the coordinator concatenates them back in range order.
+func RunScenarioRange(cfg ScenarioConfig, start, end int) ([]ScenarioRow, error) {
+	cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return RunTrialRange(subSeed(cfg.Seed, "scenario", uint64(cfg.N)),
+		cfg.Trials, start, end, cfg.Workers,
+		func(trial int, rng *crypto.Stream) (ScenarioRow, error) {
+			if cfg.Context != nil && cfg.Context.Err() != nil {
+				return ScenarioRow{}, cfg.Context.Err()
+			}
+			return scenarioTrial(cfg, trial, rng)
+		})
+}
+
 // scenarioTrial runs one independent execution: fresh topology, key
 // material, and malicious set, all drawn from the trial's private
 // stream.

@@ -28,6 +28,10 @@ type WorkersStatus struct {
 	Connected     int   `json:"connected"`
 	LeasesActive  int   `json:"leases_active"`
 	LeasesExpired int64 `json:"leases_expired"`
+	// WireConnected counts workers holding a live streaming-transport
+	// conn; always ≤ Connected (HTTP-polling workers are connected but
+	// not wired).
+	WireConnected int `json:"wire_connected,omitempty"`
 }
 
 // WorkersReporter reports the worker fleet's state for /healthz.

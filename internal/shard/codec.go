@@ -1,0 +1,155 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Binary batch codec for lease grants. A wire grant frame carries a
+// batch of descriptors; the framing layer (internal/wire) has already
+// checked magic, length, and CRC, so this codec's job is purely
+// structural: length-prefixed fields with hard caps, so hostile or
+// truncated payloads fail decoding instead of allocating unbounded
+// memory or panicking. DecodeBatch is a fuzz target (fuzz_test.go).
+//
+// Layout (all little-endian):
+//
+//	count  uint16
+//	count × descriptor:
+//	  id, key, parent  uvarint length + bytes (≤ maxFieldBytes each)
+//	  start, end       uvarint               (≤ maxTrialIndex)
+//	  spec             uvarint length + JSON (≤ maxSpecBytes)
+
+const (
+	// maxBatch caps descriptors per grant; the coordinator grants at
+	// most a worker's advertised demand, far below this.
+	maxBatch = 4096
+	// maxFieldBytes caps the id/key/parent strings (hex SHA-256 keys
+	// are 64 bytes).
+	maxFieldBytes = 1024
+	// maxSpecBytes caps one encoded scenario spec.
+	maxSpecBytes = 1 << 20
+)
+
+// ErrBatchTooLarge reports an encode-side batch over the wire cap.
+var ErrBatchTooLarge = errors.New("shard: batch exceeds wire cap")
+
+// EncodeBatch serializes a grant batch.
+func EncodeBatch(ds []Descriptor) ([]byte, error) {
+	if len(ds) > maxBatch {
+		return nil, ErrBatchTooLarge
+	}
+	buf := make([]byte, 2, 2+len(ds)*512)
+	binary.LittleEndian.PutUint16(buf, uint16(len(ds)))
+	for i := range ds {
+		d := &ds[i]
+		spec, err := json.Marshal(d.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("shard: encode spec for %s: %w", d.ID, err)
+		}
+		if len(d.ID) > maxFieldBytes || len(d.Key) > maxFieldBytes || len(d.Parent) > maxFieldBytes {
+			return nil, fmt.Errorf("shard: descriptor %s has an oversized field", d.ID)
+		}
+		if len(spec) > maxSpecBytes {
+			return nil, fmt.Errorf("shard: descriptor %s spec exceeds %d bytes", d.ID, maxSpecBytes)
+		}
+		buf = appendBytes(buf, []byte(d.ID))
+		buf = appendBytes(buf, []byte(d.Key))
+		buf = appendBytes(buf, []byte(d.Parent))
+		buf = binary.AppendUvarint(buf, uint64(d.Start))
+		buf = binary.AppendUvarint(buf, uint64(d.End))
+		buf = appendBytes(buf, spec)
+	}
+	return buf, nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// DecodeBatch parses a grant batch. Every length and count is bounded
+// before any allocation depends on it; malformed input yields an error,
+// never a panic — the receiving side drops the conn and re-syncs via
+// re-registration.
+func DecodeBatch(b []byte) ([]Descriptor, error) {
+	if len(b) < 2 {
+		return nil, errors.New("shard: batch truncated before count")
+	}
+	count := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if count > maxBatch {
+		return nil, fmt.Errorf("shard: batch count %d exceeds cap %d", count, maxBatch)
+	}
+	ds := make([]Descriptor, 0, count)
+	for i := 0; i < count; i++ {
+		var d Descriptor
+		var f []byte
+		var err error
+		if f, b, err = readBytes(b, maxFieldBytes); err != nil {
+			return nil, fmt.Errorf("shard: descriptor %d id: %w", i, err)
+		}
+		d.ID = string(f)
+		if f, b, err = readBytes(b, maxFieldBytes); err != nil {
+			return nil, fmt.Errorf("shard: descriptor %d key: %w", i, err)
+		}
+		d.Key = string(f)
+		if f, b, err = readBytes(b, maxFieldBytes); err != nil {
+			return nil, fmt.Errorf("shard: descriptor %d parent: %w", i, err)
+		}
+		d.Parent = string(f)
+		if d.Start, b, err = readTrialIndex(b); err != nil {
+			return nil, fmt.Errorf("shard: descriptor %d start: %w", i, err)
+		}
+		if d.End, b, err = readTrialIndex(b); err != nil {
+			return nil, fmt.Errorf("shard: descriptor %d end: %w", i, err)
+		}
+		if d.End > 0 && d.End <= d.Start {
+			return nil, fmt.Errorf("shard: descriptor %d has empty range [%d,%d)", i, d.Start, d.End)
+		}
+		if f, b, err = readBytes(b, maxSpecBytes); err != nil {
+			return nil, fmt.Errorf("shard: descriptor %d spec: %w", i, err)
+		}
+		if err := json.Unmarshal(f, &d.Spec); err != nil {
+			return nil, fmt.Errorf("shard: descriptor %d spec: %w", i, err)
+		}
+		ds = append(ds, d)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("shard: %d trailing bytes after batch", len(b))
+	}
+	return ds, nil
+}
+
+// readBytes consumes one length-prefixed field of at most maxLen bytes.
+func readBytes(b []byte, maxLen int) (field, rest []byte, err error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return nil, nil, errors.New("bad length prefix")
+	}
+	if n > uint64(maxLen) {
+		return nil, nil, fmt.Errorf("length %d exceeds cap %d", n, maxLen)
+	}
+	b = b[w:]
+	if uint64(len(b)) < n {
+		return nil, nil, errors.New("truncated field")
+	}
+	return b[:n], b[n:], nil
+}
+
+// maxTrialIndex bounds trial indices on the wire; scenario specs cap
+// trials far below this, so anything larger is hostile or corrupt.
+const maxTrialIndex = 1 << 30
+
+func readTrialIndex(b []byte) (int, []byte, error) {
+	n, w := binary.Uvarint(b)
+	if w <= 0 {
+		return 0, nil, errors.New("bad varint")
+	}
+	if n > maxTrialIndex {
+		return 0, nil, fmt.Errorf("trial index %d exceeds cap", n)
+	}
+	return int(n), b[w:], nil
+}

@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// FuzzDecodeBatch feeds arbitrary bytes to the grant-batch decoder: it
+// must never panic or over-allocate, and anything it does accept must
+// re-encode to the same batch (so a worker and the coordinator can
+// never disagree about a grant that passed decoding). Same contract as
+// the store's journal replay: hostile bytes are an error, not a crash.
+func FuzzDecodeBatch(f *testing.F) {
+	spec := experiments.ScenarioConfig{N: 24, Topology: "line", Query: "min", Attack: "none", Trials: 8, Seed: 3}
+	seed, err := EncodeBatch([]Descriptor{
+		{ID: "u000001", Key: Key("f00d", 0, 4), Parent: "f00d", Start: 0, End: 4, Spec: spec},
+		{ID: "u000002", Key: "f00d", Spec: spec},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ds, err := DecodeBatch(b)
+		if err != nil {
+			return
+		}
+		re, err := EncodeBatch(ds)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		ds2, err := DecodeBatch(re)
+		if err != nil || !reflect.DeepEqual(ds, ds2) {
+			t.Fatalf("accepted batch is not round-trip stable: %v", err)
+		}
+	})
+}

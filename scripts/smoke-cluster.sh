@@ -1,21 +1,30 @@
 #!/usr/bin/env bash
-# Two-process cluster smoke test: a real vmat-server -cluster process
-# and a real vmat-worker process, talking over loopback HTTP. Verifies
-# the worker registers (healthz leaves "degraded"), one job dispatches
-# through the fleet (service_jobs_executed_total{path="cluster"}), and
-# both processes drain cleanly on SIGTERM with exit code 0.
+# Multi-process cluster smoke test: a real vmat-server -cluster process
+# and WORKERS real vmat-worker processes (default 1), talking over
+# loopback — HTTP for registration, the binary streaming transport for
+# work. Verifies the fleet registers (healthz leaves "degraded"), one
+# job dispatches through it (service_jobs_executed_total{path=
+# "cluster"}), and every process drains cleanly on SIGTERM with exit
+# code 0. SHARD_TRIALS > 0 makes the server split the job into
+# trial-range shards and asserts the shard pipeline (planned/merged/
+# assembled counters, wire frames) actually carried them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PORT="${SMOKE_PORT:-18097}"
+WIRE_PORT="$((PORT + 1))"
+WORKERS="${WORKERS:-1}"
+SHARD_TRIALS="${SHARD_TRIALS:-0}"
 BASE="http://127.0.0.1:${PORT}"
 WORK="$(mktemp -d)"
 SERVER_PID=""
-WORKER_PID=""
+WORKER_PIDS=()
 
 cleanup() {
-  [ -n "$WORKER_PID" ] && kill "$WORKER_PID" 2>/dev/null || true
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
   rm -rf "$WORK"
 }
@@ -24,7 +33,9 @@ trap cleanup EXIT
 fail() {
   echo "smoke-cluster: FAIL: $*" >&2
   echo "--- server log ---" >&2; cat "$WORK/server.log" >&2 || true
-  echo "--- worker log ---" >&2; cat "$WORK/worker.log" >&2 || true
+  for log in "$WORK"/worker-*.log; do
+    echo "--- $(basename "$log") ---" >&2; cat "$log" >&2 || true
+  done
   exit 1
 }
 
@@ -32,8 +43,9 @@ echo "smoke-cluster: building binaries"
 go build -o "$WORK/vmat-server" ./cmd/vmat-server
 go build -o "$WORK/vmat-worker" ./cmd/vmat-worker
 
-echo "smoke-cluster: starting vmat-server -cluster on :${PORT}"
+echo "smoke-cluster: starting vmat-server -cluster on :${PORT} (shard-trials=${SHARD_TRIALS})"
 "$WORK/vmat-server" -addr "127.0.0.1:${PORT}" -cluster -lease-ttl 5s \
+  -wire-addr "127.0.0.1:${WIRE_PORT}" -shard-trials "$SHARD_TRIALS" \
   -data-dir "$WORK/store" >"$WORK/server.log" 2>&1 &
 SERVER_PID=$!
 
@@ -47,16 +59,19 @@ curl -fsS "$BASE/healthz" >/dev/null || fail "server never became healthy"
 curl -fsS "$BASE/healthz" | grep -q '"degraded"' \
   || fail "healthz not degraded with zero workers"
 
-echo "smoke-cluster: starting vmat-worker"
-"$WORK/vmat-worker" -server "$BASE" -name smoke-1 >"$WORK/worker.log" 2>&1 &
-WORKER_PID=$!
+echo "smoke-cluster: starting ${WORKERS} vmat-worker process(es)"
+for i in $(seq 1 "$WORKERS"); do
+  "$WORK/vmat-worker" -server "$BASE" -name "smoke-$i" \
+    >"$WORK/worker-$i.log" 2>&1 &
+  WORKER_PIDS+=("$!")
+done
 
 for _ in $(seq 1 100); do
   if curl -fsS "$BASE/healthz" | grep -q '"status":"ok"'; then break; fi
   sleep 0.1
 done
 curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' \
-  || fail "healthz still degraded after the worker joined"
+  || fail "healthz still degraded after the workers joined"
 
 echo "smoke-cluster: submitting a job through the fleet"
 JOB_ID=$(curl -fsS -X POST "$BASE/v1/jobs" -d \
@@ -77,14 +92,30 @@ done
 METRICS=$(curl -fsS "$BASE/metrics")
 echo "$METRICS" | grep -q 'service_jobs_executed_total{path="cluster"} 1' \
   || fail "job did not dispatch through the cluster"
-echo "$METRICS" | grep -q 'cluster_units_completed_total{worker="smoke-1"} 1' \
-  || fail "worker completion not counted"
+TOTAL_UNITS=$(echo "$METRICS" | awk '/^cluster_units_completed_total{/ {sum += $2} END {print sum+0}')
+[ "$TOTAL_UNITS" -ge 1 ] || fail "no unit completions counted across the fleet"
+WIRE_FRAMES=$(echo "$METRICS" | awk '/^wire_frames_sent_total / {print $2+0}')
+[ "${WIRE_FRAMES:-0}" -ge 1 ] || fail "no frames crossed the streaming transport"
 
-echo "smoke-cluster: draining both processes"
-kill -TERM "$WORKER_PID"
-wait "$WORKER_PID" || fail "worker exited non-zero on SIGTERM"
-WORKER_PID=""
-grep -q "deregistered" "$WORK/worker.log" || fail "worker did not deregister on drain"
+if [ "$SHARD_TRIALS" -gt 0 ]; then
+  PLANNED=$(echo "$METRICS" | awk '/^cluster_shards_planned_total / {print $2+0}')
+  MERGED=$(echo "$METRICS" | awk '/^cluster_shards_merged_total / {print $2+0}')
+  [ "${PLANNED:-0}" -ge 2 ] \
+    || fail "3-trial job at shard-trials=${SHARD_TRIALS} planned ${PLANNED:-0} shards, want >= 2"
+  [ "${MERGED:-0}" -eq "$PLANNED" ] \
+    || fail "planned $PLANNED shards but merged ${MERGED:-0}"
+  echo "$METRICS" | grep -q '^cluster_scenarios_assembled_total 1$' \
+    || fail "merged shards never assembled into the scenario"
+fi
+
+echo "smoke-cluster: draining all processes"
+for idx in "${!WORKER_PIDS[@]}"; do
+  kill -TERM "${WORKER_PIDS[$idx]}"
+  wait "${WORKER_PIDS[$idx]}" || fail "worker $((idx + 1)) exited non-zero on SIGTERM"
+  grep -q "deregistered" "$WORK/worker-$((idx + 1)).log" \
+    || fail "worker $((idx + 1)) did not deregister on drain"
+done
+WORKER_PIDS=()
 
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
