@@ -4,7 +4,7 @@ CLUSTER_BENCH_JSON ?= BENCH_PR7.json
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X main.version=$(VERSION)"
 
-.PHONY: all build test race race-focus vet bench bench-cluster run-server run-worker smoke-cluster clean
+.PHONY: all build test race race-focus vet bench bench-cluster run-server run-worker smoke-cluster smoke-chaos clean
 
 all: build test
 
@@ -27,9 +27,12 @@ race:
 # RunTrials drives many engine executions — each with its own network,
 # fault schedule, and deadline/degradation paths — concurrently, which
 # is exactly where accidental sharing between executions would surface.
+# internal/chaos rides along for its recovery paths: the harness's own
+# poll/fire loop is single-threaded, but store/sweep/cluster recovery
+# (WAL replay racing a live listener and re-registering workers) is not.
 # CI runs this instead of the full -race sweep to keep the loop fast.
 race-focus:
-	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff ./internal/shard ./internal/wire
+	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff ./internal/shard ./internal/wire ./internal/chaos
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +58,13 @@ run-worker:
 # SIGTERM drains for both. CI runs this against every push.
 smoke-cluster: build
 	./scripts/smoke-cluster.sh
+
+# Deterministic crash harness: SIGKILLs a real vmat-server mid-sweep
+# under a 4-worker fleet, restarts it, and verifies the recovered run's
+# CSV is bit-identical to an undisturbed baseline with no stored cell
+# re-executed. Seeded — rerun with SEED=n to reproduce a failure.
+smoke-chaos: build
+	./scripts/chaos-cluster.sh
 
 # Runs every testing.B wrapper once with -benchmem and records the
 # results as machine-readable JSON in $(BENCH_JSON): an "env" object

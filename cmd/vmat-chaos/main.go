@@ -1,0 +1,127 @@
+// Command vmat-chaos is the deterministic crash harness CLI: it runs a
+// sweep twice against real vmat-server and vmat-worker binaries — once
+// undisturbed (zero fleet workers) as the baseline, once under a seeded
+// fault schedule with a live fleet — and verifies the recovery
+// contract: bit-identical final CSV, every server kill recovered by an
+// unprompted sweep resume, and total engine executions bounded so
+// completed work is provably never redone.
+//
+// Usage:
+//
+//	vmat-chaos -server-bin ./vmat-server -worker-bin ./vmat-worker \
+//	    -workers 4 -seed 11 -kills 1
+//
+// The schedule is a pure function of -seed (and the counts), so a
+// failing run is reproduced by rerunning the same invocation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// version is stamped by the Makefile via -ldflags "-X main.version=...".
+var version = "dev"
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vmat-chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vmat-chaos", flag.ContinueOnError)
+	serverBin := fs.String("server-bin", "./vmat-server", "vmat-server binary to drive")
+	workerBin := fs.String("worker-bin", "./vmat-worker", "vmat-worker binary to drive")
+	workers := fs.Int("workers", 4, "fleet size for the chaos run (the baseline always runs with 0)")
+	seed := fs.Int64("seed", 11, "schedule seed — same seed, same faults")
+	kills := fs.Int("kills", 1, "server SIGKILL+restart events")
+	severs := fs.Int("severs", 0, "connection-sever events (drop every live streaming conn)")
+	stops := fs.Int("stops", 0, "graceful worker SIGTERM events")
+	workerKills := fs.Int("worker-kills", 0, "worker SIGKILL events (lease expiry path)")
+	grid := fs.String("grid", `{"n":[30,35,40,45,50,55],"attack":["none","drop"],"trials":3,"seed":11,"workers":1}`,
+		"sweep grid JSON")
+	trials := fs.Int("trials", 3, "trials per cell in -grid (denominates the execution bound)")
+	leaseTTL := fs.Duration("lease-ttl", 2*time.Second, "server lease TTL")
+	shardTrials := fs.Int("shard-trials", 0, "server -shard-trials")
+	workDir := fs.String("work-dir", "", "working directory for logs and data dirs (default: a temp dir)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-run sweep deadline")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Println("vmat-chaos", version)
+		return nil
+	}
+
+	work := *workDir
+	if work == "" {
+		var err error
+		if work, err = os.MkdirTemp("", "vmat-chaos-"); err != nil {
+			return err
+		}
+		fmt.Println("vmat-chaos: work dir", work, "(kept for inspection)")
+	}
+
+	// The execution bound is denominated in trials; catch a -grid /
+	// -trials mismatch before spending two full runs on it.
+	var g struct {
+		Trials int `json:"trials"`
+	}
+	if err := json.Unmarshal([]byte(*grid), &g); err != nil {
+		return fmt.Errorf("bad -grid JSON: %w", err)
+	}
+	if g.Trials != 0 && g.Trials != *trials {
+		return fmt.Errorf("-trials %d does not match the grid's trials %d", *trials, g.Trials)
+	}
+
+	cfg := chaos.Config{
+		ServerBin:   *serverBin,
+		WorkerBin:   *workerBin,
+		Workers:     *workers,
+		Grid:        *grid,
+		Trials:      *trials,
+		DataDir:     filepath.Join(work, "data"),
+		WorkDir:     filepath.Join(work, "run"),
+		LeaseTTL:    *leaseTTL,
+		ShardTrials: *shardTrials,
+		Timeout:     *timeout,
+		Log: func(format string, args ...any) {
+			fmt.Printf("vmat-chaos: "+format+"\n", args...)
+		},
+	}
+
+	fmt.Println("vmat-chaos: baseline run (0 fleet workers, no faults)")
+	baseline, err := chaos.Baseline(cfg)
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	fmt.Printf("vmat-chaos: baseline done: %d cells, %d CSV bytes\n", baseline.View.Cells, len(baseline.CSV))
+
+	cfg.Schedule = chaos.Generate(*seed, *workers, baseline.View.Cells, map[chaos.Kind]int{
+		chaos.KillServer: *kills,
+		chaos.SeverConns: *severs,
+		chaos.StopWorker: *stops,
+		chaos.KillWorker: *workerKills,
+	})
+	fmt.Printf("vmat-chaos: chaos run (%d workers, %s)\n", *workers, cfg.Schedule)
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("chaos run: %w", err)
+	}
+	if err := chaos.Verify(rep, baseline, *trials); err != nil {
+		return err
+	}
+	fmt.Printf("vmat-chaos: PASS — sweep %s: %d cells, CSV bit-identical, %d resumed, %d cached of %d done before last kill, executions server=%d fleet=%d\n",
+		rep.SweepID, rep.View.Cells, rep.ResumedSweeps, rep.View.Cached, rep.DoneBeforeLastKill,
+		rep.ServerExecutions, rep.WorkerExecutions)
+	return nil
+}

@@ -22,7 +22,13 @@
 //
 // With -data-dir, completed results persist in a content-addressed
 // store: identical resubmissions (jobs or sweep cells) are served from
-// disk without re-execution, across restarts.
+// disk without re-execution, across restarts. The same directory holds
+// a control-plane write-ahead log, making the server crash-tolerant: a
+// kill -9 mid-sweep loses no completed cell, and the next start replays
+// the log, skips everything already stored, and resumes every open
+// sweep automatically — no operator resubmission, same sweep IDs.
+// /healthz reports "degraded" with a recovery section while the replay
+// rebuilds state.
 //
 // With -cluster, the server additionally hosts the distributed
 // execution plane: vmat-worker processes register under /v1/cluster,
@@ -38,9 +44,10 @@
 //
 // On SIGTERM/SIGINT the server drains gracefully: it stops leasing
 // cluster units and waits for in-flight leases, stops accepting work,
-// finishes queued and running jobs, flushes the store, then exits — an
-// interrupted sweep resumes from the store when its grid is
-// resubmitted.
+// finishes queued and running jobs, flushes the store, then exits — a
+// sweep interrupted by the drain stays open in the WAL and resumes
+// automatically on the next start (without -data-dir, resubmitting the
+// grid resumes it from scratch).
 package main
 
 import (
@@ -86,6 +93,7 @@ func run(args []string, w io.Writer) error {
 	leaseRetries := fs.Int("lease-retries", 3, "leases one unit may consume before falling back to local execution")
 	shardTrials := fs.Int("shard-trials", 0, "split cluster scenarios into work units of at most this many trials (0 = whole-scenario units)")
 	wireAddr := fs.String("wire-addr", ":8081", "streaming-transport listen address for cluster workers (empty = HTTP lease polling only)")
+	wireAdvertise := fs.String("wire-advertise", "", "streaming-transport address advertised to workers instead of the bound one (for proxies/NAT; empty = advertise the listener)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +108,8 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "vmat-server: "+format+"\n", args...)
 	}
 	var st *store.Store
+	var wal *store.WAL
+	var walRecords []store.WALRecord
 	if *dataDir != "" {
 		var err error
 		st, err = store.Open(*dataDir, store.Config{Metrics: reg, Log: logf})
@@ -112,19 +122,37 @@ func run(args []string, w io.Writer) error {
 			}
 		}()
 		logf("result store at %s (%d entries)", *dataDir, st.Len())
+		// The control-plane WAL rides in the same directory: results are
+		// the journal's business, promises (open sweeps, enqueued units)
+		// are the WAL's. Replaying both is what makes a kill -9 lose no
+		// completed work and resume every open sweep unprompted.
+		wal, walRecords, err = store.OpenWAL(*dataDir, store.WALConfig{Metrics: reg, Log: logf})
+		if err != nil {
+			return fmt.Errorf("open control WAL: %w", err)
+		}
+		defer func() {
+			if wal != nil {
+				wal.Close()
+			}
+		}()
+		if len(walRecords) > 0 {
+			logf("control WAL holds %d records; recovery will resume open sweeps", len(walRecords))
+		}
 	}
 	var coord *cluster.Coordinator
 	var workersRep service.WorkersReporter
 	var exec service.Executor
 	if *clusterOn {
 		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
-			LeaseTTL:    *leaseTTL,
-			MaxAttempts: *leaseRetries,
-			ShardTrials: *shardTrials,
-			Store:       st,
-			Metrics:     reg,
-			Log:         logf,
-			Version:     version,
+			LeaseTTL:      *leaseTTL,
+			MaxAttempts:   *leaseRetries,
+			ShardTrials:   *shardTrials,
+			Store:         st,
+			Metrics:       reg,
+			Log:           logf,
+			Version:       version,
+			WAL:           wal,
+			WireAdvertise: *wireAdvertise,
 		})
 		defer coord.Close()
 		workersRep, exec = coord, coord
@@ -149,16 +177,18 @@ func run(args []string, w io.Writer) error {
 		Cluster:    exec,
 	})
 	swm := sweep.NewManager(sweep.Config{
-		Service: mgr,
-		Store:   st,
-		Metrics: reg,
-		Log:     logf,
-		Version: version,
+		Service:    mgr,
+		Store:      st,
+		Metrics:    reg,
+		Log:        logf,
+		Version:    version,
+		WAL:        wal,
+		WALRecords: walRecords,
 	})
 	// Root mux: the job API owns "/", sweep routes are more specific and
 	// win for /v1/sweeps*.
 	root := http.NewServeMux()
-	root.Handle("/", service.NewHandler(mgr, version, workersRep))
+	root.Handle("/", service.NewHandler(mgr, version, workersRep, swm))
 	sweep.Register(root, swm)
 	if coord != nil {
 		cluster.RegisterHTTP(root, coord)
@@ -187,6 +217,13 @@ func run(args []string, w io.Writer) error {
 		}
 		errCh <- nil
 	}()
+
+	// Recovery runs beside the listener, not before it: the server
+	// answers /healthz ("degraded", with a recovery section) while open
+	// sweeps are rebuilt, workers re-register in the meantime, and
+	// submissions block until the rebuild is done so a racing
+	// resubmission cannot duplicate a resuming sweep.
+	go swm.Recover()
 
 	select {
 	case err := <-errCh:
@@ -218,6 +255,12 @@ func run(args []string, w io.Writer) error {
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if wal != nil {
+		if err := wal.Close(); err != nil {
+			return fmt.Errorf("close control WAL: %w", err)
+		}
+		wal = nil // defer-close already done
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {

@@ -33,6 +33,8 @@ import (
 	"syscall"
 
 	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
 )
 
 // version is stamped by the Makefile via -ldflags "-X main.version=...".
@@ -63,6 +65,7 @@ func run(args []string, w io.Writer) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(w, "vmat-worker: "+format+"\n", args...)
 	}
+	reg := metrics.New()
 	worker := cluster.NewWorker(cluster.WorkerConfig{
 		Server:      *server,
 		Name:        *name,
@@ -70,6 +73,7 @@ func run(args []string, w io.Writer) error {
 		DisableWire: *httpPoll,
 		Prefetch:    *prefetch,
 		Log:         logf,
+		Metrics:     reg,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -78,6 +82,10 @@ func run(args []string, w io.Writer) error {
 	if err := worker.Run(ctx); err != nil {
 		return err
 	}
+	// The drain line reports how much engine work this process really
+	// performed — the chaos harness sums it across the fleet to bound
+	// duplicate execution after coordinator kills.
+	logf("engine executions: %d", reg.Counter(core.MetricExecutions).Value())
 	logf("bye")
 	return nil
 }

@@ -51,6 +51,19 @@ type CoordinatorConfig struct {
 	Log func(format string, args ...any)
 	// Version stamps store write-backs from remote results.
 	Version string
+	// WAL, when non-nil, receives an execution audit trail: one
+	// unit-enqueued record when Execute hands a scenario to the fleet and
+	// one unit-completed record when that Execute call returns (source
+	// "cluster", "failed", or "abandoned"). The records carry no sweep,
+	// which is how recovery tells them apart from sweep lifecycle
+	// records; replay pairs them to report scenarios that were in flight
+	// on the fleet when the server died.
+	WAL *store.WAL
+	// WireAdvertise, when set, is the streaming-transport address
+	// Register hands to workers instead of the listener's own (the
+	// listener may sit behind a proxy — the chaos harness severs conns at
+	// one — or on an address unreachable from the fleet's network).
+	WireAdvertise string
 }
 
 // group is one Execute call: a scenario split into one or more units.
@@ -234,8 +247,22 @@ func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
 	}
 	if c.wire != nil {
 		resp.Wire = c.wire.addr
+		if c.cfg.WireAdvertise != "" {
+			resp.Wire = c.cfg.WireAdvertise
+		}
 	}
 	return resp
+}
+
+// walAppend records one execution-audit transition. A failed append
+// costs audit fidelity, never serving, so it is logged and swallowed.
+func (c *Coordinator) walAppend(rec store.WALRecord) {
+	if c.cfg.WAL == nil {
+		return
+	}
+	if err := c.cfg.WAL.Append(rec); err != nil {
+		c.log("cluster: audit WAL append failed: %v", err)
+	}
 }
 
 // Deregister removes a worker gracefully. Any lease it still holds
@@ -680,15 +707,19 @@ func (c *Coordinator) Execute(ctx context.Context, spec experiments.ScenarioConf
 	}
 	c.notifyWorkLocked()
 	c.mu.Unlock()
+	c.walAppend(store.WALRecord{Kind: store.RecUnitEnqueued, Key: key})
 
 	select {
 	case <-g.done:
 		if g.abandoned {
+			c.walAppend(store.WALRecord{Kind: store.RecUnitCompleted, Key: key, Source: "abandoned"})
 			return nil, false, nil
 		}
 		if g.errMsg != "" {
+			c.walAppend(store.WALRecord{Kind: store.RecUnitCompleted, Key: key, Source: "failed", Error: g.errMsg})
 			return nil, true, fmt.Errorf("cluster: remote execution failed: %s", g.errMsg)
 		}
+		c.walAppend(store.WALRecord{Kind: store.RecUnitCompleted, Key: key, Source: "cluster"})
 		return g.rows, true, nil
 	case <-ctx.Done():
 		// Cancelled or timed out: withdraw the whole group. Workers
@@ -700,6 +731,7 @@ func (c *Coordinator) Execute(ctx context.Context, spec experiments.ScenarioConf
 			c.withdrawGroupUnitsLocked(g)
 		}
 		c.mu.Unlock()
+		c.walAppend(store.WALRecord{Kind: store.RecUnitCompleted, Key: key, Source: "abandoned"})
 		return nil, true, ctx.Err()
 	}
 }

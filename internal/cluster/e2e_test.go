@@ -51,7 +51,7 @@ func runClusteredSweep(t *testing.T, nWorkers int, killOne bool, shardTrials int
 	mgr := service.New(service.Config{Metrics: reg, Cluster: coord, Workers: 4, Version: "e2e"})
 	swm := sweep.NewManager(sweep.Config{Service: mgr, Metrics: reg, Version: "e2e"})
 	mux := http.NewServeMux()
-	mux.Handle("/", service.NewHandler(mgr, "e2e", coord))
+	mux.Handle("/", service.NewHandler(mgr, "e2e", coord, nil))
 	sweep.Register(mux, swm)
 	RegisterHTTP(mux, coord)
 	srv := httptest.NewServer(mux)

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/shard"
 	"repro/internal/wire"
 )
@@ -55,6 +56,12 @@ type WorkerConfig struct {
 	HTTPClient *http.Client
 	// Log receives progress lines. Nil discards them.
 	Log func(format string, args ...any)
+	// Metrics, when non-nil, receives the engine counters of every unit
+	// the default RunUnit executes (core_executions_total and friends),
+	// so a worker process can report how much engine work it really did —
+	// the chaos harness sums this across the fleet to bound duplicate
+	// execution. Ignored when RunUnit is overridden.
+	Metrics *metrics.Registry
 
 	// RunUnit overrides unit execution (tests use it to gate timing).
 	// Nil runs the unit's own Run: the trial range when sharded, the
@@ -120,7 +127,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cfg.Log = func(string, ...any) {}
 	}
 	if cfg.RunUnit == nil {
+		reg := cfg.Metrics
 		cfg.RunUnit = func(u Unit) ([]experiments.ScenarioRow, error) {
+			u.Spec.Metrics = reg
 			return u.Run()
 		}
 	}

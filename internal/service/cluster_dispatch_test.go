@@ -140,7 +140,7 @@ func TestHealthzWorkersSection(t *testing.T) {
 		if h != nil {
 			rep = h
 		}
-		srv := httptest.NewServer(NewHandler(m, "test", rep))
+		srv := httptest.NewServer(NewHandler(m, "test", rep, nil))
 		defer srv.Close()
 		var body map[string]any
 		getJSONBody(t, srv.URL+"/healthz", &body)

@@ -39,6 +39,24 @@ type WorkersReporter interface {
 	WorkersStatus() WorkersStatus
 }
 
+// RecoveryStatus is the crash-recovery subsystem's contribution to
+// /healthz: what startup replay of the control-plane WAL found and did.
+// The sweep manager implements RecoveryReporter.
+type RecoveryStatus struct {
+	// Active is true while replay is still rebuilding state; the server
+	// reports "degraded" until it flips false.
+	Active          bool  `json:"active"`
+	ReplayedRecords int64 `json:"replayed_records"`
+	ResumedSweeps   int64 `json:"resumed_sweeps"`
+	ReenqueuedUnits int64 `json:"reenqueued_units"`
+	WallTimeMicros  int64 `json:"wall_time_us"`
+}
+
+// RecoveryReporter reports crash-recovery progress for /healthz.
+type RecoveryReporter interface {
+	RecoveryStatus() RecoveryStatus
+}
+
 // NewHandler returns the server's HTTP API over a manager:
 //
 //	POST   /v1/jobs            submit a job (202; 400 invalid, 429 full, 503 draining)
@@ -54,10 +72,15 @@ type WorkersReporter interface {
 // operator asked for a fleet and has none). Pass nil when cluster mode
 // is off.
 //
+// recovery, when non-nil, adds a "recovery" section to /healthz with
+// the control-plane WAL replay counters and flips the status to
+// "degraded" while the replay is still rebuilding state (submissions
+// wait on it). Pass nil when the server runs without a data dir.
+//
 // Every route is instrumented with a request counter and a latency
 // histogram in the manager's registry.
-func NewHandler(m *Manager, version string, workers WorkersReporter) http.Handler {
-	h := &api{m: m, version: version, workers: workers}
+func NewHandler(m *Manager, version string, workers WorkersReporter, recovery RecoveryReporter) http.Handler {
+	h := &api{m: m, version: version, workers: workers, recovery: recovery}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", h.instrument("POST /v1/jobs", h.submit))
 	mux.HandleFunc("GET /v1/jobs/{id}", h.instrument("GET /v1/jobs/{id}", h.get))
@@ -69,9 +92,10 @@ func NewHandler(m *Manager, version string, workers WorkersReporter) http.Handle
 }
 
 type api struct {
-	m       *Manager
-	version string
-	workers WorkersReporter
+	m        *Manager
+	version  string
+	workers  WorkersReporter
+	recovery RecoveryReporter
 }
 
 // statusRecorder captures the response code for instrumentation.
@@ -232,6 +256,13 @@ func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
 		ws := h.workers.WorkersStatus()
 		body["workers"] = ws
 		if ws.Connected == 0 {
+			status = "degraded"
+		}
+	}
+	if h.recovery != nil {
+		rs := h.recovery.RecoveryStatus()
+		body["recovery"] = rs
+		if rs.Active {
 			status = "degraded"
 		}
 	}

@@ -20,7 +20,7 @@ import (
 func TestSubmitRejectsUnknownFields(t *testing.T) {
 	m := New(Config{QueueSize: 2, Workers: 1})
 	defer drain(t, m)
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	body := `{"n":30,"topology":"line","query":"min","trials":1,"seed":1,"fautls":{"crash_prob":0.5}}`
@@ -47,7 +47,7 @@ func TestHealthzDegradedWhenQueueFull(t *testing.T) {
 	gate := make(chan struct{})
 	m := New(Config{QueueSize: 2, Workers: 1})
 	m.runGate = gate
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	health := func() string {
@@ -100,7 +100,7 @@ func TestHealthzDegradedWhenQueueFull(t *testing.T) {
 func TestFaultJobRunsEndToEnd(t *testing.T) {
 	m := New(Config{QueueSize: 2, Workers: 1})
 	defer drain(t, m)
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	spec := Spec{ScenarioConfig: experiments.ScenarioConfig{

@@ -92,7 +92,7 @@ func waitStatus(t *testing.T, srv *httptest.Server, id string, want Status) View
 func TestHTTPJobMatchesBenchRows(t *testing.T) {
 	m := New(Config{QueueSize: 4, Workers: 2})
 	defer drain(t, m)
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	spec := testSpec()
@@ -123,7 +123,7 @@ func TestQueueRejectsWhenFull(t *testing.T) {
 	gate := make(chan struct{})
 	m := New(Config{QueueSize: 2, Workers: 1})
 	m.runGate = gate
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	// First job is dequeued by the worker and held at the gate.
@@ -155,7 +155,7 @@ func TestQueueRejectsWhenFull(t *testing.T) {
 // /metrics afterwards reports queue depth 0.
 func TestDrainCompletesInFlightJobs(t *testing.T) {
 	m := New(Config{QueueSize: 8, Workers: 1})
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	var ids []string
@@ -208,7 +208,7 @@ func TestDrainCompletesInFlightJobs(t *testing.T) {
 func TestTraceStreamsNDJSON(t *testing.T) {
 	m := New(Config{QueueSize: 4, Workers: 1})
 	defer drain(t, m)
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	spec := testSpec()
@@ -269,7 +269,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	gate := make(chan struct{})
 	m := New(Config{QueueSize: 4, Workers: 1})
 	m.runGate = gate
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	runningID, _ := postJob(t, srv, testSpec())
@@ -324,7 +324,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 func TestInvalidSpecRejected(t *testing.T) {
 	m := New(Config{QueueSize: 2, Workers: 1})
 	defer drain(t, m)
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	spec := testSpec()
@@ -349,7 +349,7 @@ func TestInvalidSpecRejected(t *testing.T) {
 func TestJobTimeoutFailsLongJobs(t *testing.T) {
 	m := New(Config{QueueSize: 2, Workers: 1, JobTimeout: time.Nanosecond})
 	defer drain(t, m)
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	id, code := postJob(t, srv, testSpec())
@@ -367,7 +367,7 @@ func TestJobTimeoutFailsLongJobs(t *testing.T) {
 
 func TestRetentionEvictsOldestTerminalJobs(t *testing.T) {
 	m := New(Config{QueueSize: 8, Workers: 1, Retain: 2})
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	spec := testSpec()
@@ -395,7 +395,7 @@ func TestRetentionEvictsOldestTerminalJobs(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	m := New(Config{QueueSize: 2, Workers: 1})
-	srv := httptest.NewServer(NewHandler(m, "v-test", nil))
+	srv := httptest.NewServer(NewHandler(m, "v-test", nil, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -429,7 +429,7 @@ func TestHTTPInstrumentation(t *testing.T) {
 	reg := metrics.New()
 	m := New(Config{QueueSize: 2, Workers: 1, Metrics: reg})
 	defer drain(t, m)
-	srv := httptest.NewServer(NewHandler(m, "test", nil))
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
 	defer srv.Close()
 
 	if _, err := http.Get(srv.URL + "/healthz"); err != nil {

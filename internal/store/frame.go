@@ -1,0 +1,94 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Record framing shared by the store's append-only files — the result
+// journal (magic "VMR1") and the control-plane WAL (magic "VMC1") —
+// little-endian:
+//
+//	magic   [4]byte  file-specific
+//	length  uint32   payload byte count
+//	crc     uint32   IEEE CRC-32 of the payload
+//	payload []byte
+//
+// The per-record checksum is what makes crash recovery possible: a torn
+// write at the tail fails either the length read or the CRC and is
+// truncated away on open.
+
+const frameHeaderLen = 12
+
+// maxFrameBytes bounds a single record so a corrupt length field cannot
+// drive a multi-gigabyte allocation during replay.
+const maxFrameBytes = 1 << 30
+
+// encodeFrame renders one framed record.
+func encodeFrame(magic [4]byte, payload []byte) ([]byte, error) {
+	if len(payload) > maxFrameBytes {
+		return nil, fmt.Errorf("store: %d-byte record exceeds the %d-byte frame limit", len(payload), maxFrameBytes)
+	}
+	rec := make([]byte, frameHeaderLen+len(payload))
+	copy(rec, magic[:])
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[8:], crc32.ChecksumIEEE(payload))
+	copy(rec[frameHeaderLen:], payload)
+	return rec, nil
+}
+
+// scanFrames replays framed records from the start of f, calling fn
+// with each complete, checksummed payload and its file offset. A
+// non-nil error from fn marks that record as the start of the corrupt
+// tail (its message is the reason). Returns the offset just past the
+// last good record and the corruption reason — empty when the file ends
+// cleanly. Deciding whether to truncate is the caller's business; the
+// rationale for treating the first bad record as tail damage is that
+// both files are append-only, so mid-file damage cannot occur without
+// tail damage first.
+func scanFrames(f *os.File, magic [4]byte, fn func(off int64, payload []byte) error) (int64, string, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, "", fmt.Errorf("store: seek: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	for {
+		var hdr [frameHeaderLen]byte
+		n, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF && n == 0 {
+			return off, "", nil // clean end of file
+		}
+		reason := ""
+		var payload []byte
+		switch {
+		case err != nil:
+			reason = "truncated record header"
+		case !bytes.Equal(hdr[:4], magic[:]):
+			reason = "bad record magic"
+		case binary.LittleEndian.Uint32(hdr[4:]) > maxFrameBytes:
+			reason = "implausible record length"
+		}
+		if reason == "" {
+			payload = make([]byte, binary.LittleEndian.Uint32(hdr[4:]))
+			if _, err := io.ReadFull(r, payload); err != nil {
+				reason = "truncated record payload"
+			} else if binary.LittleEndian.Uint32(hdr[8:]) != crc32.ChecksumIEEE(payload) {
+				reason = "record checksum mismatch"
+			}
+		}
+		if reason == "" {
+			if err := fn(off, payload); err != nil {
+				reason = err.Error()
+			} else {
+				off += int64(frameHeaderLen + len(payload))
+				continue
+			}
+		}
+		return off, reason, nil
+	}
+}

@@ -1,36 +1,25 @@
 package store
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 )
 
 // JournalName is the append-only record file inside the store
 // directory. Exported so operators (and tests) can find it.
 const JournalName = "journal.vmat"
 
-// Journal record layout, little-endian:
-//
-//	magic   [4]byte  "VMR1"
-//	length  uint32   payload byte count
-//	crc     uint32   IEEE CRC-32 of the payload
-//	payload []byte   JSON-encoded Entry
-//
-// The per-record checksum is what makes crash recovery possible: a torn
-// write at the tail fails either the length read or the CRC and is
-// truncated away on Open.
+// journalMagic marks result-journal records in the shared framing (see
+// frame.go for the layout).
 var journalMagic = [4]byte{'V', 'M', 'R', '1'}
 
-const journalHeaderLen = 12
-
-// maxRecordBytes bounds a single record so a corrupt length field
-// cannot drive a multi-gigabyte allocation during replay.
-const maxRecordBytes = 1 << 30
+// journalHeaderLen aliases the shared frame header size; the record
+// layout itself lives in frame.go.
+const journalHeaderLen = frameHeaderLen
 
 // encodeRecord renders one entry as a framed journal record.
 func encodeRecord(e *Entry) ([]byte, error) {
@@ -38,14 +27,10 @@ func encodeRecord(e *Entry) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: marshal record for %s: %w", e.Key, err)
 	}
-	if len(payload) > maxRecordBytes {
-		return nil, fmt.Errorf("store: record for %s is %d bytes, exceeding the %d-byte limit", e.Key, len(payload), maxRecordBytes)
+	rec, err := encodeFrame(journalMagic, payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: record for %s: %w", e.Key, err)
 	}
-	rec := make([]byte, journalHeaderLen+len(payload))
-	copy(rec, journalMagic[:])
-	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[8:], crc32.ChecksumIEEE(payload))
-	copy(rec[journalHeaderLen:], payload)
 	return rec, nil
 }
 
@@ -71,60 +56,30 @@ func decodeRecord(rec []byte) (Entry, error) {
 // replay scans the journal from the start, indexing every complete,
 // checksummed record. The first incomplete or corrupt record marks the
 // recovery point: everything from there on is the debris of a torn
-// write (the journal is append-only, so mid-file damage cannot occur
-// without tail damage first), and is logged, counted, and truncated so
-// subsequent appends start from a clean boundary. Duplicate keys keep
-// the first record, matching Put's first-write-wins idempotence.
+// write, and is logged, counted, and truncated so subsequent appends
+// start from a clean boundary. Duplicate keys keep the first record,
+// matching Put's first-write-wins idempotence.
 func (s *Store) replay() error {
-	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("store: seek journal: %w", err)
+	off, reason, err := scanFrames(s.f, journalMagic, func(off int64, payload []byte) error {
+		var e Entry
+		if jerr := json.Unmarshal(payload, &e); jerr != nil || e.Key == "" {
+			return errors.New("undecodable record payload")
+		}
+		if _, dup := s.index[e.Key]; !dup {
+			s.index[e.Key] = recordRef{off: off, length: int64(journalHeaderLen + len(payload))}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: replay journal: %w", err)
 	}
-	r := bufio.NewReaderSize(s.f, 1<<20)
-	var off int64
-	for {
-		var hdr [journalHeaderLen]byte
-		n, err := io.ReadFull(r, hdr[:])
-		if err == io.EOF && n == 0 {
-			break // clean end of journal
-		}
-		reason := ""
-		var payload []byte
-		switch {
-		case err != nil:
-			reason = "truncated record header"
-		case !bytes.Equal(hdr[:4], journalMagic[:]):
-			reason = "bad record magic"
-		case binary.LittleEndian.Uint32(hdr[4:]) > maxRecordBytes:
-			reason = "implausible record length"
-		}
-		if reason == "" {
-			payload = make([]byte, binary.LittleEndian.Uint32(hdr[4:]))
-			if _, err := io.ReadFull(r, payload); err != nil {
-				reason = "truncated record payload"
-			} else if binary.LittleEndian.Uint32(hdr[8:]) != crc32.ChecksumIEEE(payload) {
-				reason = "record checksum mismatch"
-			}
-		}
-		if reason == "" {
-			var e Entry
-			if err := json.Unmarshal(payload, &e); err != nil || e.Key == "" {
-				reason = "undecodable record payload"
-			} else {
-				length := int64(journalHeaderLen + len(payload))
-				if _, dup := s.index[e.Key]; !dup {
-					s.index[e.Key] = recordRef{off: off, length: length}
-				}
-				off += length
-				continue
-			}
-		}
+	if reason != "" {
 		// Corrupt tail: recover to the last good record.
 		s.corrupt.Inc()
 		s.log("store: journal corrupt at offset %d (%s); recovering %d complete records and truncating", off, reason, len(s.index))
 		if err := s.f.Truncate(off); err != nil {
 			return fmt.Errorf("store: truncate corrupt journal tail: %w", err)
 		}
-		break
 	}
 	s.size = off
 	return nil

@@ -1,0 +1,257 @@
+package store
+
+// This file is the control-plane write-ahead log: a second append-only
+// file in the store directory, sharing the journal's CRC'd record
+// framing, that records sweep and cluster state transitions instead of
+// results. The result journal is the authority on *what has been
+// computed*; the WAL is the authority on *what was promised* — which
+// sweeps are open, which units were enqueued, which completed.
+// Replaying both on startup lets a restarted server resume every open
+// sweep with zero operator action: stored cells are skipped, unrecorded
+// ones re-enqueued, and first-write-wins Put makes any duplicate
+// execution harmless.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// WALName is the control-plane write-ahead log inside the store
+// directory. Exported so operators (and tests) can find it.
+const WALName = "control.wal"
+
+// walMagic marks control-plane records in the shared framing.
+var walMagic = [4]byte{'V', 'M', 'C', '1'}
+
+// WAL record kinds. Each record is one control-plane state transition;
+// the set is deliberately small enough to replay by a single pass.
+const (
+	RecSweepOpened   = "sweep-opened"   // a sweep was accepted (carries its grid)
+	RecUnitEnqueued  = "unit-enqueued"  // a cell/scenario entered the execution path
+	RecUnitCompleted = "unit-completed" // a cell/scenario reached a terminal outcome
+	RecSweepClosed   = "sweep-closed"   // the sweep reached done or cancelled
+)
+
+// WAL metric names.
+const (
+	MetricWALAppends = "store_wal_appends_total"
+	MetricWALRecords = "store_wal_records"
+	MetricWALCorrupt = "store_wal_corrupt_records_total"
+)
+
+// WALRecord is one control-plane state transition. Which fields are
+// meaningful depends on Kind: sweep-opened carries Sweep/GridKey/Grid;
+// unit records carry Key (a content address) and, for sweep cells, the
+// owning Sweep; cluster-audit unit records (from the coordinator) leave
+// Sweep empty; sweep-closed carries Sweep and Status.
+type WALRecord struct {
+	Kind    string          `json:"kind"`
+	Sweep   string          `json:"sweep,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	GridKey string          `json:"grid_key,omitempty"`
+	Grid    json.RawMessage `json:"grid,omitempty"`
+	Source  string          `json:"source,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Status  string          `json:"status,omitempty"`
+}
+
+// WALConfig configures a WAL. Zero values are usable defaults.
+type WALConfig struct {
+	// Metrics receives append/corruption counters. Nil creates a
+	// private registry.
+	Metrics *metrics.Registry
+	// Log receives recovery notices. Nil discards them.
+	Log func(format string, args ...any)
+}
+
+// WAL is the append-only control-plane log. All methods are safe for
+// concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
+	n    int64 // live record count, mirrored into MetricWALRecords
+
+	log     func(format string, args ...any)
+	appends *metrics.Counter
+	corrupt *metrics.Counter
+	records *metrics.Gauge
+}
+
+// OpenWAL opens (creating if needed) the control-plane WAL in dir and
+// replays it, returning every complete, checksummed record in append
+// order. A torn or corrupt tail — the signature of a crash mid-append —
+// is logged, counted under MetricWALCorrupt, and truncated away exactly
+// like the result journal's recovery; only I/O errors are fatal.
+func OpenWAL(dir string, cfg WALConfig) (*WAL, []WALRecord, error) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	if cfg.Log == nil {
+		cfg.Log = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, WALName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open control WAL: %w", err)
+	}
+	w := &WAL{
+		f:       f,
+		path:    path,
+		log:     cfg.Log,
+		appends: cfg.Metrics.Counter(MetricWALAppends),
+		corrupt: cfg.Metrics.Counter(MetricWALCorrupt),
+		records: cfg.Metrics.Gauge(MetricWALRecords),
+	}
+	var recs []WALRecord
+	off, reason, err := scanFrames(f, walMagic, func(_ int64, payload []byte) error {
+		var r WALRecord
+		if jerr := json.Unmarshal(payload, &r); jerr != nil || r.Kind == "" {
+			return errors.New("undecodable record payload")
+		}
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: replay control WAL: %w", err)
+	}
+	if reason != "" {
+		w.corrupt.Inc()
+		w.log("store: control WAL corrupt at offset %d (%s); recovering %d complete records and truncating", off, reason, len(recs))
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: truncate corrupt WAL tail: %w", err)
+		}
+	}
+	w.size = off
+	w.n = int64(len(recs))
+	w.records.Set(w.n)
+	return w, recs, nil
+}
+
+// Append writes the records as one batch with a single fsync before
+// returning, so a control-plane transition is durable before the state
+// it promises becomes externally visible. An empty batch is a no-op.
+func (w *WAL) Append(recs ...WALRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	for i := range recs {
+		payload, err := json.Marshal(&recs[i])
+		if err != nil {
+			return fmt.Errorf("store: marshal WAL record (%s): %w", recs[i].Kind, err)
+		}
+		frame, err := encodeFrame(walMagic, payload)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("store: control WAL is closed")
+	}
+	if _, err := w.f.WriteAt(buf, w.size); err != nil {
+		return fmt.Errorf("store: append WAL records: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync control WAL: %w", err)
+	}
+	w.size += int64(len(buf))
+	w.n += int64(len(recs))
+	w.appends.Add(int64(len(recs)))
+	w.records.Set(w.n)
+	return nil
+}
+
+// Compact atomically replaces the WAL's contents with keep. Recovery
+// calls it after replay so records from closed sweeps and finished
+// units of prior incarnations stop being replayed on every startup; the
+// rewrite goes through a temp file and rename, so a crash mid-compact
+// leaves either the old log or the new one, never a mix.
+func (w *WAL) Compact(keep []WALRecord) error {
+	var buf []byte
+	for i := range keep {
+		payload, err := json.Marshal(&keep[i])
+		if err != nil {
+			return fmt.Errorf("store: marshal WAL record (%s): %w", keep[i].Kind, err)
+		}
+		frame, err := encodeFrame(walMagic, payload)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("store: control WAL is closed")
+	}
+	tmpPath := w.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create WAL compaction file: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: write compacted WAL: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: sync compacted WAL: %w", err)
+	}
+	if err := os.Rename(tmpPath, w.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: swap compacted WAL: %w", err)
+	}
+	// The open handle follows the rename (same inode), so tmp becomes
+	// the live file and the old one is released.
+	w.f.Close()
+	w.f = tmp
+	w.size = int64(len(buf))
+	w.n = int64(len(keep))
+	w.records.Set(w.n)
+	return nil
+}
+
+// Sync flushes the WAL. Appends already sync per batch; Sync exists for
+// shutdown paths wanting an explicit final barrier.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// Close syncs and closes the WAL. Appends after Close fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

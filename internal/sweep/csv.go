@@ -8,9 +8,14 @@ import (
 
 // csvHeader is the flattened export schema: one line per trial per
 // cell, the cell's scenario parameters repeated on every line so the
-// file loads straight into a dataframe with no joins.
+// file loads straight into a dataframe with no joins. The schema is
+// deliberately free of provenance (no store-vs-executed column): a
+// sweep's CSV is a pure function of its grid, so a run that survived a
+// crash-and-restart exports bytes identical to an undisturbed one —
+// the property the chaos harness asserts. Provenance lives in the JSON
+// export's per-cell source field.
 var csvHeader = []string{
-	"cell", "source", "n", "topology", "query", "attack", "malicious",
+	"cell", "n", "topology", "query", "attack", "malicious",
 	"multipath", "loss_rate", "theta", "synopses", "trials", "seed",
 	"trial", "outcome", "answered", "answer", "slots", "flooding_rounds",
 	"predicate_tests", "revoked_keys", "revoked_nodes", "total_bytes",
@@ -29,7 +34,7 @@ func WriteCSV(w io.Writer, results []CellResult) error {
 		s := c.Spec
 		for _, r := range c.Rows {
 			rec := []string{
-				strconv.Itoa(c.Index), c.Source,
+				strconv.Itoa(c.Index),
 				strconv.Itoa(s.N), s.Topology, s.Query, s.Attack,
 				strconv.Itoa(s.Malicious), strconv.FormatBool(s.Multipath),
 				formatFloat(s.LossRate), strconv.Itoa(s.Theta),

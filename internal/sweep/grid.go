@@ -11,6 +11,8 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"repro/internal/experiments"
@@ -197,4 +199,18 @@ func (g *Grid) Expand() ([]Cell, error) {
 		return nil, fmt.Errorf("sweep: grid expands to no cells")
 	}
 	return cells, nil
+}
+
+// cellsKey is a sweep's content address: the hash of its ordered
+// expanded cell keys. Two grids that expand to the same cells — however
+// differently they were spelled — are the same sweep, which is what
+// lets a resubmission attach to the live sweep instead of
+// double-enqueueing, and a recovered sweep be matched across restarts.
+func cellsKey(cells []Cell) string {
+	h := sha256.New()
+	for _, c := range cells {
+		h.Write([]byte(c.Key))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }

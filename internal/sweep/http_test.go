@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *metrics.Registry) {
 	sm := sweep.NewManager(sweep.Config{Service: svc, Store: st, Metrics: reg})
 
 	root := http.NewServeMux()
-	root.Handle("/", service.NewHandler(svc, "test", nil))
+	root.Handle("/", service.NewHandler(svc, "test", nil, nil))
 	sweep.Register(root, sm)
 	srv := httptest.NewServer(root)
 	t.Cleanup(func() {
@@ -126,8 +126,15 @@ func TestSweepHTTPLifecycle(t *testing.T) {
 	if len(recs) != 1+4*2 {
 		t.Fatalf("csv has %d lines, want 9", len(recs))
 	}
-	if recs[0][0] != "cell" || recs[1][1] != "executed" {
+	if recs[0][0] != "cell" || recs[0][1] != "n" {
 		t.Fatalf("csv shape: %v / %v", recs[0], recs[1])
+	}
+	// No provenance column: the CSV must be a pure function of the grid
+	// so crash-recovered runs export bit-identical bytes.
+	for _, col := range recs[0] {
+		if col == "source" {
+			t.Fatalf("csv header leaks provenance: %v", recs[0])
+		}
 	}
 
 	// Resubmitting the identical grid is served from the store.

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -43,6 +44,21 @@ const (
 	MetricSweepsSubmitted = "sweep_sweeps_submitted_total"
 	MetricSweepsActive    = "sweep_sweeps_active"
 	MetricCells           = "sweep_cells_total"
+	// MetricSweepsAttached counts resubmissions of a grid identical (by
+	// content address) to an already-open sweep, which attach to the
+	// live sweep instead of double-enqueueing its cells.
+	MetricSweepsAttached = "sweep_sweeps_attached_total"
+	// MetricSweepsResumed counts sweeps resumed automatically from the
+	// control-plane WAL after a restart.
+	MetricSweepsResumed = "sweep_resumed_total"
+)
+
+// Crash-recovery metric names (reported by Recover; the store_ prefix
+// groups them with the WAL/journal counters they summarize).
+const (
+	MetricRecoveryReplayed   = "store_recovery_replayed_records_total"
+	MetricRecoveryReenqueued = "store_recovery_reenqueued_units_total"
+	MetricRecoveryWallTime   = "store_recovery_wall_time_us"
 )
 
 // Cell sources recorded in results and metrics.
@@ -73,6 +89,18 @@ type Config struct {
 	Retain int
 	// Version stamps sweep write-backs.
 	Version string
+	// WAL, when non-nil, makes sweeps crash-durable: lifecycle
+	// transitions (sweep-opened, unit-enqueued, unit-completed,
+	// sweep-closed) are appended to the control-plane write-ahead log,
+	// and a server restarted over the same data dir resumes every open
+	// sweep automatically via Recover.
+	WAL *store.WAL
+	// WALRecords is the replayed log handed to NewManager at startup.
+	// When non-empty, the owner MUST call Recover (normally in a
+	// goroutine, once the listener is up): submissions block until
+	// recovery has rebuilt the open sweeps, so an early resubmission
+	// cannot race a resuming sweep into a duplicate.
+	WALRecords []store.WALRecord
 }
 
 // CellResult is one cell's outcome inside a sweep.
@@ -88,10 +116,11 @@ type CellResult struct {
 // Sweep is one submitted grid expansion working its way through the
 // service.
 type Sweep struct {
-	id    string
-	grid  Grid
-	cells []Cell
-	done  chan struct{}
+	id      string
+	grid    Grid
+	cells   []Cell
+	gridKey string // content address over the ordered expanded cell keys
+	done    chan struct{}
 
 	stopOnce sync.Once
 	stopped  chan struct{}
@@ -132,6 +161,13 @@ func (s *Sweep) stop(status Status, reason string) {
 		s.mu.Unlock()
 		close(s.stopped)
 	})
+}
+
+// sourceOf returns cell i's recorded source ("" while pending).
+func (s *Sweep) sourceOf(i int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.results[i].Source
 }
 
 // record stores one cell outcome.
@@ -206,9 +242,17 @@ type Manager struct {
 	mu        sync.Mutex
 	draining  bool
 	sweeps    map[string]*Sweep
+	open      map[string]*Sweep // non-terminal sweeps by grid content address
 	doneOrder []string
 	nextID    uint64
 	wg        sync.WaitGroup
+
+	// recoveryDone gates Submit: closed at construction when there is
+	// nothing to recover, otherwise when Recover finishes rebuilding the
+	// open sweeps.
+	recoveryDone chan struct{}
+	recMu        sync.Mutex
+	rec          service.RecoveryStatus
 
 	active *metrics.Gauge
 }
@@ -230,29 +274,49 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Log == nil {
 		cfg.Log = func(string, ...any) {}
 	}
-	return &Manager{
-		cfg:    cfg,
-		reg:    cfg.Metrics,
-		log:    cfg.Log,
-		sweeps: map[string]*Sweep{},
-		active: cfg.Metrics.Gauge(MetricSweepsActive),
+	m := &Manager{
+		cfg:          cfg,
+		reg:          cfg.Metrics,
+		log:          cfg.Log,
+		sweeps:       map[string]*Sweep{},
+		open:         map[string]*Sweep{},
+		recoveryDone: make(chan struct{}),
+		active:       cfg.Metrics.Gauge(MetricSweepsActive),
+	}
+	if len(cfg.WALRecords) > 0 {
+		m.rec.Active = true // Recover must be called; Submit waits on it
+	} else {
+		close(m.recoveryDone)
+	}
+	return m
+}
+
+// RecoveryStatus implements service.RecoveryReporter for /healthz.
+func (m *Manager) RecoveryStatus() service.RecoveryStatus {
+	m.recMu.Lock()
+	defer m.recMu.Unlock()
+	return m.rec
+}
+
+// walAppend makes a control-plane transition durable. A failed append
+// degrades recovery (the transition may replay stale after a crash) but
+// must not fail serving, so it is logged and swallowed.
+func (m *Manager) walAppend(recs ...store.WALRecord) {
+	if m.cfg.WAL == nil {
+		return
+	}
+	if err := m.cfg.WAL.Append(recs...); err != nil {
+		m.log("sweep: control WAL append failed: %v", err)
 	}
 }
 
-// Registry returns the registry the manager reports into (never nil).
-func (m *Manager) Registry() *metrics.Registry { return m.reg }
-
-// Submit expands the grid and starts orchestrating it. Expansion
-// errors (invalid cells, cap exceeded) are returned synchronously; a
-// draining manager returns ErrDraining.
-func (m *Manager) Submit(g Grid) (*Sweep, error) {
-	cells, err := g.Expand()
-	if err != nil {
-		return nil, err
-	}
+// newSweep builds the in-memory sweep for an expanded grid; the caller
+// assigns its ID and registers it.
+func newSweep(g Grid, cells []Cell) *Sweep {
 	sw := &Sweep{
 		grid:      g,
 		cells:     cells,
+		gridKey:   cellsKey(cells),
 		done:      make(chan struct{}),
 		stopped:   make(chan struct{}),
 		status:    StatusRunning,
@@ -262,17 +326,56 @@ func (m *Manager) Submit(g Grid) (*Sweep, error) {
 	for i, c := range cells {
 		sw.results[i] = CellResult{Index: i, Key: c.Key, Spec: c.Spec}
 	}
+	return sw
+}
+
+// Registry returns the registry the manager reports into (never nil).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// Submit expands the grid and starts orchestrating it. Expansion
+// errors (invalid cells, cap exceeded) are returned synchronously; a
+// draining manager returns ErrDraining. A grid whose expansion is
+// identical (by content address) to an already-open sweep attaches to
+// that sweep instead of double-enqueueing its cells — the caller gets
+// the live sweep back and polls it like its own. Submissions block
+// until startup recovery (if any) has rebuilt the open sweeps, so an
+// early resubmission cannot race a resuming sweep.
+func (m *Manager) Submit(g Grid) (*Sweep, error) {
+	<-m.recoveryDone
+	cells, err := g.Expand()
+	if err != nil {
+		return nil, err
+	}
+	sw := newSweep(g, cells)
 
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if cur, ok := m.open[sw.gridKey]; ok && !cur.Status().terminal() {
+		m.mu.Unlock()
+		m.reg.Counter(MetricSweepsAttached).Inc()
+		m.log("sweep %s: identical grid resubmitted, attached to the live sweep", cur.id)
+		return cur, nil
+	}
 	m.nextID++
 	sw.id = fmt.Sprintf("s%06d", m.nextID)
 	m.sweeps[sw.id] = sw
+	m.open[sw.gridKey] = sw
 	m.wg.Add(1)
 	m.mu.Unlock()
+
+	// The opened record is durable before Submit returns, i.e. before
+	// the acceptance is externally visible: a crash after this line
+	// resumes the sweep, a crash before it never acknowledged one.
+	if m.cfg.WAL != nil {
+		raw, merr := json.Marshal(g)
+		if merr != nil {
+			raw = nil
+		}
+		m.walAppend(store.WALRecord{Kind: store.RecSweepOpened, Sweep: sw.id, GridKey: sw.gridKey, Grid: raw})
+	}
 
 	m.reg.Counter(MetricSweepsSubmitted).Inc()
 	m.active.Inc()
@@ -313,8 +416,14 @@ func (m *Manager) Drain(ctx context.Context) error {
 		actives = append(actives, sw)
 	}
 	m.mu.Unlock()
+	interruptReason := "server draining; resubmit the grid to resume from the store"
+	if m.cfg.WAL != nil {
+		// The sweep stays open in the control-plane WAL (no sweep-closed
+		// record), so the next server start resumes it unprompted.
+		interruptReason = "server draining; the sweep resumes automatically on restart"
+	}
 	for _, sw := range actives {
-		sw.stop(StatusInterrupted, "server draining; resubmit the grid to resume from the store")
+		sw.stop(StatusInterrupted, interruptReason)
 	}
 
 	idle := make(chan struct{})
@@ -340,6 +449,19 @@ func (m *Manager) cellCounter(source string) {
 	m.reg.Counter(MetricCells + `{source="` + source + `"}`).Inc()
 }
 
+// finishCell records one terminal cell outcome and, for executed or
+// failed cells, makes it durable in the control-plane WAL. Stored cells
+// write no WAL record: the result journal is already their proof, and
+// failed records are load-bearing on resume — a pre-marked poison cell
+// is not re-executed on every restart.
+func (m *Manager) finishCell(sw *Sweep, i int, source string, rows []experiments.ScenarioRow, errMsg string) {
+	sw.record(i, source, rows, errMsg)
+	m.cellCounter(source)
+	if source == SourceExecuted || source == SourceFailed {
+		m.walAppend(store.WALRecord{Kind: store.RecUnitCompleted, Sweep: sw.id, Key: sw.cells[i].Key, Source: source, Error: errMsg})
+	}
+}
+
 // run is the per-sweep orchestration loop: store lookup, bounded
 // submission into the service, asynchronous collection.
 func (m *Manager) run(sw *Sweep) {
@@ -356,6 +478,13 @@ submission:
 		default:
 		}
 		cell := sw.cells[i]
+
+		// Cells already terminal before this loop started are recovered
+		// pre-crash failures; re-executing them every restart would make
+		// one poison cell an infinite loop of work.
+		if sw.sourceOf(i) != "" {
+			continue
+		}
 
 		// Store lookup first: a stored cell never touches the queue.
 		if m.cfg.Store != nil {
@@ -381,12 +510,12 @@ submission:
 			} else {
 				// Cells were validated at expansion, so this is a
 				// service-side failure worth recording against the cell.
-				sw.record(i, SourceFailed, nil, err.Error())
-				m.cellCounter(SourceFailed)
+				m.finishCell(sw, i, SourceFailed, nil, err.Error())
 				continue
 			}
 			break submission
 		}
+		m.walAppend(store.WALRecord{Kind: store.RecUnitEnqueued, Sweep: sw.id, Key: cell.Key})
 		wg.Add(1)
 		go func(i int, job *service.Job) {
 			defer wg.Done()
@@ -402,6 +531,12 @@ submission:
 	sw.finished = time.Now()
 	status, executed, cached, failed := sw.status, sw.executed, sw.cached, sw.failed
 	sw.mu.Unlock()
+	// done and cancelled are final verdicts worth forgetting; an
+	// interrupted sweep stays open in the WAL so the next server start
+	// resumes it with no operator involved.
+	if status == StatusDone || status == StatusCancelled {
+		m.walAppend(store.WALRecord{Kind: store.RecSweepClosed, Sweep: sw.id, Status: string(status)})
+	}
 	m.log("sweep %s: %s (%d executed, %d cached, %d failed of %d cells)",
 		sw.id, status, executed, cached, failed, len(sw.cells))
 	close(sw.done)
@@ -452,14 +587,11 @@ func (m *Manager) collect(sw *Sweep, i int, job *service.Job) {
 		} else if m.cfg.Store != nil {
 			_ = m.cfg.Store.PutScenario(sw.cells[i].Spec, rows, store.Meta{Version: m.cfg.Version})
 		}
-		sw.record(i, source, rows, "")
-		m.cellCounter(source)
+		m.finishCell(sw, i, source, rows, "")
 	case service.StatusFailed:
-		sw.record(i, SourceFailed, nil, job.Err())
-		m.cellCounter(SourceFailed)
+		m.finishCell(sw, i, SourceFailed, nil, job.Err())
 	default: // cancelled, e.g. by a client hitting the job API directly
-		sw.record(i, SourceFailed, nil, "cell job cancelled")
-		m.cellCounter(SourceFailed)
+		m.finishCell(sw, i, SourceFailed, nil, "cell job cancelled")
 	}
 }
 
@@ -468,6 +600,9 @@ func (m *Manager) collect(sw *Sweep, i int, job *service.Job) {
 func (m *Manager) retire(sw *Sweep) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.open[sw.gridKey] == sw {
+		delete(m.open, sw.gridKey)
+	}
 	m.doneOrder = append(m.doneOrder, sw.id)
 	for len(m.doneOrder) > m.cfg.Retain {
 		evict := m.doneOrder[0]
