@@ -1,10 +1,11 @@
 GO ?= go
 BENCH_JSON ?= BENCH_PR6.json
 CLUSTER_BENCH_JSON ?= BENCH_PR7.json
+STORE_BENCH_JSON ?= BENCH_PR9.json
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X main.version=$(VERSION)"
 
-.PHONY: all build test race race-focus vet bench bench-cluster run-server run-worker smoke-cluster smoke-chaos clean
+.PHONY: all build test race race-focus vet bench bench-cluster bench-store run-server run-worker smoke-cluster smoke-chaos smoke-store clean
 
 all: build test
 
@@ -66,6 +67,14 @@ smoke-cluster: build
 smoke-chaos: build
 	./scripts/chaos-cluster.sh
 
+# Storage-engine soak: a real vmat-server with a tiny segment threshold
+# writes enough results to roll several journal segments, gets SIGKILLed
+# mid-write, is verified offline with vmat-store, restarted, and every
+# key plus a bit-identical CSV export is checked against the pre-kill
+# baseline. CI runs this against every push.
+smoke-store: build
+	./scripts/smoke-store.sh
+
 # Runs every testing.B wrapper once with -benchmem and records the
 # results as machine-readable JSON in $(BENCH_JSON): an "env" object
 # (go version, GOOS/GOARCH, CPU model, GOMAXPROCS) so the numbers are
@@ -86,6 +95,16 @@ bench-cluster:
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterDispatch|BenchmarkShardGranularity' -benchmem -benchtime 2x -count 1 . | tee $(CLUSTER_BENCH_JSON:.json=.txt)
 	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(CLUSTER_BENCH_JSON:.json=.txt) > $(CLUSTER_BENCH_JSON)
 
+# The storage-engine numbers only: reopen time via index snapshot vs
+# full journal replay at 10k/100k/1M entries (the snapshot's ≥10x edge
+# is the headline), and warm hit latency at the same scales. Reopen runs
+# -benchtime 3x because each iteration is a whole million-entry open;
+# hit latency gets 2000x so per-Get numbers aren't cold-cache noise.
+bench-store:
+	$(GO) test -run '^$$' -bench BenchmarkStoreReopen -benchmem -benchtime 3x -count 1 -timeout 30m . | tee $(STORE_BENCH_JSON:.json=.txt)
+	$(GO) test -run '^$$' -bench BenchmarkStoreHitLatency -benchmem -benchtime 2000x -count 1 -timeout 30m . | tee -a $(STORE_BENCH_JSON:.json=.txt)
+	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(STORE_BENCH_JSON:.json=.txt) > $(STORE_BENCH_JSON)
+
 clean:
-	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt) $(CLUSTER_BENCH_JSON) $(CLUSTER_BENCH_JSON:.json=.txt)
+	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt) $(CLUSTER_BENCH_JSON) $(CLUSTER_BENCH_JSON:.json=.txt) $(STORE_BENCH_JSON) $(STORE_BENCH_JSON:.json=.txt)
 	$(GO) clean ./...

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -574,5 +576,99 @@ func BenchmarkFullPinpointingRun(b *testing.B) {
 		if out.Kind != core.OutcomeVetoRevocation {
 			b.Fatalf("outcome %v", out.Kind)
 		}
+	}
+}
+
+// populateStore fills a fresh store directory with n small entries
+// (fsync off — this is bulk load) and closes it cleanly, leaving an
+// index snapshot behind. Keys are 64-hex strings like real content
+// addresses.
+func populateStore(b *testing.B, n int) string {
+	b.Helper()
+	dir := b.TempDir()
+	s, err := store.Open(dir, store.Config{DisableFsync: true, CacheEntries: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%064x", i)
+		if err := s.Put(key, "bench", [3]int64{int64(i), int64(i * 7), 42}, store.Meta{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkStoreReopen measures open-time over a populated store at
+// three scales, both ways: via the index snapshot (one binary load plus
+// tail replay) and via full journal replay (snapshot deleted first).
+// The ratio between the two is the snapshot's reason to exist — the
+// acceptance bar is ≥10x at the million-entry scale.
+func BenchmarkStoreReopen(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		dir := populateStore(b, n)
+		b.Run(fmt.Sprintf("snapshot/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := store.Open(dir, store.Config{DisableFsync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Len() != n {
+					b.Fatalf("reopened %d entries, want %d", s.Len(), n)
+				}
+				b.StopTimer()
+				s.Close()
+				b.StartTimer()
+			}
+		})
+		b.Run(fmt.Sprintf("replay/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				os.Remove(filepath.Join(dir, store.SnapshotName))
+				b.StartTimer()
+				s, err := store.Open(dir, store.Config{DisableFsync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Len() != n {
+					b.Fatalf("reopened %d entries, want %d", s.Len(), n)
+				}
+				b.StopTimer()
+				s.Close() // rewrites the snapshot; removed again above
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkStoreHitLatency measures a warm store hit — index lookup
+// plus segment read plus record decode — across scales, cycling keys so
+// most lookups miss the small LRU and pay the real disk path.
+func BenchmarkStoreHitLatency(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		dir := populateStore(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, err := store.Open(dir, store.Config{DisableFsync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				key := fmt.Sprintf("%064x", i%n)
+				if _, ok, err := s.Get(key); !ok || err != nil {
+					b.Fatalf("Get(%s): ok=%v err=%v", key, ok, err)
+				}
+			}
+			// Close rewrites the O(n) index snapshot — keep it out of
+			// the per-Get numbers.
+			b.StopTimer()
+			s.Close()
+		})
 	}
 }

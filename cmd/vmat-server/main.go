@@ -88,6 +88,8 @@ func run(args []string, w io.Writer) error {
 	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job execution deadline (0 = unlimited)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Minute, "max time to finish in-flight jobs on shutdown")
 	dataDir := fs.String("data-dir", "", "persist results in a content-addressed store under this directory (empty = no persistence)")
+	storeSegmentBytes := fs.Int64("store-segment-bytes", 64<<20, "size at which the store's active journal segment is sealed and a new one started")
+	storeCompactInterval := fs.Duration("store-compact-interval", time.Minute, "background store maintenance period: index snapshots and dead-byte compaction (0 = disabled)")
 	clusterOn := fs.Bool("cluster", false, "host the distributed execution plane (vmat-worker fleet) under /v1/cluster")
 	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "cluster lease lifetime without a heartbeat before a unit is reassigned")
 	leaseRetries := fs.Int("lease-retries", 3, "leases one unit may consume before falling back to local execution")
@@ -112,7 +114,12 @@ func run(args []string, w io.Writer) error {
 	var walRecords []store.WALRecord
 	if *dataDir != "" {
 		var err error
-		st, err = store.Open(*dataDir, store.Config{Metrics: reg, Log: logf})
+		st, err = store.Open(*dataDir, store.Config{
+			Metrics:         reg,
+			Log:             logf,
+			SegmentBytes:    *storeSegmentBytes,
+			CompactInterval: *storeCompactInterval,
+		})
 		if err != nil {
 			return fmt.Errorf("open result store: %w", err)
 		}
@@ -121,7 +128,8 @@ func run(args []string, w io.Writer) error {
 				st.Close()
 			}
 		}()
-		logf("result store at %s (%d entries)", *dataDir, st.Len())
+		sst := st.Status()
+		logf("result store at %s (%d entries, %d segments)", *dataDir, st.Len(), sst.Segments)
 		// The control-plane WAL rides in the same directory: results are
 		// the journal's business, promises (open sweeps, enqueued units)
 		// are the WAL's. Replaying both is what makes a kill -9 lose no

@@ -266,6 +266,9 @@ func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
 			status = "degraded"
 		}
 	}
+	if ss, ok := h.m.StoreStatus(); ok {
+		body["store"] = ss
+	}
 	body["status"] = status
 	writeJSON(w, http.StatusOK, body)
 }

@@ -515,6 +515,17 @@ func (m *Manager) QueueSaturated() bool {
 	return len(m.queue) == cap(m.queue)
 }
 
+// StoreStatus reports the result-store engine's shape (segments,
+// live/dead bytes, compaction state, snapshot age) for the "store"
+// section of /healthz. ok is false when the service runs without a
+// persistent store.
+func (m *Manager) StoreStatus() (store.Status, bool) {
+	if m.cfg.Store == nil {
+		return store.Status{}, false
+	}
+	return m.cfg.Store.Status(), true
+}
+
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for job := range m.queue {

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// buildDirty returns a store with several sealed segments, some deleted
+// and some revived keys — plenty of dead bytes for a compaction to
+// reclaim — plus the expected surviving contents.
+func buildDirty(t *testing.T, dir string, reg *metrics.Registry) (*Store, map[string]string) {
+	t.Helper()
+	s := mustOpen(t, dir, Config{SegmentBytes: tinySeg, Metrics: reg})
+	want := putN(t, s, 40, "c")
+	for i := 0; i < 40; i += 4 {
+		k := fmt.Sprintf("c-%03d", i)
+		if ok, err := s.Delete(k); err != nil || !ok {
+			t.Fatalf("Delete(%s): ok=%v err=%v", k, ok, err)
+		}
+		delete(want, k)
+	}
+	// Revive a few with new values: compaction must keep the revival,
+	// not the original.
+	for i := 0; i < 40; i += 8 {
+		k := fmt.Sprintf("c-%03d", i)
+		v := fmt.Sprintf("revived-%03d", i)
+		if err := s.Put(k, "test", v, Meta{}); err != nil {
+			t.Fatalf("revive Put(%s): %v", k, err)
+		}
+		want[k] = v
+	}
+	if s.Status().Segments < 3 {
+		t.Fatalf("dirty store has only %d segments", s.Status().Segments)
+	}
+	return s, want
+}
+
+// TestCompactReclaims runs a full compaction and checks the merged
+// layout: two segments (output + active), every surviving key readable,
+// deleted keys still gone, dead bytes reclaimed and counted.
+func TestCompactReclaims(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.New()
+	s, want := buildDirty(t, dir, reg)
+	before := s.Status()
+
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := s.Status()
+	if after.Segments != 2 {
+		t.Fatalf("after compaction: %d segments, want 2 (output + active)", after.Segments)
+	}
+	if after.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", after.Compactions)
+	}
+	if rb := reg.Counter(MetricReclaimed).Value(); rb <= 0 {
+		t.Fatalf("reclaimed bytes = %d, want > 0", rb)
+	}
+	if after.DeadBytes >= before.DeadBytes {
+		t.Fatalf("compaction did not shrink dead bytes: %d -> %d", before.DeadBytes, after.DeadBytes)
+	}
+	checkAll(t, s, want)
+	for i := 4; i < 40; i += 8 { // deleted and never revived
+		if _, ok, _ := s.Get(fmt.Sprintf("c-%03d", i)); ok {
+			t.Fatalf("c-%03d resurrected by compaction", i)
+		}
+	}
+	s.Close()
+
+	// Both reopen paths see the compacted layout identically.
+	s2 := mustOpen(t, dir, Config{SegmentBytes: tinySeg})
+	checkAll(t, s2, want)
+	s2.Close()
+	os.Remove(filepath.Join(dir, SnapshotName))
+	s3 := mustOpen(t, dir, Config{SegmentBytes: tinySeg})
+	defer s3.Close()
+	checkAll(t, s3, want)
+}
+
+// TestCompactIdempotent: a second immediate compaction merges the (one)
+// sealed output with nothing new and must not lose anything.
+func TestCompactIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s, want := buildDirty(t, dir, metrics.New())
+	defer s.Close()
+	if err := s.Compact(); err != nil {
+		t.Fatalf("first Compact: %v", err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("second Compact: %v", err)
+	}
+	checkAll(t, s, want)
+}
+
+// TestCompactConcurrentUse compacts while readers and writers run; no
+// Get may fail and every key must land.
+func TestCompactConcurrentUse(t *testing.T) {
+	dir := t.TempDir()
+	s, want := buildDirty(t, dir, metrics.New())
+	defer s.Close()
+
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < 30; i++ {
+			k := fmt.Sprintf("live-%03d", i)
+			if err := s.Put(k, "test", k, Meta{}); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 200; i++ {
+			for k := range want {
+				if _, ok, err := s.Get(k); err != nil || !ok {
+					done <- fmt.Errorf("Get(%s) during compaction: ok=%v err=%v", k, ok, err)
+					return
+				}
+				break
+			}
+		}
+		done <- nil
+	}()
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("live-%03d", i)
+		want[k] = k
+	}
+	checkAll(t, s, want)
+}
+
+// TestKillMidCompaction aborts a compaction at every durable stage —
+// simulating a SIGKILL between two filesystem operations — and checks
+// the reopened store: no live record lost, no deleted key resurrected,
+// no debris left behind.
+func TestKillMidCompaction(t *testing.T) {
+	stages := []string{
+		compactStageOutputWritten,
+		compactStageOutputRenamed,
+		compactStageSwapped,
+		compactStageMidDelete,
+	}
+	for _, stage := range stages {
+		t.Run(stage, func(t *testing.T) {
+			dir := t.TempDir()
+			s, want := buildDirty(t, dir, metrics.New())
+			s.crashAt = func(at string) bool { return at == stage }
+			if err := s.Compact(); !errors.Is(err, errCompactionAborted) {
+				t.Fatalf("Compact with crash hook: err=%v, want abort", err)
+			}
+			// Simulate the kill: release file handles without the
+			// orderly Close (which would snapshot and tidy up).
+			s.closeSegments()
+
+			s2 := mustOpen(t, dir, Config{SegmentBytes: tinySeg})
+			defer s2.Close()
+			checkAll(t, s2, want)
+			for i := 4; i < 40; i += 8 {
+				if _, ok, _ := s2.Get(fmt.Sprintf("c-%03d", i)); ok {
+					t.Fatalf("c-%03d resurrected after crash at %s", i, stage)
+				}
+			}
+			// The recovered layout must be committed state only: every
+			// on-disk segment is in the manifest, no temp files remain.
+			tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+			if len(tmps) != 0 {
+				t.Fatalf("debris after recovery: %v", tmps)
+			}
+			m, err := loadManifest(dir)
+			if err != nil || m == nil {
+				t.Fatalf("manifest after recovery: %v", err)
+			}
+			files, _ := scanSegmentFiles(dir)
+			if len(files) != len(m.Segments) {
+				t.Fatalf("disk has %d segments, manifest lists %d", len(files), len(m.Segments))
+			}
+			// And the store still accepts writes after recovery.
+			if err := s2.Put("post-crash", "test", "ok", Meta{}); err != nil {
+				t.Fatalf("Put after crash recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestCompactAfterCrashRetries: a crash before the manifest commit
+// leaves the old layout; the next compaction must succeed from scratch
+// even though the previous output name was burned... it is not — the
+// output (id, gen+1) name is derived from the surviving layout, so the
+// retry regenerates the same name cleanly after open deleted the
+// orphan.
+func TestCompactAfterCrashRetries(t *testing.T) {
+	dir := t.TempDir()
+	s, want := buildDirty(t, dir, metrics.New())
+	s.crashAt = func(at string) bool { return at == compactStageOutputRenamed }
+	if err := s.Compact(); !errors.Is(err, errCompactionAborted) {
+		t.Fatalf("Compact: %v", err)
+	}
+	s.closeSegments()
+
+	s2 := mustOpen(t, dir, Config{SegmentBytes: tinySeg})
+	defer s2.Close()
+	if err := s2.Compact(); err != nil {
+		t.Fatalf("retry Compact after crash: %v", err)
+	}
+	checkAll(t, s2, want)
+	if got := s2.Status().Segments; got != 2 {
+		t.Fatalf("retried compaction left %d segments, want 2", got)
+	}
+}

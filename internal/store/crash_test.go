@@ -9,10 +9,12 @@ import (
 	"repro/internal/metrics"
 )
 
-// journalPath returns the store's journal file.
-func journalPath(dir string) string { return filepath.Join(dir, JournalName) }
+// journalPath returns the active segment of a fresh (never-rolled)
+// store — the file that plays the old single-journal role in these
+// torn-tail scenarios.
+func journalPath(dir string) string { return filepath.Join(dir, segName(1, 1)) }
 
-// fileSize stats the journal.
+// fileSize stats the active segment.
 func fileSize(t *testing.T, dir string) int64 {
 	t.Helper()
 	fi, err := os.Stat(journalPath(dir))
@@ -23,7 +25,11 @@ func fileSize(t *testing.T, dir string) int64 {
 }
 
 // writeThree populates a fresh store with three records and returns the
-// journal offsets after each put (i.e. the record boundaries).
+// segment offsets after each put (i.e. the record boundaries). The
+// clean Close leaves an index snapshot; writeThree deletes it, because
+// these tests simulate a crash — and a crashed process never wrote a
+// snapshot covering the bytes it was torn in the middle of (snapshot
+// capture syncs first, so covered bytes are always durable).
 func writeThree(t *testing.T, dir string) []int64 {
 	t.Helper()
 	s, err := Open(dir, Config{})
@@ -39,6 +45,9 @@ func writeThree(t *testing.T, dir string) []int64 {
 	}
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, SnapshotName)); err != nil {
+		t.Fatalf("remove snapshot: %v", err)
 	}
 	return bounds
 }

@@ -49,14 +49,21 @@ func encodeFrame(magic [4]byte, payload []byte) ([]byte, error) {
 // last good record and the corruption reason — empty when the file ends
 // cleanly. Deciding whether to truncate is the caller's business; the
 // rationale for treating the first bad record as tail damage is that
-// both files are append-only, so mid-file damage cannot occur without
-// tail damage first.
+// the framed files are append-only, so mid-file damage cannot occur
+// without tail damage first.
 func scanFrames(f *os.File, magic [4]byte, fn func(off int64, payload []byte) error) (int64, string, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, "", fmt.Errorf("store: seek: %w", err)
+	return scanFramesFrom(f, magic, 0, fn)
+}
+
+// scanFramesFrom is scanFrames starting at byte offset from — the
+// snapshot loader uses it to replay only the tail of a segment past the
+// snapshot's watermark.
+func scanFramesFrom(f *os.File, magic [4]byte, from int64, fn func(off int64, payload []byte) error) (int64, string, error) {
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return from, "", fmt.Errorf("store: seek: %w", err)
 	}
 	r := bufio.NewReaderSize(f, 1<<20)
-	var off int64
+	off := from
 	for {
 		var hdr [frameHeaderLen]byte
 		n, err := io.ReadFull(r, hdr[:])

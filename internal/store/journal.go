@@ -4,17 +4,22 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"hash/crc32"
 )
 
-// JournalName is the append-only record file inside the store
-// directory. Exported so operators (and tests) can find it.
+// JournalName is the legacy single-file journal from before the
+// segmented layout. A data directory that still has one (and no
+// manifest) is migrated on first open: the file is renamed into
+// segment 1 and a manifest is committed around it, so old -data-dir
+// trees keep serving their results unchanged. Exported so operators
+// (and tests) can find it.
 const JournalName = "journal.vmat"
 
 // journalMagic marks result-journal records in the shared framing (see
-// frame.go for the layout).
+// frame.go for the layout). Segment files use the same record format as
+// the legacy journal — that equivalence is what makes migration a pure
+// rename.
 var journalMagic = [4]byte{'V', 'M', 'R', '1'}
 
 // journalHeaderLen aliases the shared frame header size; the record
@@ -51,36 +56,4 @@ func decodeRecord(rec []byte) (Entry, error) {
 		return e, fmt.Errorf("decode record: %w", err)
 	}
 	return e, nil
-}
-
-// replay scans the journal from the start, indexing every complete,
-// checksummed record. The first incomplete or corrupt record marks the
-// recovery point: everything from there on is the debris of a torn
-// write, and is logged, counted, and truncated so subsequent appends
-// start from a clean boundary. Duplicate keys keep the first record,
-// matching Put's first-write-wins idempotence.
-func (s *Store) replay() error {
-	off, reason, err := scanFrames(s.f, journalMagic, func(off int64, payload []byte) error {
-		var e Entry
-		if jerr := json.Unmarshal(payload, &e); jerr != nil || e.Key == "" {
-			return errors.New("undecodable record payload")
-		}
-		if _, dup := s.index[e.Key]; !dup {
-			s.index[e.Key] = recordRef{off: off, length: int64(journalHeaderLen + len(payload))}
-		}
-		return nil
-	})
-	if err != nil {
-		return fmt.Errorf("store: replay journal: %w", err)
-	}
-	if reason != "" {
-		// Corrupt tail: recover to the last good record.
-		s.corrupt.Inc()
-		s.log("store: journal corrupt at offset %d (%s); recovering %d complete records and truncating", off, reason, len(s.index))
-		if err := s.f.Truncate(off); err != nil {
-			return fmt.Errorf("store: truncate corrupt journal tail: %w", err)
-		}
-	}
-	s.size = off
-	return nil
 }

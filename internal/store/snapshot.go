@@ -1,0 +1,293 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// The index snapshot makes reopen snapshot-load + tail-replay instead
+// of full-journal replay. It is a point-in-time capture of the live
+// index and per-segment accounting, stamped with exactly how much of
+// each segment it covers: sealed segments fully, the then-active
+// segment up to its append offset. On open, if the covered segments
+// still prefix the manifest order (rolls after the snapshot only append
+// new segments, so they keep it valid; compaction replaces the prefix,
+// so it invalidates it — and immediately writes a fresh one), the store
+// loads the snapshot and replays only the bytes past each watermark.
+// The snapshot is a pure cache: corrupt, stale, or missing just means a
+// full replay, never an error.
+//
+// Encoding (inside one CRC frame, magic "VMS1", little-endian):
+//
+//	u32 version
+//	u64 manifest generation (informational)
+//	u64 unix seconds at capture (drives store_snapshot_age_seconds)
+//	u32 segment count; per segment:
+//	    u64 id, u64 gen, u64 covered bytes,
+//	    u64 live bytes, u64 dead bytes, u64 live records, u64 dead records
+//	u64 key count; per key:
+//	    u16 key length, key bytes, u32 segment index, u64 offset, u32 frame length
+//
+// The binary layout is what buys the reopen speedup: loading is one
+// read, one CRC pass, and a allocation-light parse (keys are substrings
+// of a single backing string), against a JSON unmarshal per record on
+// the replay path.
+
+// SnapshotName is the index snapshot inside the store directory.
+// Exported so operators (and tests) can find it.
+const SnapshotName = "index.snap"
+
+var snapshotMagic = [4]byte{'V', 'M', 'S', '1'}
+
+const snapshotVersion = 1
+
+// snapSegment is one covered segment in the snapshot, in replay order.
+type snapSegment struct {
+	id, gen     int64
+	covered     int64
+	liveBytes   int64
+	deadBytes   int64
+	liveRecords int64
+	deadRecords int64
+}
+
+// snapshot is a decoded index snapshot.
+type snapshot struct {
+	generation int64
+	unixTime   int64
+	segs       []snapSegment
+	keys       []snapKey
+}
+
+type snapKey struct {
+	key    string
+	segIdx uint32
+	off    int64
+	length int64
+}
+
+// encodeSnapshot renders the snapshot payload and frames it.
+func encodeSnapshot(sn *snapshot) ([]byte, error) {
+	size := 4 + 8 + 8 + 4 + len(sn.segs)*56 + 8
+	for _, k := range sn.keys {
+		size += 2 + len(k.key) + 4 + 8 + 4
+	}
+	payload := make([]byte, 0, size)
+	var scratch [8]byte
+	u32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		payload = append(payload, scratch[:4]...)
+	}
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		payload = append(payload, scratch[:8]...)
+	}
+	u32(snapshotVersion)
+	u64(uint64(sn.generation))
+	u64(uint64(sn.unixTime))
+	u32(uint32(len(sn.segs)))
+	for _, sg := range sn.segs {
+		u64(uint64(sg.id))
+		u64(uint64(sg.gen))
+		u64(uint64(sg.covered))
+		u64(uint64(sg.liveBytes))
+		u64(uint64(sg.deadBytes))
+		u64(uint64(sg.liveRecords))
+		u64(uint64(sg.deadRecords))
+	}
+	u64(uint64(len(sn.keys)))
+	for _, k := range sn.keys {
+		if len(k.key) > 0xffff {
+			return nil, fmt.Errorf("store: snapshot key longer than 64KiB")
+		}
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(k.key)))
+		payload = append(payload, scratch[:2]...)
+		payload = append(payload, k.key...)
+		u32(k.segIdx)
+		u64(uint64(k.off))
+		u32(uint32(k.length))
+	}
+	return encodeFrame(snapshotMagic, payload)
+}
+
+// decodeSnapshot parses snapshot bytes. Any structural problem is an
+// error — the caller treats every error as "no snapshot" and falls back
+// to full replay. Hostile bytes must never panic (fuzz-enforced).
+func decodeSnapshot(b []byte) (*snapshot, error) {
+	if len(b) < frameHeaderLen || !bytes.Equal(b[:4], snapshotMagic[:]) {
+		return nil, fmt.Errorf("bad snapshot header")
+	}
+	payload := b[frameHeaderLen:]
+	if int64(binary.LittleEndian.Uint32(b[4:])) != int64(len(payload)) {
+		return nil, fmt.Errorf("snapshot length mismatch")
+	}
+	if binary.LittleEndian.Uint32(b[8:]) != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("snapshot checksum mismatch")
+	}
+	// Numeric fields parse straight from the payload slice; keys become
+	// substrings of one backing string, so the parse allocates nothing
+	// per entry beyond the index structures themselves.
+	s := string(payload)
+	pos := 0
+	need := func(n int) error {
+		if len(s)-pos < n {
+			return fmt.Errorf("snapshot truncated at byte %d", pos)
+		}
+		return nil
+	}
+	ru32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(payload[pos:])
+		pos += 4
+		return v
+	}
+	ru64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(payload[pos:])
+		pos += 8
+		return v
+	}
+	if err := need(4 + 8 + 8 + 4); err != nil {
+		return nil, err
+	}
+	if v := ru32(); v != snapshotVersion {
+		return nil, fmt.Errorf("unsupported snapshot version %d", v)
+	}
+	sn := &snapshot{generation: int64(ru64()), unixTime: int64(ru64())}
+	nSegs := int(ru32())
+	if nSegs < 0 || nSegs > 1<<20 {
+		return nil, fmt.Errorf("implausible snapshot segment count %d", nSegs)
+	}
+	for i := 0; i < nSegs; i++ {
+		if err := need(56); err != nil {
+			return nil, err
+		}
+		sg := snapSegment{
+			id: int64(ru64()), gen: int64(ru64()), covered: int64(ru64()),
+			liveBytes: int64(ru64()), deadBytes: int64(ru64()),
+			liveRecords: int64(ru64()), deadRecords: int64(ru64()),
+		}
+		if sg.id < 1 || sg.gen < 1 || sg.covered < 0 {
+			return nil, fmt.Errorf("snapshot segment %d out of range", i)
+		}
+		sn.segs = append(sn.segs, sg)
+	}
+	if err := need(8); err != nil {
+		return nil, err
+	}
+	nKeys := int64(ru64())
+	if nKeys < 0 || nKeys > int64(len(s)) {
+		return nil, fmt.Errorf("implausible snapshot key count %d", nKeys)
+	}
+	sn.keys = make([]snapKey, 0, nKeys)
+	for i := int64(0); i < nKeys; i++ {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		kl := int(binary.LittleEndian.Uint16(payload[pos:]))
+		pos += 2
+		if err := need(kl + 4 + 8 + 4); err != nil {
+			return nil, err
+		}
+		key := s[pos : pos+kl]
+		pos += kl
+		segIdx := ru32()
+		off := int64(ru64())
+		length := int64(ru32())
+		if int(segIdx) >= len(sn.segs) {
+			return nil, fmt.Errorf("snapshot key %d references segment %d of %d", i, segIdx, len(sn.segs))
+		}
+		if key == "" || length < frameHeaderLen || off < 0 || off+length > sn.segs[segIdx].covered {
+			return nil, fmt.Errorf("snapshot key %d has an out-of-coverage record ref", i)
+		}
+		sn.keys = append(sn.keys, snapKey{key: key, segIdx: segIdx, off: off, length: length})
+	}
+	if pos != len(s) {
+		return nil, fmt.Errorf("snapshot has %d trailing bytes", len(s)-pos)
+	}
+	return sn, nil
+}
+
+// writeSnapshotFile atomically replaces dir's snapshot (tmp + rename +
+// dir sync).
+func writeSnapshotFile(dir string, sn *snapshot) error {
+	rec, err := encodeSnapshot(sn)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, SnapshotName)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot temp: %w", err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: close snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: swap snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// loadSnapshotFile reads and decodes dir's snapshot. Missing file or
+// undecodable bytes both return (nil, reason) — the caller logs the
+// reason and replays in full.
+func loadSnapshotFile(dir string) (*snapshot, string) {
+	b, err := os.ReadFile(filepath.Join(dir, SnapshotName))
+	if os.IsNotExist(err) {
+		return nil, ""
+	}
+	if err != nil {
+		return nil, err.Error()
+	}
+	sn, derr := decodeSnapshot(b)
+	if derr != nil {
+		return nil, derr.Error()
+	}
+	return sn, ""
+}
+
+// captureSnapshot builds a snapshot of the store's current state. The
+// caller must hold appendMu (no records may land while the capture
+// runs) — readers stay unblocked apart from shard-at-a-time read locks
+// during the index walk.
+func (s *Store) captureSnapshot() *snapshot {
+	s.segMu.RLock()
+	sn := &snapshot{generation: s.generation, unixTime: time.Now().Unix()}
+	segIdx := make(map[int64]uint32, len(s.order))
+	for i, seq := range s.order {
+		sg := s.segs[seq]
+		segIdx[sg.seq] = uint32(i)
+		sn.segs = append(sn.segs, snapSegment{
+			id: sg.id, gen: sg.gen, covered: sg.size.Load(),
+			liveBytes: sg.liveBytes.Load(), deadBytes: sg.deadBytes.Load(),
+			liveRecords: sg.liveRecords.Load(), deadRecords: sg.deadRecords.Load(),
+		})
+	}
+	s.segMu.RUnlock()
+	sn.keys = make([]snapKey, 0, s.idx.len())
+	s.idx.walk(func(key string, ref recordRef) {
+		idx, ok := segIdx[ref.seg]
+		if !ok {
+			return // unreachable: every live ref points at an open segment
+		}
+		sn.keys = append(sn.keys, snapKey{key: key, segIdx: idx, off: ref.off, length: ref.length})
+	})
+	return sn
+}

@@ -6,41 +6,61 @@
 // which the rows can be cached forever, and a cache hit is provably
 // equivalent to re-execution.
 //
-// Durability comes from an append-only journal (see journal.go): every
-// Put appends one checksummed record and fsyncs before the entry
+// On disk the store is a segmented journal (see segment.go): appends
+// land in the active segment, which rolls into an immutable sealed
+// segment at a size threshold; a background compactor merges the sealed
+// prefix, dropping superseded and tombstoned records (compact.go); the
+// manifest records the replay order through atomic rewrites
+// (manifest.go); and an index snapshot turns reopen into snapshot-load
+// plus tail-replay instead of a full-journal replay (snapshot.go).
+// Every Put appends one checksummed record and fsyncs before the entry
 // becomes visible, so a crash can only ever lose the record being
-// written, never a completed one. On Open the journal is replayed; a
-// truncated or corrupt tail — the signature of a torn write — is
-// logged, counted in metrics, and truncated away rather than treated as
-// fatal.
+// written, never a completed one. A truncated or corrupt segment tail —
+// the signature of a torn write — is logged, counted in metrics, and
+// truncated away rather than treated as fatal.
 //
-// In memory, a compact key→offset index locates every record, and a
-// bounded LRU of decoded entries fronts the disk so hot keys (a sweep
-// re-reading its own cells, vmat-bench regenerating a figure) never
-// touch the file. Hit/miss/eviction/corruption counters land in an
-// internal/metrics registry.
+// In memory, a 64-way sharded key→offset index (index.go) locates every
+// record under per-shard read locks, and a bounded LRU of decoded
+// entries fronts the disk so hot keys (a sweep re-reading its own
+// cells, vmat-bench regenerating a figure) never touch a file.
+// Hit/miss/eviction/corruption counters and segment/byte accounting
+// land in an internal/metrics registry.
 package store
 
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 )
 
 // Metric names the store reports into its registry.
 const (
-	MetricHits      = "store_hits_total"
-	MetricMisses    = "store_misses_total"
-	MetricPuts      = "store_puts_total"
-	MetricEvictions = "store_cache_evictions_total"
-	MetricCorrupt   = "store_corrupt_records_total"
-	MetricEntries   = "store_entries"
+	MetricHits        = "store_hits_total"
+	MetricMisses      = "store_misses_total"
+	MetricPuts        = "store_puts_total"
+	MetricDeletes     = "store_deletes_total"
+	MetricEvictions   = "store_cache_evictions_total"
+	MetricCorrupt     = "store_corrupt_records_total"
+	MetricEntries     = "store_entries"
+	MetricSegments    = "store_segments_total"
+	MetricLiveBytes   = "store_live_bytes"
+	MetricDeadBytes   = "store_dead_bytes"
+	MetricCompactions = "store_compactions_total"
+	MetricReclaimed   = "store_compact_bytes_reclaimed_total"
+	MetricSnapshots   = "store_snapshots_total"
+	MetricSnapshotAge = "store_snapshot_age_seconds"
 )
+
+// errClosed reports use of a store after Close.
+var errClosed = errors.New("store: store is closed")
 
 // Meta is the non-identity metadata stored alongside a result: how long
 // the original execution took and which build produced it.
@@ -51,12 +71,15 @@ type Meta struct {
 
 // Entry is one stored result: the content-address key, the kind of
 // workload that produced it, its metadata, and the result value as raw
-// JSON (decoded by typed helpers such as GetScenario).
+// JSON (decoded by typed helpers such as GetScenario). Tomb marks a
+// tombstone record — a Delete in the journal; tombstones exist only on
+// disk and are never returned by Get.
 type Entry struct {
 	Key   string          `json:"key"`
 	Kind  string          `json:"kind,omitempty"`
 	Meta  Meta            `json:"meta"`
 	Value json.RawMessage `json:"value"`
+	Tomb  bool            `json:"tomb,omitempty"`
 }
 
 // Config configures a Store. Zero values pick serving defaults.
@@ -65,51 +88,121 @@ type Config struct {
 	// fronts the journal. Entries beyond the bound are evicted from
 	// memory only — the journal keeps everything. Default 256.
 	CacheEntries int
+	// SegmentBytes is the size at which the active segment is sealed
+	// and a new one started. Default 64 MiB.
+	SegmentBytes int64
+	// CompactInterval is the background maintenance period: each tick
+	// refreshes the snapshot-age gauge, writes an index snapshot when
+	// enough appends have accumulated, and compacts when the sealed
+	// dead-byte ratio crosses CompactMinDeadRatio. Zero disables the
+	// background loop (snapshots still happen on Close; Compact and
+	// Snapshot can be called explicitly).
+	CompactInterval time.Duration
+	// CompactMinDeadRatio is the sealed dead/total byte ratio that
+	// triggers a background compaction. Default 0.30.
+	CompactMinDeadRatio float64
+	// SnapshotEvery is how many appends may accumulate before the
+	// background loop refreshes the index snapshot. Default 4096.
+	SnapshotEvery int
+	// DisableFsync skips the per-record fsync on Put and Delete. Bulk
+	// loading and benchmarks only: a crash can lose recent appends,
+	// though never corrupt the store (the CRC frames still truncate
+	// cleanly).
+	DisableFsync bool
 	// Metrics receives the store's counters. Nil creates a private
 	// registry.
 	Metrics *metrics.Registry
 	// Log receives human-readable notices (journal recovery, corrupt
-	// tails). Nil discards them.
+	// tails, rolls, compactions). Nil discards them.
 	Log func(format string, args ...any)
 }
 
-// recordRef locates one journal record on disk.
-type recordRef struct {
-	off    int64
-	length int64
+// Status is a point-in-time view of the storage engine, served under
+// the "store" section of /healthz.
+type Status struct {
+	Segments           int     `json:"segments"`
+	Entries            int64   `json:"entries"`
+	LiveBytes          int64   `json:"live_bytes"`
+	DeadBytes          int64   `json:"dead_bytes"`
+	DeadRatio          float64 `json:"dead_ratio"`
+	Compacting         bool    `json:"compacting"`
+	Compactions        int64   `json:"compactions"`
+	SnapshotAgeSeconds int64   `json:"snapshot_age_seconds"` // -1 when no snapshot exists
+	Generation         int64   `json:"generation"`
 }
 
 // Store is a file-backed content-addressed result store. All methods
 // are safe for concurrent use.
+//
+// Locking, outermost first: maintMu serializes maintenance (compaction,
+// snapshot writes, Close); appendMu serializes appends and rolls so a
+// record's offset, fsync, and index insert stay atomic without blocking
+// readers; segMu guards the segment table (readers hold it shared
+// across ReadAt; rolls and compaction swaps hold it exclusive, and all
+// manifest commits happen under it so two structural changes cannot
+// interleave); the index shards and the LRU have their own locks.
 type Store struct {
-	mu    sync.Mutex
-	f     *os.File
-	size  int64 // journal append offset
-	index map[string]recordRef
+	dir           string
+	segmentBytes  int64
+	minDeadRatio  float64
+	snapshotEvery int64
+	fsync         bool
+	log           func(format string, args ...any)
+
+	maintMu  sync.Mutex
+	appendMu sync.Mutex
+
+	segMu      sync.RWMutex
+	segs       map[int64]*segment // by runtime seq
+	order      []int64            // replay order of seqs; last is active
+	nextID     int64
+	generation int64
+
+	nextSeq atomic.Int64
+	idx     *shardedIndex
 
 	// Bounded decoded-entry cache: cache maps key -> list element whose
-	// value is an Entry; order's front is the most recently used.
+	// value is an Entry; lru's front is the most recently used.
+	cacheMu  sync.Mutex
 	cache    map[string]*list.Element
-	order    *list.List
+	lru      *list.List
 	cacheCap int
 
-	log func(format string, args ...any)
+	closed           atomic.Bool
+	compacting       atomic.Bool
+	entriesCount     atomic.Int64
+	appendsSinceSnap atomic.Int64
+	lastSnapUnix     atomic.Int64 // 0 = no snapshot this process knows of
+	delEpoch         atomic.Int64 // bumped per Delete; guards cache staleness
 
-	hits      *metrics.Counter
-	misses    *metrics.Counter
-	puts      *metrics.Counter
-	evictions *metrics.Counter
-	corrupt   *metrics.Counter
-	entries   *metrics.Gauge
+	bgStop chan struct{}
+	bgDone chan struct{}
+
+	crashAt func(stage string) bool // test-only compaction crash hook
+
+	hits, misses, puts, deletes, evictions, corrupt *metrics.Counter
+	compactionsC, reclaimed, snapshots              *metrics.Counter
+	entries, segments, liveBytesG, deadBytesG       *metrics.Gauge
+	snapAge                                         *metrics.Gauge
 }
 
-// Open opens (creating if needed) the store rooted at dir and replays
-// its journal. A corrupt or truncated journal tail is recovered, logged
-// via cfg.Log, and counted under MetricCorrupt; only I/O errors are
-// fatal.
+// Open opens (creating if needed) the store rooted at dir. A legacy
+// single-file journal is migrated into segment 1 transparently; a
+// corrupt or truncated segment tail is recovered, logged via cfg.Log,
+// and counted under MetricCorrupt; a valid index snapshot turns the
+// replay into a tail-replay. Only I/O errors are fatal.
 func Open(dir string, cfg Config) (*Store, error) {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 64 << 20
+	}
+	if cfg.CompactMinDeadRatio <= 0 {
+		cfg.CompactMinDeadRatio = 0.30
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 4096
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
@@ -120,91 +213,375 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, JournalName), os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open journal: %w", err)
-	}
 	s := &Store{
-		f:         f,
-		index:     map[string]recordRef{},
-		cache:     map[string]*list.Element{},
-		order:     list.New(),
-		cacheCap:  cfg.CacheEntries,
-		log:       cfg.Log,
-		hits:      cfg.Metrics.Counter(MetricHits),
-		misses:    cfg.Metrics.Counter(MetricMisses),
-		puts:      cfg.Metrics.Counter(MetricPuts),
-		evictions: cfg.Metrics.Counter(MetricEvictions),
-		corrupt:   cfg.Metrics.Counter(MetricCorrupt),
-		entries:   cfg.Metrics.Gauge(MetricEntries),
+		dir:           dir,
+		segmentBytes:  cfg.SegmentBytes,
+		minDeadRatio:  cfg.CompactMinDeadRatio,
+		snapshotEvery: int64(cfg.SnapshotEvery),
+		fsync:         !cfg.DisableFsync,
+		log:           cfg.Log,
+		segs:          map[int64]*segment{},
+		idx:           newShardedIndex(),
+		cache:         map[string]*list.Element{},
+		lru:           list.New(),
+		cacheCap:      cfg.CacheEntries,
+		hits:          cfg.Metrics.Counter(MetricHits),
+		misses:        cfg.Metrics.Counter(MetricMisses),
+		puts:          cfg.Metrics.Counter(MetricPuts),
+		deletes:       cfg.Metrics.Counter(MetricDeletes),
+		evictions:     cfg.Metrics.Counter(MetricEvictions),
+		corrupt:       cfg.Metrics.Counter(MetricCorrupt),
+		compactionsC:  cfg.Metrics.Counter(MetricCompactions),
+		reclaimed:     cfg.Metrics.Counter(MetricReclaimed),
+		snapshots:     cfg.Metrics.Counter(MetricSnapshots),
+		entries:       cfg.Metrics.Gauge(MetricEntries),
+		segments:      cfg.Metrics.Gauge(MetricSegments),
+		liveBytesG:    cfg.Metrics.Gauge(MetricLiveBytes),
+		deadBytesG:    cfg.Metrics.Gauge(MetricDeadBytes),
+		snapAge:       cfg.Metrics.Gauge(MetricSnapshotAge),
 	}
-	if err := s.replay(); err != nil {
-		f.Close()
+	if err := s.openLayout(); err != nil {
+		s.closeSegments()
 		return nil, err
 	}
-	s.entries.Set(int64(len(s.index)))
+	if err := s.load(); err != nil {
+		s.closeSegments()
+		return nil, err
+	}
+	s.refreshAccounting()
+	s.updateSnapAge()
+	if cfg.CompactInterval > 0 {
+		s.bgStop = make(chan struct{})
+		s.bgDone = make(chan struct{})
+		go s.background(cfg.CompactInterval)
+	}
 	return s, nil
+}
+
+// openLayout establishes the segment layout: clears tmp debris, loads
+// (or rebuilds, or bootstraps) the manifest, migrates a legacy
+// single-file journal, opens every listed segment, and deletes unlisted
+// segment files — which are provably uncommitted (a half-finished
+// compaction output, or a rolled file whose manifest commit never
+// landed and which therefore never hosted a record).
+func (s *Store) openLayout() error {
+	for _, pat := range []string{ManifestName + ".tmp", SnapshotName + ".tmp", segPattern + ".tmp"} {
+		matches, _ := filepath.Glob(filepath.Join(s.dir, pat))
+		for _, p := range matches {
+			os.Remove(p)
+		}
+	}
+	m, err := loadManifest(s.dir)
+	if err != nil {
+		// A corrupt manifest is recoverable: segment names encode a
+		// correct replay order (see segment.go). Keep the bytes for the
+		// operator and rebuild.
+		s.corrupt.Inc()
+		s.log("store: manifest unreadable (%v); rebuilding from segment files", err)
+		p := filepath.Join(s.dir, ManifestName)
+		if rerr := os.Rename(p, p+".corrupt"); rerr != nil {
+			return fmt.Errorf("store: set aside corrupt manifest: %w", rerr)
+		}
+		m = nil
+	}
+	if m == nil {
+		files, err := scanSegmentFiles(s.dir)
+		if err != nil {
+			return err
+		}
+		legacy := filepath.Join(s.dir, JournalName)
+		if len(files) == 0 {
+			if fi, err := os.Stat(legacy); err == nil {
+				// First open of a pre-segmented data dir: the legacy
+				// journal has the same record format as a segment, so
+				// migration is a rename.
+				if err := os.Rename(legacy, filepath.Join(s.dir, segName(1, 1))); err != nil {
+					return fmt.Errorf("store: migrate legacy journal: %w", err)
+				}
+				if err := syncDir(s.dir); err != nil {
+					return err
+				}
+				s.log("store: migrated legacy %s (%d bytes) into segment %s", JournalName, fi.Size(), segName(1, 1))
+				files = []manifestSegment{{ID: 1, Gen: 1}}
+			}
+		}
+		var drop []manifestSegment
+		if len(files) == 0 {
+			m = &manifest{Version: manifestVersion, Generation: 1, NextID: 2, Segments: []manifestSegment{{ID: 1, Gen: 1}}}
+			// The active segment file must exist before the manifest
+			// references it.
+			sg, err := openSegment(s.dir, s.nextSeq.Add(1), 1, 1)
+			if err != nil {
+				return err
+			}
+			s.segs[sg.seq] = sg
+			s.order = append(s.order, sg.seq)
+		} else {
+			m, drop = bootstrapManifest(files)
+		}
+		for _, d := range drop {
+			p := filepath.Join(s.dir, segName(d.ID, d.Gen))
+			s.log("store: dropping superseded segment %s (newer generation exists)", filepath.Base(p))
+			os.Remove(p)
+		}
+		if err := commitManifest(s.dir, m); err != nil {
+			return err
+		}
+	} else if _, err := os.Stat(filepath.Join(s.dir, JournalName)); err == nil {
+		s.log("store: ignoring stray %s — this directory already uses the segmented layout", JournalName)
+	}
+
+	for _, ms := range m.Segments {
+		if len(s.order) > 0 {
+			if sg := s.segs[s.order[len(s.order)-1]]; sg.id == ms.ID && sg.gen == ms.Gen {
+				continue // fresh-store segment opened above
+			}
+		}
+		path := filepath.Join(s.dir, segName(ms.ID, ms.Gen))
+		if _, err := os.Stat(path); err != nil {
+			return fmt.Errorf("store: manifest lists segment %s but it is missing (%v) — run vmat-store verify", filepath.Base(path), err)
+		}
+		sg, err := openSegment(s.dir, s.nextSeq.Add(1), ms.ID, ms.Gen)
+		if err != nil {
+			return err
+		}
+		s.segs[sg.seq] = sg
+		s.order = append(s.order, sg.seq)
+	}
+
+	files, err := scanSegmentFiles(s.dir)
+	if err != nil {
+		return err
+	}
+	listed := make(map[[2]int64]bool, len(m.Segments))
+	for _, ms := range m.Segments {
+		listed[[2]int64{ms.ID, ms.Gen}] = true
+	}
+	for _, f := range files {
+		if !listed[[2]int64{f.ID, f.Gen}] {
+			p := filepath.Join(s.dir, segName(f.ID, f.Gen))
+			s.log("store: removing uncommitted segment %s (not in manifest)", filepath.Base(p))
+			os.Remove(p)
+		}
+	}
+
+	s.nextID = m.NextID
+	s.generation = m.Generation
+	return nil
+}
+
+// load rebuilds the index: from the index snapshot plus per-segment
+// tail replay when the snapshot still matches the layout, from a full
+// replay otherwise.
+func (s *Store) load() error {
+	sn, reason := loadSnapshotFile(s.dir)
+	if reason != "" {
+		s.corrupt.Inc()
+		s.log("store: index snapshot unusable (%s); replaying all segments", reason)
+	}
+	start := make([]int64, len(s.order))
+	if sn != nil {
+		if ok, why := s.applySnapshot(sn, start); !ok {
+			s.log("store: index snapshot stale (%s); replaying all segments", why)
+			s.idx = newShardedIndex()
+			for _, seq := range s.order {
+				sg := s.segs[seq]
+				sg.liveBytes.Store(0)
+				sg.deadBytes.Store(0)
+				sg.liveRecords.Store(0)
+				sg.deadRecords.Store(0)
+			}
+			for i := range start {
+				start[i] = 0
+			}
+			sn = nil
+		}
+	}
+	for i, seq := range s.order {
+		if err := s.replaySegment(s.segs[seq], start[i]); err != nil {
+			return err
+		}
+	}
+	if sn != nil {
+		s.lastSnapUnix.Store(sn.unixTime)
+	}
+	s.entriesCount.Store(int64(s.idx.len()))
+	return nil
+}
+
+// applySnapshot checks sn against the current layout and, if its
+// covered segments still prefix the manifest order, installs its index
+// and accounting and fills start with per-segment replay watermarks.
+func (s *Store) applySnapshot(sn *snapshot, start []int64) (bool, string) {
+	if len(sn.segs) > len(s.order) {
+		return false, "covers more segments than the manifest lists"
+	}
+	for i, ss := range sn.segs {
+		sg := s.segs[s.order[i]]
+		if sg.id != ss.id || sg.gen != ss.gen {
+			return false, fmt.Sprintf("segment %d is now (%d,%d), snapshot has (%d,%d)", i, sg.id, sg.gen, ss.id, ss.gen)
+		}
+		if ss.covered > sg.size.Load() {
+			return false, fmt.Sprintf("covers %d bytes of %s, file has %d", ss.covered, filepath.Base(sg.path), sg.size.Load())
+		}
+	}
+	for i, ss := range sn.segs {
+		sg := s.segs[s.order[i]]
+		sg.liveBytes.Store(ss.liveBytes)
+		sg.deadBytes.Store(ss.deadBytes)
+		sg.liveRecords.Store(ss.liveRecords)
+		sg.deadRecords.Store(ss.deadRecords)
+		start[i] = ss.covered
+	}
+	s.idx.preallocate(len(sn.keys))
+	for _, k := range sn.keys {
+		s.idx.insertUnlocked(k.key, recordRef{seg: s.order[k.segIdx], off: k.off, length: k.length})
+	}
+	return true, ""
+}
+
+// replaySegment indexes sg's records from byte offset from onward,
+// running the same state machine as live appends: first put per key
+// wins, a tombstone kills its key, a later put revives it. The first
+// incomplete or corrupt record marks the recovery point — everything
+// from there on is the debris of a torn write, and is logged, counted,
+// and truncated so subsequent appends start from a clean boundary.
+func (s *Store) replaySegment(sg *segment, from int64) error {
+	off, reason, err := scanFramesFrom(sg.f, journalMagic, from, func(off int64, payload []byte) error {
+		var e Entry
+		if jerr := json.Unmarshal(payload, &e); jerr != nil || e.Key == "" {
+			return errors.New("undecodable record payload")
+		}
+		n := int64(frameHeaderLen + len(payload))
+		if e.Tomb {
+			if ref, ok := s.idx.delete(e.Key); ok {
+				s.markDeadRef(ref)
+			}
+			sg.addDead(n)
+			return nil
+		}
+		if s.idx.putIfAbsent(e.Key, recordRef{seg: sg.seq, off: off, length: n}) {
+			sg.addLive(n)
+		} else {
+			sg.addDead(n)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: replay %s: %w", filepath.Base(sg.path), err)
+	}
+	if reason != "" {
+		s.corrupt.Inc()
+		s.log("store: %s corrupt at offset %d (%s); recovering complete records and truncating", filepath.Base(sg.path), off, reason)
+		if err := sg.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate corrupt tail of %s: %w", filepath.Base(sg.path), err)
+		}
+	}
+	sg.size.Store(off)
+	return nil
+}
+
+// active returns the append segment. Stable for callers holding
+// appendMu (only rolls, themselves under appendMu, change it).
+func (s *Store) active() *segment {
+	s.segMu.RLock()
+	sg := s.segs[s.order[len(s.order)-1]]
+	s.segMu.RUnlock()
+	return sg
+}
+
+// markDeadRef moves the record behind ref to dead accounting in
+// whichever open segment holds it.
+func (s *Store) markDeadRef(ref recordRef) {
+	s.segMu.RLock()
+	sg := s.segs[ref.seg]
+	s.segMu.RUnlock()
+	if sg != nil {
+		sg.recordDead(ref.length)
+	}
 }
 
 // Len returns the number of stored entries.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.index)
+	return int(s.entriesCount.Load())
 }
 
 // Has reports whether key is stored, without counting a hit or miss.
 func (s *Store) Has(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.index[key]
-	return ok
+	return s.idx.has(key)
 }
 
 // Get returns the entry stored under key. A miss returns ok=false with
 // no error; the error return is reserved for I/O and decode failures on
 // a record the index says exists.
 func (s *Store) Get(key string) (Entry, bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ref, ok := s.index[key]
+	s.cacheMu.Lock()
+	if el, ok := s.cache[key]; ok {
+		s.lru.MoveToFront(el)
+		e := el.Value.(Entry)
+		s.cacheMu.Unlock()
+		s.hits.Inc()
+		return e, true, nil
+	}
+	s.cacheMu.Unlock()
+	epoch := s.delEpoch.Load()
+	ref, ok := s.idx.get(key)
 	if !ok {
 		s.misses.Inc()
 		return Entry{}, false, nil
 	}
-	if el, ok := s.cache[key]; ok {
-		s.order.MoveToFront(el)
+	for attempt := 0; ; attempt++ {
+		s.segMu.RLock()
+		sg := s.segs[ref.seg]
+		if sg == nil {
+			s.segMu.RUnlock()
+			// A compaction moved the record between the index lookup
+			// and the segment fetch; the index already has its new
+			// home.
+			if attempt >= 8 {
+				return Entry{}, false, fmt.Errorf("store: record for %s kept moving during lookup", key)
+			}
+			if ref, ok = s.idx.get(key); !ok {
+				s.misses.Inc()
+				return Entry{}, false, nil
+			}
+			continue
+		}
+		buf := make([]byte, ref.length)
+		_, err := sg.f.ReadAt(buf, ref.off)
+		s.segMu.RUnlock()
+		if err != nil {
+			return Entry{}, false, fmt.Errorf("store: read record for %s: %w", key, err)
+		}
+		e, derr := decodeRecord(buf)
+		if derr != nil {
+			// The record passed its checksum at replay time, so this is
+			// in-place damage, not a torn write; surface it loudly.
+			s.corrupt.Inc()
+			return Entry{}, false, fmt.Errorf("store: record for %s: %w", key, derr)
+		}
+		// Cache only if no Delete landed since the index lookup — a
+		// stale cache entry would outlive its tombstone.
+		if s.delEpoch.Load() == epoch {
+			s.cacheAdd(e)
+		}
 		s.hits.Inc()
-		return el.Value.(Entry), true, nil
+		return e, true, nil
 	}
-	buf := make([]byte, ref.length)
-	if _, err := s.f.ReadAt(buf, ref.off); err != nil {
-		return Entry{}, false, fmt.Errorf("store: read record for %s: %w", key, err)
-	}
-	e, err := decodeRecord(buf)
-	if err != nil {
-		// The record passed its checksum at replay time, so this is
-		// in-place damage, not a torn write; surface it loudly.
-		s.corrupt.Inc()
-		return Entry{}, false, fmt.Errorf("store: record for %s: %w", key, err)
-	}
-	s.cacheAdd(e)
-	s.hits.Inc()
-	return e, true, nil
 }
 
 // Put stores value (JSON-marshaled) under key. Puts are idempotent:
 // storing an already-present key is a no-op, which makes concurrent
 // write-back from several layers (job manager, sweep orchestrator)
-// safe. The record is fsync'd before Put returns.
+// safe. The record is fsync'd before Put returns (unless the store was
+// opened with DisableFsync).
 func (s *Store) Put(key, kind string, value any, meta Meta) error {
-	s.mu.Lock()
-	if _, ok := s.index[key]; ok {
-		s.mu.Unlock()
+	if s.closed.Load() {
+		return errClosed
+	}
+	if s.idx.has(key) {
 		return nil
 	}
-	s.mu.Unlock()
-
 	raw, err := json.Marshal(value)
 	if err != nil {
 		return fmt.Errorf("store: marshal value for %s: %w", key, err)
@@ -215,59 +592,375 @@ func (s *Store) Put(key, kind string, value any, meta Meta) error {
 		return err
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.index[key]; ok { // lost the race; first write wins
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	if s.closed.Load() {
+		return errClosed
+	}
+	if s.idx.has(key) { // lost the race; first write wins
 		return nil
 	}
-	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+	active := s.active()
+	off := active.size.Load()
+	if _, err := active.f.WriteAt(rec, off); err != nil {
 		return fmt.Errorf("store: append record: %w", err)
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: sync journal: %w", err)
+	if s.fsync {
+		if err := active.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync segment: %w", err)
+		}
 	}
-	s.index[key] = recordRef{off: s.size, length: int64(len(rec))}
-	s.size += int64(len(rec))
-	s.cacheAdd(e)
+	n := int64(len(rec))
+	active.size.Store(off + n)
+	if s.idx.putIfAbsent(key, recordRef{seg: active.seq, off: off, length: n}) {
+		active.addLive(n)
+		s.entriesCount.Add(1)
+		s.cacheAdd(e)
+	} else {
+		active.addDead(n) // unreachable under appendMu, but keep the books straight
+	}
 	s.puts.Inc()
-	s.entries.Set(int64(len(s.index)))
+	s.appendsSinceSnap.Add(1)
+	s.refreshAccounting()
+	s.maybeRollLocked()
 	return nil
 }
 
-// Sync flushes the journal to stable storage. Puts already sync on
-// every record; Sync exists for shutdown paths that want an explicit
-// final barrier.
-func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.f.Sync()
+// Delete removes key from the store by appending a tombstone record —
+// the record's bytes stay in place (dead) until a compaction drops
+// them. Returns whether the key was present. Deleting an absent key is
+// a no-op. Like Put, the tombstone is fsync'd before Delete returns.
+func (s *Store) Delete(key string) (bool, error) {
+	if s.closed.Load() {
+		return false, errClosed
+	}
+	if !s.idx.has(key) {
+		return false, nil
+	}
+	rec, err := encodeRecord(&Entry{Key: key, Tomb: true})
+	if err != nil {
+		return false, err
+	}
+
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	if s.closed.Load() {
+		return false, errClosed
+	}
+	if !s.idx.has(key) { // already deleted; don't pay for a second tombstone
+		return false, nil
+	}
+	active := s.active()
+	off := active.size.Load()
+	if _, err := active.f.WriteAt(rec, off); err != nil {
+		return false, fmt.Errorf("store: append tombstone: %w", err)
+	}
+	if s.fsync {
+		if err := active.f.Sync(); err != nil {
+			return false, fmt.Errorf("store: sync segment: %w", err)
+		}
+	}
+	n := int64(len(rec))
+	active.size.Store(off + n)
+	active.addDead(n)
+	if ref, ok := s.idx.delete(key); ok {
+		s.markDeadRef(ref)
+		s.entriesCount.Add(-1)
+	}
+	s.cacheRemove(key)
+	s.delEpoch.Add(1)
+	s.deletes.Inc()
+	s.appendsSinceSnap.Add(1)
+	s.refreshAccounting()
+	s.maybeRollLocked()
+	return true, nil
 }
 
-// Close syncs and closes the journal. The store must not be used after
-// Close.
-func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.f.Sync(); err != nil {
-		s.f.Close()
+// maybeRollLocked seals the active segment and starts a new one once it
+// crosses the size threshold. Caller holds appendMu. A roll failure is
+// logged, not fatal: appends continue on the oversize segment and the
+// next append retries.
+func (s *Store) maybeRollLocked() {
+	if s.active().size.Load() < s.segmentBytes {
+		return
+	}
+	if err := s.rollLocked(); err != nil {
+		s.log("store: segment roll failed: %v (appends continue on the oversize segment)", err)
+	}
+}
+
+// rollLocked creates the next segment file, commits the manifest that
+// lists it, and makes it the append target. Caller holds appendMu. The
+// file is created before the manifest commit so the manifest never
+// lists a missing file; a crash between the two leaves an empty
+// unlisted file that the next open deletes.
+func (s *Store) rollLocked() error {
+	if err := s.active().f.Sync(); err != nil { // seal durably even with DisableFsync
+		return fmt.Errorf("store: sync sealing segment: %w", err)
+	}
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	id := s.nextID
+	sg, err := openSegment(s.dir, s.nextSeq.Add(1), id, 1)
+	if err != nil {
 		return err
 	}
-	return s.f.Close()
+	segsList := make([]manifestSegment, 0, len(s.order)+1)
+	for _, seq := range s.order {
+		cur := s.segs[seq]
+		segsList = append(segsList, manifestSegment{ID: cur.id, Gen: cur.gen})
+	}
+	segsList = append(segsList, manifestSegment{ID: id, Gen: 1})
+	m := &manifest{Version: manifestVersion, Generation: s.generation + 1, NextID: id + 1, Segments: segsList}
+	if err := commitManifest(s.dir, m); err != nil {
+		sg.f.Close()
+		os.Remove(sg.path)
+		return err
+	}
+	s.segs[sg.seq] = sg
+	s.order = append(s.order, sg.seq)
+	s.nextID = id + 1
+	s.generation++
+	s.segments.Set(int64(len(s.order)))
+	s.log("store: rolled to segment %s (%d segments)", segName(id, 1), len(s.order))
+	return nil
+}
+
+// Sync flushes the active segment to stable storage. Puts already sync
+// on every record unless DisableFsync; Sync exists for shutdown and
+// bulk-load paths that want an explicit final barrier.
+func (s *Store) Sync() error {
+	if s.closed.Load() {
+		return errClosed
+	}
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	return s.active().f.Sync()
+}
+
+// Snapshot writes a fresh index snapshot, making the next open a
+// snapshot-load plus tail-replay. The background loop does this
+// automatically; Snapshot exists for admin tooling and tests.
+func (s *Store) Snapshot() error {
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if s.closed.Load() {
+		return errClosed
+	}
+	return s.writeSnapshotLocked()
+}
+
+// writeSnapshotLocked captures and writes an index snapshot. Caller
+// holds maintMu.
+func (s *Store) writeSnapshotLocked() error {
+	s.appendMu.Lock()
+	s.segMu.RLock()
+	empty := len(s.order) == 0
+	s.segMu.RUnlock()
+	if empty { // segments already torn down (killed store); nothing to capture
+		s.appendMu.Unlock()
+		return nil
+	}
+	// The snapshot's covered watermarks are trusted blindly on reopen
+	// (that is the speedup), so every covered byte must be durable
+	// first — with per-Put fsync this is a no-op, with DisableFsync it
+	// is the barrier that keeps the invariant.
+	if err := s.active().f.Sync(); err != nil {
+		s.appendMu.Unlock()
+		return fmt.Errorf("store: sync before snapshot: %w", err)
+	}
+	sn := s.captureSnapshot()
+	s.appendsSinceSnap.Store(0)
+	s.appendMu.Unlock()
+	if err := writeSnapshotFile(s.dir, sn); err != nil {
+		return err
+	}
+	s.lastSnapUnix.Store(sn.unixTime)
+	s.snapshots.Inc()
+	s.snapAge.Set(0)
+	return nil
+}
+
+// Status reports the engine's current shape for /healthz and admin
+// tooling.
+func (s *Store) Status() Status {
+	s.segMu.RLock()
+	st := Status{Segments: len(s.order), Generation: s.generation}
+	var total int64
+	for _, seq := range s.order {
+		sg := s.segs[seq]
+		st.LiveBytes += sg.liveBytes.Load()
+		st.DeadBytes += sg.deadBytes.Load()
+		total += sg.size.Load()
+	}
+	s.segMu.RUnlock()
+	if total > 0 {
+		st.DeadRatio = float64(st.DeadBytes) / float64(total)
+	}
+	st.Entries = s.entriesCount.Load()
+	st.Compacting = s.compacting.Load()
+	st.Compactions = s.compactionsC.Value()
+	st.SnapshotAgeSeconds = s.updateSnapAge()
+	return st
+}
+
+// Close stops background maintenance, writes a final index snapshot,
+// and syncs and closes every segment. The store must not be used after
+// Close.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if s.bgStop != nil {
+		close(s.bgStop)
+		<-s.bgDone
+	}
+	s.maintMu.Lock()
+	defer s.maintMu.Unlock()
+	if err := s.writeSnapshotLocked(); err != nil {
+		s.log("store: final snapshot: %v", err)
+	}
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	return s.closeSegments()
+}
+
+// closeSegments syncs and closes every open segment file, keeping the
+// first error.
+func (s *Store) closeSegments() error {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	var firstErr error
+	for _, seq := range s.order {
+		sg := s.segs[seq]
+		if err := sg.f.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := sg.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.segs, seq)
+	}
+	s.order = nil
+	return firstErr
+}
+
+// background is the maintenance loop: refresh the snapshot-age gauge,
+// snapshot after enough appends, compact when the sealed segments carry
+// enough dead bytes.
+func (s *Store) background(interval time.Duration) {
+	defer close(s.bgDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.bgStop:
+			return
+		case <-t.C:
+		}
+		s.updateSnapAge()
+		if s.appendsSinceSnap.Load() >= s.snapshotEvery {
+			s.maintMu.Lock()
+			if !s.closed.Load() {
+				if err := s.writeSnapshotLocked(); err != nil {
+					s.log("store: background snapshot: %v", err)
+				}
+			}
+			s.maintMu.Unlock()
+		}
+		if s.shouldCompact() {
+			if err := s.Compact(); err != nil && !errors.Is(err, errCompactionAborted) && !errors.Is(err, errClosed) {
+				s.log("store: background compaction: %v", err)
+			}
+		}
+	}
+}
+
+// compactMaxSealed bounds the sealed-segment count: past it the
+// background loop merges even without dead bytes, so replay cost and
+// file-handle count stay flat under pure-append workloads.
+const compactMaxSealed = 32
+
+// shouldCompact is the background trigger: sealed dead bytes crossed
+// the configured ratio, or the sealed chain grew too long.
+func (s *Store) shouldCompact() bool {
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
+	if len(s.order) < 2 {
+		return false
+	}
+	sealed := s.order[:len(s.order)-1]
+	var total, dead int64
+	for _, seq := range sealed {
+		sg := s.segs[seq]
+		total += sg.size.Load()
+		dead += sg.deadBytes.Load()
+	}
+	if total == 0 {
+		return len(sealed) > 1 // collapse empty chaff
+	}
+	if float64(dead)/float64(total) >= s.minDeadRatio {
+		return true
+	}
+	return len(sealed) >= compactMaxSealed
+}
+
+// refreshAccounting publishes segment-derived gauges. Sums live
+// atomics, so it is cheap enough to run per append.
+func (s *Store) refreshAccounting() {
+	s.segMu.RLock()
+	var live, dead int64
+	n := len(s.order)
+	for _, seq := range s.order {
+		sg := s.segs[seq]
+		live += sg.liveBytes.Load()
+		dead += sg.deadBytes.Load()
+	}
+	s.segMu.RUnlock()
+	s.liveBytesG.Set(live)
+	s.deadBytesG.Set(dead)
+	s.segments.Set(int64(n))
+	s.entries.Set(s.entriesCount.Load())
+}
+
+// updateSnapAge recomputes the snapshot-age gauge and returns the age
+// (-1 when no snapshot exists).
+func (s *Store) updateSnapAge() int64 {
+	age := int64(-1)
+	if last := s.lastSnapUnix.Load(); last > 0 {
+		if age = time.Now().Unix() - last; age < 0 {
+			age = 0
+		}
+	}
+	s.snapAge.Set(age)
+	return age
 }
 
 // cacheAdd inserts (or refreshes) an entry in the bounded LRU, evicting
-// the least recently used entry beyond capacity. Callers hold s.mu.
+// the least recently used entries beyond capacity.
 func (s *Store) cacheAdd(e Entry) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
 	if el, ok := s.cache[e.Key]; ok {
 		el.Value = e
-		s.order.MoveToFront(el)
+		s.lru.MoveToFront(el)
 		return
 	}
-	s.cache[e.Key] = s.order.PushFront(e)
-	for s.order.Len() > s.cacheCap {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
+	s.cache[e.Key] = s.lru.PushFront(e)
+	for s.lru.Len() > s.cacheCap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
 		delete(s.cache, oldest.Value.(Entry).Key)
 		s.evictions.Inc()
+	}
+}
+
+// cacheRemove drops key from the LRU if present.
+func (s *Store) cacheRemove(key string) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if el, ok := s.cache[key]; ok {
+		s.lru.Remove(el)
+		delete(s.cache, key)
 	}
 }

@@ -126,8 +126,8 @@ func TestCacheEvictionBounded(t *testing.T) {
 			t.Fatalf("Get(%s) = %d, want %d", k, v, i)
 		}
 	}
-	if len(s.cache) != 2 || s.order.Len() != 2 {
-		t.Fatalf("cache holds %d/%d entries, want bound 2", len(s.cache), s.order.Len())
+	if len(s.cache) != 2 || s.lru.Len() != 2 {
+		t.Fatalf("cache holds %d/%d entries, want bound 2", len(s.cache), s.lru.Len())
 	}
 }
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Storage-engine smoke test: a real vmat-server with a deliberately tiny
+# -store-segment-bytes runs a sweep big enough to roll the journal
+# through several segments, is SIGKILLed with no warning, and must come
+# back whole: `vmat-store verify` passes offline on the killed
+# directory, a restarted server serves every cell from the store
+# (cached == cells, executed == 0), and the re-exported CSV is
+# bit-identical to the pre-kill baseline. SMOKE_PORT and SEGMENT_BYTES
+# override the defaults.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${SMOKE_PORT:-18107}"
+SEGMENT_BYTES="${SEGMENT_BYTES:-2048}"
+BASE="http://127.0.0.1:${PORT}"
+GRID='{"n": [30, 40, 50, 60], "attack": ["none", "drop", "junk"], "trials": 4, "seed": 23, "workers": 1}'
+CELLS=12
+WORK="$(mktemp -d)"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "smoke-store: FAIL: $*" >&2
+  echo "--- server log ---" >&2; cat "$WORK/server.log" >&2 || true
+  exit 1
+}
+
+start_server() {
+  "$WORK/vmat-server" -addr "127.0.0.1:${PORT}" \
+    -data-dir "$WORK/store" \
+    -store-segment-bytes "$SEGMENT_BYTES" \
+    -store-compact-interval 1s \
+    >>"$WORK/server.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "server never became healthy"
+}
+
+run_sweep() {
+  local id status
+  id=$(curl -fsS -X POST "$BASE/v1/sweeps" -d "$GRID" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+  [ -n "$id" ] || fail "sweep submission returned no id"
+  for _ in $(seq 1 600); do
+    status=$(curl -fsS "$BASE/v1/sweeps/$id" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+    [ "$status" = done ] && break
+    [ "$status" = failed ] && fail "sweep ended failed"
+    sleep 0.1
+  done
+  [ "$status" = done ] || fail "sweep never finished (last status: ${status:-none})"
+  echo "$id"
+}
+
+echo "smoke-store: building binaries"
+go build -o "$WORK/vmat-server" ./cmd/vmat-server
+go build -o "$WORK/vmat-store" ./cmd/vmat-store
+
+echo "smoke-store: starting vmat-server (segment-bytes=${SEGMENT_BYTES})"
+start_server
+
+echo "smoke-store: running a ${CELLS}-cell sweep across several segment rolls"
+SWEEP_ID=$(run_sweep)
+curl -fsS "$BASE/v1/sweeps/$SWEEP_ID/results?format=csv" >"$WORK/baseline.csv"
+[ -s "$WORK/baseline.csv" ] || fail "baseline CSV export is empty"
+
+SEGS=$(ls "$WORK/store"/seg-*.vmat 2>/dev/null | wc -l)
+[ "$SEGS" -ge 3 ] || fail "only $SEGS segment files on disk, want >= 3 rolls"
+curl -fsS "$BASE/metrics" | grep -q '^store_segments_total ' \
+  || fail "store_segments_total missing from /metrics"
+curl -fsS "$BASE/healthz" | grep -q '"store"' \
+  || fail "healthz has no store section"
+
+echo "smoke-store: SIGKILLing the server ($SEGS segments on disk)"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "smoke-store: offline verify of the killed directory"
+"$WORK/vmat-store" inspect "$WORK/store" >"$WORK/inspect.txt" \
+  || fail "vmat-store inspect failed on the killed directory"
+"$WORK/vmat-store" verify "$WORK/store" >"$WORK/verify.txt" \
+  || fail "vmat-store verify failed: $(cat "$WORK/verify.txt")"
+grep -q '^ok$' "$WORK/verify.txt" || fail "verify did not report ok"
+
+echo "smoke-store: restarting on the same data dir"
+start_server
+
+# The resubmitted grid must be answered entirely from the store: same
+# sweep shape, zero engine executions, and a bit-identical CSV.
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" | grep -q '"status":"ok"'; then break; fi
+  sleep 0.1
+done
+SWEEP2_ID=$(run_sweep)
+VIEW=$(curl -fsS "$BASE/v1/sweeps/$SWEEP2_ID")
+CACHED=$(echo "$VIEW" | sed -n 's/.*"cached":\([0-9]*\).*/\1/p')
+EXECUTED=$(echo "$VIEW" | sed -n 's/.*"executed":\([0-9]*\).*/\1/p')
+[ "${CACHED:-0}" -eq "$CELLS" ] \
+  || fail "restarted server cached ${CACHED:-0}/${CELLS} cells (view: $VIEW)"
+[ "${EXECUTED:-1}" -eq 0 ] \
+  || fail "restarted server re-executed ${EXECUTED} cells (view: $VIEW)"
+
+curl -fsS "$BASE/v1/sweeps/$SWEEP2_ID/results?format=csv" >"$WORK/after.csv"
+cmp -s "$WORK/baseline.csv" "$WORK/after.csv" \
+  || fail "CSV export changed across the SIGKILL/restart"
+
+echo "smoke-store: draining"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+grep -q "drained, bye" "$WORK/server.log" || fail "server did not drain cleanly"
+
+echo "smoke-store: PASS"
