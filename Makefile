@@ -2,10 +2,11 @@ GO ?= go
 BENCH_JSON ?= BENCH_PR6.json
 CLUSTER_BENCH_JSON ?= BENCH_PR7.json
 STORE_BENCH_JSON ?= BENCH_PR9.json
+TENANT_BENCH_JSON ?= BENCH_PR10.json
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS = -ldflags "-X main.version=$(VERSION)"
 
-.PHONY: all build test race race-focus vet bench bench-cluster bench-store run-server run-worker smoke-cluster smoke-chaos smoke-store clean
+.PHONY: all build test race race-focus vet bench bench-cluster bench-store bench-tenant run-server run-worker smoke-cluster smoke-chaos smoke-store smoke-tenants clean
 
 all: build test
 
@@ -33,7 +34,7 @@ race:
 # (WAL replay racing a live listener and re-registering workers) is not.
 # CI runs this instead of the full -race sweep to keep the loop fast.
 race-focus:
-	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff ./internal/shard ./internal/wire ./internal/chaos
+	$(GO) test -race ./internal/simnet ./internal/experiments ./internal/service ./internal/faults ./internal/core ./internal/store ./internal/sweep ./internal/cluster ./internal/backoff ./internal/shard ./internal/wire ./internal/chaos ./internal/tenant
 
 vet:
 	$(GO) vet ./...
@@ -75,6 +76,14 @@ smoke-chaos: build
 smoke-store: build
 	./scripts/smoke-store.sh
 
+# Multi-tenant front-door smoke test: a real vmat-server with a keyfile
+# of two tenants, one rate-limited into 429 + Retry-After while the
+# other keeps submitting, plus 401 for bad keys, shed-tier /healthz,
+# per-tenant metrics, and a SIGHUP keyfile hot reload. CI runs this
+# against every push.
+smoke-tenants: build
+	./scripts/smoke-tenants.sh
+
 # Runs every testing.B wrapper once with -benchmem and records the
 # results as machine-readable JSON in $(BENCH_JSON): an "env" object
 # (go version, GOOS/GOARCH, CPU model, GOMAXPROCS) so the numbers are
@@ -105,6 +114,15 @@ bench-store:
 	$(GO) test -run '^$$' -bench BenchmarkStoreHitLatency -benchmem -benchtime 2000x -count 1 -timeout 30m . | tee -a $(STORE_BENCH_JSON:.json=.txt)
 	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(STORE_BENCH_JSON:.json=.txt) > $(STORE_BENCH_JSON)
 
+# The front-door numbers only: admission overhead open vs keyed on a
+# cache-warm job (the keyed path must stay within 5% of open),
+# saturated submission from 1 vs 8 tenants, and the deficit-round-robin
+# drain-share ratios (fair_min/fair_max must stay within 2x of each
+# tenant's weight share; the benchmark fails itself otherwise).
+bench-tenant:
+	$(GO) test -run '^$$' -bench BenchmarkTenantAdmission -benchmem -benchtime 200x -count 1 . | tee $(TENANT_BENCH_JSON:.json=.txt)
+	awk -v goversion="$$($(GO) env GOVERSION)" -f scripts/bench-json.awk $(TENANT_BENCH_JSON:.json=.txt) > $(TENANT_BENCH_JSON)
+
 clean:
-	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt) $(CLUSTER_BENCH_JSON) $(CLUSTER_BENCH_JSON:.json=.txt) $(STORE_BENCH_JSON) $(STORE_BENCH_JSON:.json=.txt)
+	rm -f $(BENCH_JSON) $(BENCH_JSON:.json=.txt) $(CLUSTER_BENCH_JSON) $(CLUSTER_BENCH_JSON:.json=.txt) $(STORE_BENCH_JSON) $(STORE_BENCH_JSON:.json=.txt) $(TENANT_BENCH_JSON) $(TENANT_BENCH_JSON:.json=.txt)
 	$(GO) clean ./...

@@ -17,6 +17,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/synopsis"
+	"repro/internal/tenant"
 	"repro/internal/topology"
 )
 
@@ -406,6 +408,186 @@ func BenchmarkShardGranularity(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchController writes a keyfile with n tenants t0..t(n-1), keys
+// key-0..key-(n-1), weights cycling 1..4, and returns the controller
+// plus the resolved tenants.
+func benchController(b *testing.B, n int) (*tenant.Controller, []*tenant.Tenant) {
+	b.Helper()
+	doc := `{"tenants": [`
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			doc += ","
+		}
+		doc += fmt.Sprintf(`{"id": "t%d", "key": "key-%d", "weight": %d}`, i, i, i%4+1)
+	}
+	doc += `]}`
+	path := filepath.Join(b.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(doc), 0o600); err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := tenant.NewController(tenant.Config{Path: path, Metrics: metrics.New()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := make([]*tenant.Tenant, n)
+	for i := range tenants {
+		t, err := ctl.Authenticate(fmt.Sprintf("key-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants[i] = t
+	}
+	return ctl, tenants
+}
+
+// BenchmarkTenantAdmission prices the multi-tenant front door, for
+// `make bench-tenant` (BENCH_PR10.json):
+//
+//   - overhead/{open,keyed} is the admission tax: the same cache-warm
+//     job submitted through a nil-keyfile manager (pre-tenancy path)
+//     vs through authentication + rate bucket + fair queue. The
+//     acceptance bar is keyed within 5% of open.
+//   - saturation/tenants={1,8} drives a saturated single-worker queue
+//     with 8 cache-warm jobs per iteration from 1 vs 8 tenants, with
+//     queue-full retries — the end-to-end cost of contention at the
+//     front door.
+//   - drain-fairness/tenants=8 fills per-tenant backlogs (weights
+//     cycling 1..4) and pops under deficit round robin, reporting each
+//     tenant's drain share relative to its weight share; every tenant
+//     must land within 2x (fair_min/fair_max ratios).
+func BenchmarkTenantAdmission(b *testing.B) {
+	spec := service.Spec{ScenarioConfig: experiments.ScenarioConfig{
+		N: 30, Topology: "geometric", Query: "min",
+		Attack: "drop", Malicious: 1,
+		Trials: 2, Seed: 7, Workers: 1,
+	}}
+
+	// warmManager returns a manager whose store already holds spec's
+	// result, so every benchmarked submission is a store hit and the
+	// numbers price admission, not the engine.
+	warmManager := func(b *testing.B, ctl *tenant.Controller) *service.Manager {
+		b.Helper()
+		st, err := store.Open(b.TempDir(), store.Config{DisableFsync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { st.Close() })
+		mgr := service.New(service.Config{QueueSize: 8, Workers: 1, Retain: 16, Metrics: metrics.New(), Store: st, Tenants: ctl})
+		b.Cleanup(func() { mgr.Drain(context.Background()) })
+		job, err := mgr.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if job.Status() != service.StatusDone {
+			b.Fatalf("priming job finished %s: %s", job.Status(), job.Err())
+		}
+		return mgr
+	}
+
+	b.Run("overhead/open", func(b *testing.B) {
+		mgr := warmManager(b, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job, err := mgr.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-job.Done()
+		}
+	})
+
+	b.Run("overhead/keyed", func(b *testing.B) {
+		ctl, tenants := benchController(b, 1)
+		mgr := warmManager(b, ctl)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			job, err := mgr.SubmitAs(tenants[0], spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			<-job.Done()
+		}
+	})
+
+	for _, nt := range []int{1, 8} {
+		b.Run(fmt.Sprintf("saturation/tenants=%d", nt), func(b *testing.B) {
+			ctl, tenants := benchController(b, nt)
+			mgr := warmManager(b, ctl)
+			const batch = 8
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*service.Job, 0, batch)
+				for j := 0; j < batch; j++ {
+					for {
+						job, err := mgr.SubmitAs(tenants[j%nt], spec)
+						if err == nil {
+							jobs = append(jobs, job)
+							break
+						}
+						if !errors.Is(err, service.ErrQueueFull) {
+							b.Fatal(err)
+						}
+						time.Sleep(100 * time.Microsecond) // saturated: wait a slot out
+					}
+				}
+				for _, job := range jobs {
+					<-job.Done()
+				}
+			}
+		})
+	}
+
+	b.Run("drain-fairness/tenants=8", func(b *testing.B) {
+		ctl, tenants := benchController(b, 8)
+		const perTenant, pops = 16, 64
+		totalWeight := 0
+		for _, t := range tenants {
+			totalWeight += t.Weight()
+		}
+		minRatio, maxRatio := 1.0, 1.0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := tenant.NewQueue[int](ctl, tenant.QueueConfig{Capacity: 256})
+			for ti, t := range tenants {
+				for j := 0; j < perTenant; j++ {
+					if err := q.Push(t, ti); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			counts := make([]int, len(tenants))
+			for j := 0; j < pops; j++ {
+				ti, ok := q.Pop()
+				if !ok {
+					b.Fatal("queue drained early")
+				}
+				counts[ti]++
+			}
+			for ti, c := range counts {
+				expected := float64(pops) * float64(tenants[ti].Weight()) / float64(totalWeight)
+				ratio := float64(c) / expected
+				if ratio < minRatio {
+					minRatio = ratio
+				}
+				if ratio > maxRatio {
+					maxRatio = ratio
+				}
+				if ratio < 0.5 || ratio > 2 {
+					b.Fatalf("tenant t%d drained %d of %d pops, expected ~%.1f (ratio %.2f outside 2x)", ti, c, pops, expected, ratio)
+				}
+			}
+			q.Close()
+		}
+		b.ReportMetric(minRatio, "fair_min_ratio")
+		b.ReportMetric(maxRatio, "fair_max_ratio")
+	})
 }
 
 // --- micro-benchmarks ---

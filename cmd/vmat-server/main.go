@@ -42,6 +42,15 @@
 // work — and /healthz grows a "workers" section that reports
 // "degraded" while the fleet is empty.
 //
+// With -tenants, the server runs its multi-tenant front door: clients
+// authenticate with `Authorization: Bearer <key>` against a JSON
+// keyfile, each tenant gets a submissions/sec token bucket and queue /
+// sweep-cell quotas, and the job queue becomes a weighted fair queue
+// (deficit round robin over per-tenant FIFOs) so no tenant starves the
+// rest. Capacity rejections are 429 with an honest Retry-After;
+// /healthz escalates ok -> degraded -> shedding as pressure builds.
+// SIGHUP reloads the keyfile without dropping live rate-limit state.
+//
 // On SIGTERM/SIGINT the server drains gracefully: it stops leasing
 // cluster units and waits for in-flight leases, stops accepting work,
 // finishes queued and running jobs, flushes the store, then exits — a
@@ -67,6 +76,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/sweep"
+	"repro/internal/tenant"
 )
 
 // version is stamped by the Makefile via -ldflags "-X main.version=...".
@@ -96,6 +106,7 @@ func run(args []string, w io.Writer) error {
 	shardTrials := fs.Int("shard-trials", 0, "split cluster scenarios into work units of at most this many trials (0 = whole-scenario units)")
 	wireAddr := fs.String("wire-addr", ":8081", "streaming-transport listen address for cluster workers (empty = HTTP lease polling only)")
 	wireAdvertise := fs.String("wire-advertise", "", "streaming-transport address advertised to workers instead of the bound one (for proxies/NAT; empty = advertise the listener)")
+	tenantsPath := fs.String("tenants", "", "JSON keyfile enabling the multi-tenant front door: API keys, per-tenant rate limits/quotas, fair-queue weights (empty = open server, everything runs as the anonymous tenant; SIGHUP reloads the file)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -174,6 +185,26 @@ func run(args []string, w io.Writer) error {
 			logf("cluster streaming transport on %s", bound)
 		}
 	}
+	ctl, err := tenant.NewController(tenant.Config{Path: *tenantsPath, Metrics: reg, Log: logf})
+	if err != nil {
+		return fmt.Errorf("load tenant keyfile: %w", err)
+	}
+	if *tenantsPath != "" {
+		logf("multi-tenant front door on: %d keyed tenant(s) from %s", ctl.Len(), *tenantsPath)
+		// SIGHUP reloads the keyfile in place: new keys/limits apply
+		// immediately, live state (bucket balances, in-flight counts)
+		// survives, and a broken file is rejected without locking anyone
+		// out.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := ctl.Reload(); err != nil {
+					logf("tenant keyfile reload failed (keeping previous set): %v", err)
+				}
+			}
+		}()
+	}
 	mgr := service.New(service.Config{
 		QueueSize:  *queue,
 		Workers:    *workers,
@@ -183,6 +214,7 @@ func run(args []string, w io.Writer) error {
 		Store:      st,
 		Version:    version,
 		Cluster:    exec,
+		Tenants:    ctl,
 	})
 	swm := sweep.NewManager(sweep.Config{
 		Service:    mgr,

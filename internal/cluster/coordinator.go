@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"strings"
 	"sync"
 	"time"
 
@@ -208,16 +207,10 @@ func (c *Coordinator) rejectResult(reason string) {
 
 // sanitizeName restricts a worker-supplied name to [a-zA-Z0-9_.-]:
 // the name is interpolated into the worker="..." metric label, where a
-// quote, brace, or newline would corrupt the exposition format.
+// quote, brace, or newline would corrupt the exposition format. The
+// shared helper also guards tenant IDs in internal/tenant.
 func sanitizeName(s string) string {
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '_', r == '.', r == '-':
-			return r
-		}
-		return -1
-	}, s)
+	return metrics.SanitizeLabel(s)
 }
 
 // Register admits a worker and assigns its identity and cadence. The

@@ -182,6 +182,24 @@ func (r *Registry) mustBeFree(name, kind string) {
 	}
 }
 
+// SanitizeLabel restricts an externally-supplied string to
+// [a-zA-Z0-9_.-] so it is safe to interpolate into a metric label
+// value. A quote, brace, backslash, or newline in a hostile worker
+// name, tenant ID, or header value would otherwise corrupt the text
+// exposition format (and with it every scrape). Disallowed runes are
+// dropped, not escaped: label values are identifiers here, not
+// free-form text.
+func SanitizeLabel(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '.', r == '-':
+			return r
+		}
+		return -1
+	}, s)
+}
+
 // family splits off the label section: `a_total{x="y"}` -> `a_total`.
 func family(name string) string {
 	if i := strings.IndexByte(name, '{'); i >= 0 {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 )
 
 // HTTP metric names. Both carry route and (for requests) status-code
@@ -82,13 +83,57 @@ type RecoveryReporter interface {
 func NewHandler(m *Manager, version string, workers WorkersReporter, recovery RecoveryReporter) http.Handler {
 	h := &api{m: m, version: version, workers: workers, recovery: recovery}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", h.instrument("POST /v1/jobs", h.submit))
-	mux.HandleFunc("GET /v1/jobs/{id}", h.instrument("GET /v1/jobs/{id}", h.get))
-	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.instrument("GET /v1/jobs/{id}/trace", h.trace))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", h.instrument("DELETE /v1/jobs/{id}", h.cancel))
+	mux.HandleFunc("POST /v1/jobs", h.instrument("POST /v1/jobs", WithTenant(m, h.submit)))
+	mux.HandleFunc("GET /v1/jobs/{id}", h.instrument("GET /v1/jobs/{id}", WithTenant(m, h.get)))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", h.instrument("GET /v1/jobs/{id}/trace", WithTenant(m, h.trace)))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", h.instrument("DELETE /v1/jobs/{id}", WithTenant(m, h.cancel)))
 	mux.HandleFunc("GET /healthz", h.instrument("GET /healthz", h.healthz))
 	mux.HandleFunc("GET /metrics", h.metrics) // not instrumented: scrapes shouldn't move the metrics they read
 	return mux
+}
+
+// TenantHandler is an HTTP handler that has passed the front door: t is
+// the authenticated (or anonymous) tenant.
+type TenantHandler func(w http.ResponseWriter, r *http.Request, t *tenant.Tenant)
+
+// WithTenant authenticates the request against the manager's front
+// door before calling fn. A server running with a keyfile answers 401
+// to missing or unknown keys (unless the keyfile admits anonymous
+// traffic); an open server maps everything to the anonymous tenant.
+// Every authenticated request is counted in tenant_requests_total.
+// /healthz and /metrics stay outside the front door — probes and
+// scrapers don't carry keys. Exported for sibling subsystems mounting
+// routes on the same server (the sweep API).
+func WithTenant(m *Manager, fn TenantHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := m.Tenants().FromRequest(r)
+		if err != nil {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="vmat"`)
+			writeError(w, http.StatusUnauthorized, err.Error())
+			return
+		}
+		fn(w, r, t)
+	}
+}
+
+// writeAdmissionError maps a Submit rejection to its status code. All
+// front-door pressure (rate limit, quota, shed, full queue) is 429 with
+// a Retry-After header derived from the tenant's token-bucket refill
+// time, so well-behaved clients reschedule instead of hammering.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	var adm *tenant.AdmissionError
+	switch {
+	case errors.As(err, &adm):
+		w.Header().Set("Retry-After", adm.RetryAfterHeader())
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
 }
 
 type api struct {
@@ -148,7 +193,7 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
-func (h *api) submit(w http.ResponseWriter, r *http.Request) {
+func (h *api) submit(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
 	var spec Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	// Reject unknown keys outright: a typo'd field (say "fautls") in a
@@ -159,23 +204,18 @@ func (h *api) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: "+err.Error())
 		return
 	}
-	job, err := h.m.Submit(spec)
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusAccepted, map[string]string{
-			"id":     job.ID(),
-			"status": string(job.Status()),
-		})
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusTooManyRequests, err.Error())
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-	default:
-		writeError(w, http.StatusBadRequest, err.Error())
+	job, err := h.m.SubmitAs(t, spec)
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":     job.ID(),
+		"status": string(job.Status()),
+	})
 }
 
-func (h *api) get(w http.ResponseWriter, r *http.Request) {
+func (h *api) get(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	job, ok := h.m.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
@@ -184,7 +224,7 @@ func (h *api) get(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.View())
 }
 
-func (h *api) cancel(w http.ResponseWriter, r *http.Request) {
+func (h *api) cancel(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	job, err := h.m.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
@@ -198,7 +238,7 @@ func (h *api) cancel(w http.ResponseWriter, r *http.Request) {
 
 // trace streams the job's buffered engine events as NDJSON, following
 // a still-running job until it finishes (or the client goes away).
-func (h *api) trace(w http.ResponseWriter, r *http.Request) {
+func (h *api) trace(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	job, ok := h.m.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
@@ -239,31 +279,37 @@ func (h *api) trace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
-	// A saturated queue is still a live process (200), but the status
-	// body flips to "degraded" so operators see back-pressure before
-	// submissions start bouncing with 429s. The same goes for cluster
-	// mode with an empty fleet: work still runs (local fallback), but
-	// the capacity the operator provisioned is missing.
-	status := "ok"
-	if h.m.QueueSaturated() {
-		status = "degraded"
-	}
+	// The status field is tiered: "ok" when nothing is wrong, "degraded"
+	// while back-pressure builds (queue occupancy past the degraded
+	// threshold, an empty cluster fleet, or WAL replay in flight — still
+	// a live 200, work still runs), and "shedding" once the admission
+	// layer has started bouncing over-share tenants to keep the rest
+	// live. Shedding comes only from the fair queue and is never
+	// downgraded by the other checks.
+	adm := h.m.AdmissionStatus()
+	status := adm.Tier
 	body := map[string]any{
-		"version":  h.version,
-		"draining": h.m.Draining(),
+		"version":   h.version,
+		"draining":  h.m.Draining(),
+		"admission": adm,
+	}
+	degrade := func() {
+		if status == tenant.TierOK {
+			status = tenant.TierDegraded
+		}
 	}
 	if h.workers != nil {
 		ws := h.workers.WorkersStatus()
 		body["workers"] = ws
 		if ws.Connected == 0 {
-			status = "degraded"
+			degrade()
 		}
 	}
 	if h.recovery != nil {
 		rs := h.recovery.RecoveryStatus()
 		body["recovery"] = rs
 		if rs.Active {
-			status = "degraded"
+			degrade()
 		}
 	}
 	if ss, ok := h.m.StoreStatus(); ok {

@@ -42,7 +42,8 @@ func TestSubmitRejectsUnknownFields(t *testing.T) {
 }
 
 // TestHealthzDegradedWhenQueueFull: a saturated queue keeps /healthz at
-// 200 (the process is alive) but flips the body status to "degraded".
+// 200 (the process is alive) but escalates the body status through the
+// admission tiers — at full occupancy the fair queue is shedding.
 func TestHealthzDegradedWhenQueueFull(t *testing.T) {
 	gate := make(chan struct{})
 	m := New(Config{QueueSize: 2, Workers: 1})
@@ -83,8 +84,8 @@ func TestHealthzDegradedWhenQueueFull(t *testing.T) {
 			t.Fatalf("job %d -> %d, want 202", i, code)
 		}
 	}
-	if got := health(); got != "degraded" {
-		t.Fatalf("saturated healthz status = %q, want degraded", got)
+	if got := health(); got != "shedding" {
+		t.Fatalf("saturated healthz status = %q, want shedding", got)
 	}
 
 	close(gate)

@@ -4,12 +4,18 @@
 // fronts over HTTP and later scaling work (sharding, caching,
 // multi-backend) plugs into.
 //
-// Admission control is explicit: jobs wait on a bounded queue and
-// Submit rejects with ErrQueueFull instead of blocking when the queue is
-// at capacity, so overload turns into fast 429s rather than unbounded
-// memory growth. Completed jobs are retained in a bounded FIFO of
-// terminal jobs (an LRU where insertion order is completion order);
-// clients polling old jobs eventually see a 404 and must re-submit.
+// Admission control is explicit and tenant-aware: submissions pass the
+// multi-tenant front door (internal/tenant) — API-key identity, a
+// per-tenant submissions/sec token bucket, per-tenant queue quotas —
+// and then land in a weighted fair queue (per-tenant FIFOs drained by
+// deficit round robin) instead of one global FIFO, so a greedy tenant's
+// backlog cannot delay another tenant's first job. Submit never blocks:
+// capacity and quota pressure reject with a tenant.AdmissionError
+// carrying a Retry-After, so overload turns into fast, schedulable 429s
+// rather than unbounded memory growth. Completed jobs are retained in a
+// bounded FIFO of terminal jobs (an LRU where insertion order is
+// completion order); clients polling old jobs eventually see a 404 and
+// must re-submit.
 //
 // Execution goes through experiments.RunScenario, which is built on the
 // deterministic trial-runner — rows returned over HTTP are bit-identical
@@ -29,6 +35,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Spec is a job submission: the scenario to run plus service options.
@@ -57,10 +64,13 @@ func (s Status) terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCancelled
 }
 
-// Submission and execution errors. HTTP maps ErrQueueFull to 429 and
-// ErrDraining to 503; validation errors map to 400.
+// Submission and execution errors. HTTP maps ErrQueueFull (and every
+// other tenant.AdmissionError) to 429 with a Retry-After header and
+// ErrDraining to 503; validation errors map to 400. ErrQueueFull is the
+// front door's sentinel re-exported so pre-tenancy callers'
+// errors.Is(err, service.ErrQueueFull) checks keep working.
 var (
-	ErrQueueFull = errors.New("service: job queue is full")
+	ErrQueueFull = tenant.ErrQueueFull
 	ErrDraining  = errors.New("service: manager is draining, not accepting jobs")
 	ErrNotFound  = errors.New("service: no such job")
 )
@@ -133,12 +143,24 @@ type Config struct {
 	// fleet with local fallback (see Executor). Traced jobs always run
 	// locally — their live engine events cannot stream across the wire.
 	Cluster Executor
+	// Tenants is the multi-tenant front door: API-key auth, per-tenant
+	// rate limits and quotas, fair-queue weights. Nil runs open — every
+	// submission is the anonymous tenant with unlimited limits, the
+	// pre-tenancy behavior.
+	Tenants *tenant.Controller
+	// DegradedFrac and ShedFrac override the queue occupancies at which
+	// /healthz reports "degraded" and admission starts shedding
+	// over-share tenants. Zero picks the tenant package defaults
+	// (0.75 / 0.9).
+	DegradedFrac float64
+	ShedFrac     float64
 }
 
 // Job is one submitted scenario run.
 type Job struct {
 	id     string
 	spec   Spec
+	owner  *tenant.Tenant
 	cancel context.CancelFunc
 	ctx    context.Context
 	done   chan struct{}
@@ -161,6 +183,9 @@ func (j *Job) ID() string { return j.id }
 
 // Spec returns the normalized spec the job was admitted with.
 func (j *Job) Spec() Spec { return j.spec }
+
+// Tenant returns the ID of the tenant that submitted the job.
+func (j *Job) Tenant() string { return j.owner.ID() }
 
 // Status returns the job's current state.
 func (j *Job) Status() Status {
@@ -249,6 +274,7 @@ func (j *Job) cancelIfQueued() bool {
 type View struct {
 	ID     string                    `json:"id"`
 	Status Status                    `json:"status"`
+	Tenant string                    `json:"tenant,omitempty"`
 	Spec   Spec                      `json:"spec"`
 	Error  string                    `json:"error,omitempty"`
 	Rows   []experiments.ScenarioRow `json:"rows,omitempty"`
@@ -271,6 +297,7 @@ func (j *Job) View() View {
 	v := View{
 		ID:           j.id,
 		Status:       j.status,
+		Tenant:       j.owner.ID(),
 		Spec:         j.spec,
 		Error:        j.errMsg,
 		Rows:         j.rows,
@@ -290,12 +317,13 @@ func (j *Job) View() View {
 	return v
 }
 
-// Manager owns the queue, the worker pool, and the job table.
+// Manager owns the fair queue, the worker pool, and the job table.
 type Manager struct {
-	cfg Config
-	reg *metrics.Registry
+	cfg     Config
+	reg     *metrics.Registry
+	tenants *tenant.Controller
 
-	queue chan *Job
+	queue *tenant.Queue[*Job]
 	wg    sync.WaitGroup
 
 	mu        sync.Mutex
@@ -332,10 +360,18 @@ func New(cfg Config) *Manager {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
+	if cfg.Tenants == nil {
+		cfg.Tenants = tenant.Open(cfg.Metrics)
+	}
 	m := &Manager{
-		cfg:        cfg,
-		reg:        cfg.Metrics,
-		queue:      make(chan *Job, cfg.QueueSize),
+		cfg:     cfg,
+		reg:     cfg.Metrics,
+		tenants: cfg.Tenants,
+		queue: tenant.NewQueue[*Job](cfg.Tenants, tenant.QueueConfig{
+			Capacity:     cfg.QueueSize,
+			DegradedFrac: cfg.DegradedFrac,
+			ShedFrac:     cfg.ShedFrac,
+		}),
 		jobs:       map[string]*Job{},
 		queueDepth: cfg.Metrics.Gauge(MetricQueueDepth),
 		running:    cfg.Metrics.Gauge(MetricJobsRunning),
@@ -354,18 +390,44 @@ func New(cfg Config) *Manager {
 // Registry returns the registry the manager reports into (never nil).
 func (m *Manager) Registry() *metrics.Registry { return m.reg }
 
+// Tenants returns the front-door controller the manager admits through
+// (never nil; an open controller when Config.Tenants was nil). The HTTP
+// layers — this package's and the sweep API's — authenticate against
+// it.
+func (m *Manager) Tenants() *tenant.Controller { return m.tenants }
+
 // reject counts one rejected submission by reason.
 func (m *Manager) reject(reason string) {
 	m.reg.Counter(MetricJobsRejected + `{reason="` + reason + `"}`).Inc()
 }
 
-// Submit validates and enqueues a job. It never blocks: a full queue
-// returns ErrQueueFull, a draining manager ErrDraining, an invalid spec
-// the validation error.
+// Submit validates and enqueues a job under the anonymous tenant — the
+// pre-tenancy API, kept for library callers and recovered sweeps. See
+// SubmitAs.
 func (m *Manager) Submit(spec Spec) (*Job, error) {
+	return m.SubmitAs(nil, spec)
+}
+
+// SubmitAs validates and enqueues a job for tenant t (nil = anonymous).
+// It never blocks: an invalid spec returns the validation error, a
+// draining manager ErrDraining, and front-door pressure — an empty rate
+// bucket, an exhausted per-tenant queue quota, the shedding tier, or a
+// full global queue — a *tenant.AdmissionError carrying the suggested
+// Retry-After. Admission order: rate bucket first (a submission is a
+// submission, cached or not), then the result-store lookup (a hit
+// completes here without touching the queue), then the fair queue's
+// quota/shed/capacity checks.
+func (m *Manager) SubmitAs(t *tenant.Tenant, spec Spec) (*Job, error) {
+	if t == nil {
+		t = m.tenants.Anonymous()
+	}
 	spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		m.reject("invalid")
+		return nil, err
+	}
+	if err := m.tenants.AdmitSubmission(t); err != nil {
+		m.reject(tenant.ReasonRateLimited)
 		return nil, err
 	}
 	// Result-store lookup: an identical spec already executed (this
@@ -375,12 +437,13 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	// error degrades to a miss; the store counts the corruption.
 	if m.cfg.Store != nil && !spec.Trace {
 		if rows, ok, _ := m.cfg.Store.GetScenario(spec.ScenarioConfig); ok {
-			return m.admitCached(spec, rows)
+			return m.admitCached(t, spec, rows)
 		}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
 		spec:      spec,
+		owner:     t,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -398,29 +461,33 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	}
 	m.nextID++
 	job.id = fmt.Sprintf("j%06d", m.nextID)
-	select {
-	case m.queue <- job:
-		m.jobs[job.id] = job
-		m.queueDepth.Inc()
-		m.mu.Unlock()
-		m.submitted.Inc()
-		return job, nil
-	default:
+	if err := m.queue.Push(t, job); err != nil {
 		m.nextID-- // not admitted; reuse the ID
 		m.mu.Unlock()
 		cancel()
-		m.reject("queue_full")
-		return nil, ErrQueueFull
+		var adm *tenant.AdmissionError
+		if errors.As(err, &adm) {
+			m.reject(adm.Reason)
+		} else {
+			m.reject(tenant.ReasonQueueFull)
+		}
+		return nil, err
 	}
+	m.jobs[job.id] = job
+	m.queueDepth.Inc()
+	m.mu.Unlock()
+	m.submitted.Inc()
+	return job, nil
 }
 
 // admitCached registers a job that is born terminal: its rows came out
 // of the result store, so it skips the queue and the worker pool
 // entirely and is immediately retrievable as done.
-func (m *Manager) admitCached(spec Spec, rows []experiments.ScenarioRow) (*Job, error) {
+func (m *Manager) admitCached(t *tenant.Tenant, spec Spec, rows []experiments.ScenarioRow) (*Job, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &Job{
 		spec:      spec,
+		owner:     t,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
@@ -484,7 +551,7 @@ func (m *Manager) Drain(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.draining {
 		m.draining = true
-		close(m.queue)
+		m.queue.Close()
 	}
 	m.mu.Unlock()
 	idle := make(chan struct{})
@@ -508,11 +575,17 @@ func (m *Manager) Draining() bool {
 }
 
 // QueueSaturated reports whether the job queue is at capacity, i.e. the
-// next Submit would be rejected with ErrQueueFull. /healthz surfaces
-// this as a "degraded" status so load balancers and operators see
-// saturation before clients start receiving 429s.
+// next Submit would be rejected with ErrQueueFull.
 func (m *Manager) QueueSaturated() bool {
-	return len(m.queue) == cap(m.queue)
+	return m.queue.Len() >= m.queue.Cap()
+}
+
+// AdmissionStatus reports the fair queue's tier and occupancy for the
+// "admission" section of /healthz: "ok" under light load, "degraded"
+// once back-pressure builds, "shedding" while over-share tenants are
+// being bounced to keep the rest live.
+func (m *Manager) AdmissionStatus() tenant.Status {
+	return m.queue.Status()
 }
 
 // StoreStatus reports the result-store engine's shape (segments,
@@ -528,7 +601,11 @@ func (m *Manager) StoreStatus() (store.Status, bool) {
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for job := range m.queue {
+	for {
+		job, ok := m.queue.Pop()
+		if !ok {
+			return
+		}
 		m.queueDepth.Dec()
 		m.runJob(job)
 	}
@@ -540,6 +617,8 @@ func (m *Manager) runJob(job *Job) {
 	}
 	m.running.Inc()
 	defer m.running.Dec()
+	m.tenants.JobStarted(job.owner)
+	defer m.tenants.JobFinished(job.owner)
 	if m.runGate != nil {
 		<-m.runGate
 	}

@@ -1,0 +1,267 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tenant"
+)
+
+// newTenantedManager builds a manager behind a keyfile front door.
+func newTenantedManager(t *testing.T, keyfile string, cfg Config) *Manager {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(keyfile), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	ctl, err := tenant.NewController(tenant.Config{Path: path, Metrics: cfg.Metrics})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tenants = ctl
+	return New(cfg)
+}
+
+// postJobKey is postJob with a bearer key ("" sends no Authorization
+// header) and returns the response headers too.
+func postJobKey(t *testing.T, srv *httptest.Server, key string, spec Spec) (id string, code int, hdr http.Header) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", srv.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out["id"], resp.StatusCode, resp.Header
+}
+
+// TestHTTPRequiresKeyWhenKeyfileHasNoAnonymous: a keyed server answers
+// 401 to missing, malformed, and unknown keys on every /v1 route, and
+// 202 to a valid one. /healthz and /metrics stay open for probes.
+func TestHTTPRequiresKeyWhenKeyfileHasNoAnonymous(t *testing.T) {
+	m := newTenantedManager(t, `{"tenants": [{"id": "lab", "key": "secret"}]}`, Config{QueueSize: 4, Workers: 1})
+	defer drain(t, m)
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
+	defer srv.Close()
+
+	for _, key := range []string{"", "wrong"} {
+		if _, code, _ := postJobKey(t, srv, key, testSpec()); code != http.StatusUnauthorized {
+			t.Fatalf("POST with key %q -> %d, want 401", key, code)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/j000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated GET /v1/jobs/{id} -> %d, want 401", resp.StatusCode)
+	}
+	id, code, _ := postJobKey(t, srv, "secret", testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("POST with valid key -> %d, want 202", code)
+	}
+
+	// Reads also need the key; the job's view names its tenant.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/jobs/"+id, nil)
+	req.Header.Set("Authorization", "Bearer secret")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp2.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Tenant != "lab" {
+		t.Fatalf("job view tenant = %q, want lab", v.Tenant)
+	}
+
+	// Probes stay outside the front door.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unauthenticated GET %s -> %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRateLimit429CarriesRetryAfter: an exhausted token bucket answers
+// 429 with a Retry-After derived from the bucket's refill time.
+func TestRateLimit429CarriesRetryAfter(t *testing.T) {
+	m := newTenantedManager(t, `{"tenants": [{"id": "lab", "key": "k", "rate": 0.5, "burst": 1}]}`, Config{QueueSize: 8, Workers: 1})
+	defer drain(t, m)
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
+	defer srv.Close()
+
+	if _, code, _ := postJobKey(t, srv, "k", testSpec()); code != http.StatusAccepted {
+		t.Fatalf("first POST -> %d, want 202", code)
+	}
+	_, code, hdr := postJobKey(t, srv, "k", testSpec())
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second POST -> %d, want 429", code)
+	}
+	after, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("429 Retry-After header = %q, want integer seconds", hdr.Get("Retry-After"))
+	}
+	// 0.5 tokens/sec means the next token is ~2s away; the header is
+	// rounded up and never zero.
+	if after < 1 || after > 3 {
+		t.Fatalf("Retry-After = %d, want ~2s for a 0.5/sec bucket", after)
+	}
+
+	// The rejection is visible per-tenant in the registry.
+	text := &strings.Builder{}
+	if err := m.Registry().WriteText(text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `tenant_rejected_total{reason="rate_limited",tenant="lab"}`) &&
+		!strings.Contains(text.String(), `tenant_rejected_total{tenant="lab",reason="rate_limited"}`) {
+		t.Fatalf("metrics lack the per-tenant rejection counter:\n%s", text.String())
+	}
+}
+
+// TestQueueFull429CarriesRetryAfter: capacity rejections carry a
+// Retry-After too (the fallback schedule), so no 429 leaves the client
+// guessing.
+func TestQueueFull429CarriesRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	m := New(Config{QueueSize: 1, Workers: 1})
+	m.runGate = gate
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
+	defer srv.Close()
+
+	first, code := postJob(t, srv, testSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1 -> %d", code)
+	}
+	waitStatus(t, srv, first, StatusRunning)
+	if _, code := postJob(t, srv, testSpec()); code != http.StatusAccepted {
+		t.Fatalf("job 2 -> %d, want 202", code)
+	}
+	_, code, hdr := postJobKey(t, srv, "", testSpec())
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow POST -> %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("queue-full 429 has no Retry-After header")
+	}
+	close(gate)
+	drain(t, m)
+}
+
+// TestFairQueueLightTenantNotStarved is the fairness acceptance test:
+// with a single gated worker, a heavy tenant's six-job backlog does not
+// keep a light tenant's single job from completing — deficit round
+// robin serves the light tenant at the next round boundary.
+func TestFairQueueLightTenantNotStarved(t *testing.T) {
+	gate := make(chan struct{})
+	m := newTenantedManager(t,
+		`{"anonymous": {}, "tenants": [{"id": "heavy", "key": "kh"}, {"id": "light", "key": "kl"}]}`,
+		Config{QueueSize: 16, Workers: 1})
+	m.runGate = gate
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
+	defer srv.Close()
+
+	// Heavy floods first: one job held at the gate, five more queued.
+	heavyIDs := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		spec := testSpec()
+		spec.Seed = uint64(100 + i) // distinct jobs
+		id, code, _ := postJobKey(t, srv, "kh", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("heavy job %d -> %d, want 202", i, code)
+		}
+		heavyIDs = append(heavyIDs, id)
+	}
+	waitStatus(t, srv, heavyIDs[0], StatusRunning)
+
+	// Light arrives with one job, behind five queued heavy jobs.
+	lightSpec := testSpec()
+	lightSpec.Seed = 999
+	lightID, code, _ := postJobKey(t, srv, "kl", lightSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("light job -> %d, want 202", code)
+	}
+
+	// Release workers one run at a time: heavy's gated job, then one
+	// more heavy pop finishes heavy's round, then the light job. Under
+	// the old global FIFO the light job would need all six releases.
+	for i := 0; i < 3; i++ {
+		gate <- struct{}{}
+	}
+	waitStatus(t, srv, lightID, StatusDone)
+
+	queuedHeavy := 0
+	for _, id := range heavyIDs {
+		if v, _ := getView(t, srv, id); v.Status == StatusQueued {
+			queuedHeavy++
+		}
+	}
+	if queuedHeavy < 3 {
+		t.Fatalf("light job done with only %d heavy jobs still queued; it waited out the heavy backlog", queuedHeavy)
+	}
+	close(gate)
+	drain(t, m)
+}
+
+// TestRowsIdenticalAcrossTenants is the determinism acceptance test:
+// the same spec produces bit-identical rows no matter which tenant
+// submits it — tenancy shapes scheduling, never results.
+func TestRowsIdenticalAcrossTenants(t *testing.T) {
+	m := newTenantedManager(t,
+		`{"anonymous": {}, "tenants": [{"id": "lab-a", "key": "ka"}, {"id": "lab-b", "key": "kb"}]}`,
+		Config{QueueSize: 8, Workers: 2})
+	defer drain(t, m)
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
+	defer srv.Close()
+
+	var rows [][]byte
+	for _, key := range []string{"ka", "kb", ""} { // "" = anonymous
+		id, code, _ := postJobKey(t, srv, key, testSpec())
+		if code != http.StatusAccepted {
+			t.Fatalf("POST as %q -> %d, want 202", key, code)
+		}
+		v := waitStatus(t, srv, id, StatusDone)
+		buf, err := json.Marshal(v.Rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, buf)
+	}
+	for i := 1; i < len(rows); i++ {
+		if !bytes.Equal(rows[0], rows[i]) {
+			t.Fatalf("rows differ between tenants:\n%s\nvs\n%s", rows[0], rows[i])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/service"
+	"repro/internal/tenant"
 )
 
 // maxGridBytes bounds a sweep-submission body.
@@ -22,10 +23,13 @@ const maxGridBytes = 1 << 20
 func Register(mux *http.ServeMux, m *Manager) {
 	h := &api{m: m}
 	reg := m.Registry()
-	mux.HandleFunc("POST /v1/sweeps", service.Instrument(reg, "POST /v1/sweeps", h.submit))
-	mux.HandleFunc("GET /v1/sweeps/{id}", service.Instrument(reg, "GET /v1/sweeps/{id}", h.get))
-	mux.HandleFunc("GET /v1/sweeps/{id}/results", service.Instrument(reg, "GET /v1/sweeps/{id}/results", h.results))
-	mux.HandleFunc("DELETE /v1/sweeps/{id}", service.Instrument(reg, "DELETE /v1/sweeps/{id}", h.cancel))
+	// The sweep routes sit behind the same front door as the job API:
+	// service.WithTenant authenticates against the shared controller.
+	sm := m.cfg.Service
+	mux.HandleFunc("POST /v1/sweeps", service.Instrument(reg, "POST /v1/sweeps", service.WithTenant(sm, h.submit)))
+	mux.HandleFunc("GET /v1/sweeps/{id}", service.Instrument(reg, "GET /v1/sweeps/{id}", service.WithTenant(sm, h.get)))
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", service.Instrument(reg, "GET /v1/sweeps/{id}/results", service.WithTenant(sm, h.results)))
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", service.Instrument(reg, "DELETE /v1/sweeps/{id}", service.WithTenant(sm, h.cancel)))
 }
 
 type api struct {
@@ -42,7 +46,7 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
-func (h *api) submit(w http.ResponseWriter, r *http.Request) {
+func (h *api) submit(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
 	var grid Grid
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxGridBytes))
 	// As with job specs: a typo'd field would silently sweep the wrong
@@ -52,7 +56,8 @@ func (h *api) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid sweep grid: "+err.Error())
 		return
 	}
-	sw, err := h.m.Submit(grid)
+	sw, err := h.m.SubmitAs(t, grid)
+	var adm *tenant.AdmissionError
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, map[string]any{
@@ -60,6 +65,9 @@ func (h *api) submit(w http.ResponseWriter, r *http.Request) {
 			"status": sw.Status(),
 			"cells":  len(sw.cells),
 		})
+	case errors.As(err, &adm):
+		w.Header().Set("Retry-After", adm.RetryAfterHeader())
+		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	default:
@@ -67,7 +75,7 @@ func (h *api) submit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (h *api) get(w http.ResponseWriter, r *http.Request) {
+func (h *api) get(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	sw, ok := h.m.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
@@ -76,7 +84,7 @@ func (h *api) get(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sw.View(false))
 }
 
-func (h *api) results(w http.ResponseWriter, r *http.Request) {
+func (h *api) results(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	sw, ok := h.m.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
@@ -94,7 +102,7 @@ func (h *api) results(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (h *api) cancel(w http.ResponseWriter, r *http.Request) {
+func (h *api) cancel(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	sw, err := h.m.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())

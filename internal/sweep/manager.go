@@ -13,6 +13,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/internal/tenant"
 )
 
 // Status is a sweep's lifecycle state. A sweep is "done" once every
@@ -120,6 +121,7 @@ type Sweep struct {
 	grid    Grid
 	cells   []Cell
 	gridKey string // content address over the ordered expanded cell keys
+	owner   *tenant.Tenant
 	done    chan struct{}
 
 	stopOnce sync.Once
@@ -138,6 +140,9 @@ type Sweep struct {
 
 // ID returns the sweep identifier.
 func (s *Sweep) ID() string { return s.id }
+
+// Tenant returns the owning tenant's ID.
+func (s *Sweep) Tenant() string { return s.owner.ID() }
 
 // Done is closed when the sweep reaches a terminal status.
 func (s *Sweep) Done() <-chan struct{} { return s.done }
@@ -191,6 +196,7 @@ func (s *Sweep) record(i int, source string, rows []experiments.ScenarioRow, err
 // from the results endpoint — progress polls stay small.
 type View struct {
 	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
 	Status   Status `json:"status"`
 	Reason   string `json:"reason,omitempty"`
 	Cells    int    `json:"cells"`
@@ -213,6 +219,7 @@ func (s *Sweep) View(includeResults bool) View {
 	defer s.mu.Unlock()
 	v := View{
 		ID:          s.id,
+		Tenant:      s.owner.ID(),
 		Status:      s.status,
 		Reason:      s.reason,
 		Cells:       len(s.cells),
@@ -312,8 +319,9 @@ func (m *Manager) walAppend(recs ...store.WALRecord) {
 
 // newSweep builds the in-memory sweep for an expanded grid; the caller
 // assigns its ID and registers it.
-func newSweep(g Grid, cells []Cell) *Sweep {
+func newSweep(owner *tenant.Tenant, g Grid, cells []Cell) *Sweep {
 	sw := &Sweep{
+		owner:     owner,
 		grid:      g,
 		cells:     cells,
 		gridKey:   cellsKey(cells),
@@ -332,21 +340,43 @@ func newSweep(g Grid, cells []Cell) *Sweep {
 // Registry returns the registry the manager reports into (never nil).
 func (m *Manager) Registry() *metrics.Registry { return m.reg }
 
-// Submit expands the grid and starts orchestrating it. Expansion
-// errors (invalid cells, cap exceeded) are returned synchronously; a
-// draining manager returns ErrDraining. A grid whose expansion is
-// identical (by content address) to an already-open sweep attaches to
-// that sweep instead of double-enqueueing its cells — the caller gets
-// the live sweep back and polls it like its own. Submissions block
+// Submit expands the grid and starts orchestrating it as the anonymous
+// tenant — the pre-tenancy API, kept for library callers and tests.
+func (m *Manager) Submit(g Grid) (*Sweep, error) {
+	return m.SubmitAs(nil, g)
+}
+
+// tenants returns the front-door controller shared with the service
+// manager (never nil: service.New opens one when unconfigured).
+func (m *Manager) tenants() *tenant.Controller { return m.cfg.Service.Tenants() }
+
+// SubmitAs expands the grid and starts orchestrating it on behalf of
+// tenant t (nil means anonymous). Expansion errors (invalid cells, cap
+// exceeded) are returned synchronously; a draining manager returns
+// ErrDraining. A grid whose expansion is identical (by content address)
+// to an already-open sweep attaches to that sweep instead of
+// double-enqueueing its cells — the caller gets the live sweep back and
+// polls it like its own; the result cache is shared across tenants, so
+// attachment deliberately crosses tenant lines. Submissions block
 // until startup recovery (if any) has rebuilt the open sweeps, so an
 // early resubmission cannot race a resuming sweep.
-func (m *Manager) Submit(g Grid) (*Sweep, error) {
+//
+// The sweep itself is admitted through the tenant's rate bucket (one
+// token per sweep; its cells then pay per-cell tokens as they reach the
+// job queue).
+func (m *Manager) SubmitAs(t *tenant.Tenant, g Grid) (*Sweep, error) {
 	<-m.recoveryDone
+	if t == nil {
+		t = m.tenants().Anonymous()
+	}
+	if err := m.tenants().AdmitSubmission(t); err != nil {
+		return nil, err
+	}
 	cells, err := g.Expand()
 	if err != nil {
 		return nil, err
 	}
-	sw := newSweep(g, cells)
+	sw := newSweep(t, g, cells)
 
 	m.mu.Lock()
 	if m.draining {
@@ -495,15 +525,21 @@ submission:
 			}
 		}
 
-		// Bound in-flight cells, then submit; a full queue is
-		// back-pressure, not failure — wait and retry.
+		// Bound in-flight cells — first by this sweep's own cap, then by
+		// the tenant's concurrent-cell quota — then submit; a full queue
+		// is back-pressure, not failure — wait and retry.
 		select {
 		case sem <- struct{}{}:
 		case <-sw.stopped:
 			break submission
 		}
+		if !m.acquireCellSlot(sw) {
+			<-sem
+			break submission
+		}
 		job, err := m.submitCell(sw, cell)
 		if err != nil {
+			m.tenants().ReleaseSweepCell(sw.owner)
 			<-sem
 			if errors.Is(err, service.ErrDraining) {
 				sw.stop(StatusInterrupted, "service draining; resubmit the grid to resume from the store")
@@ -520,6 +556,7 @@ submission:
 		go func(i int, job *service.Job) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer m.tenants().ReleaseSweepCell(sw.owner)
 			<-job.Done()
 			m.collect(sw, i, job)
 		}(i, job)
@@ -548,30 +585,48 @@ submission:
 // scales), flattening out so a long-stalled queue is not hammered.
 var queueFullPolicy = backoff.Policy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond}
 
-// submitCell pushes one cell into the service, waiting out transient
-// queue-full rejections on the shared bounded-backoff schedule (the
-// same helper the cluster worker uses to wait out an idle coordinator
-// and to resubmit results when a worker dies mid-upload).
-func (m *Manager) submitCell(sw *Sweep, cell Cell) (*service.Job, error) {
-	var job *service.Job
+// acquireCellSlot claims one of the tenant's concurrent-sweep-cell
+// slots, waiting on the backoff schedule while the quota is exhausted
+// (another of the tenant's cells finishing frees one). Returns false if
+// the sweep stopped while waiting.
+func (m *Manager) acquireCellSlot(sw *Sweep) bool {
 	err := backoff.Retry(context.Background(), sw.stopped, queueFullPolicy, func() (bool, error) {
-		j, serr := m.cfg.Service.Submit(service.Spec{ScenarioConfig: cell.Spec})
-		if serr == nil {
-			job = j
-			return true, nil
-		}
-		if errors.Is(serr, service.ErrQueueFull) {
-			return false, nil // back-pressure, not failure
-		}
-		return false, serr
+		return m.tenants().AcquireSweepCell(sw.owner), nil
 	})
-	if errors.Is(err, backoff.ErrStopped) {
-		return nil, service.ErrDraining
+	return err == nil
+}
+
+// submitCell pushes one cell into the service on behalf of the sweep's
+// tenant, waiting out transient 429-class rejections. A rate-limited
+// rejection carries the tenant's token-bucket refill time, so the loop
+// sleeps exactly that long instead of guessing; capacity rejections
+// (full queue, quota, shedding) have no schedule of their own and use
+// the shared bounded-backoff policy (a worker slot frees on
+// millisecond scales).
+func (m *Manager) submitCell(sw *Sweep, cell Cell) (*service.Job, error) {
+	for attempt := 0; ; attempt++ {
+		job, err := m.cfg.Service.SubmitAs(sw.owner, service.Spec{ScenarioConfig: cell.Spec})
+		if err == nil {
+			return job, nil
+		}
+		var wait time.Duration
+		var adm *tenant.AdmissionError
+		switch {
+		case errors.As(err, &adm) && adm.Reason == tenant.ReasonRateLimited:
+			wait = adm.RetryAfter() // honest schedule: when the bucket refills
+		case errors.Is(err, service.ErrQueueFull),
+			errors.Is(err, tenant.ErrQuota),
+			errors.Is(err, tenant.ErrShed):
+			wait = queueFullPolicy.Delay(attempt) // back-pressure, not failure
+		default:
+			return nil, err
+		}
+		select {
+		case <-time.After(wait):
+		case <-sw.stopped:
+			return nil, service.ErrDraining
+		}
 	}
-	if err != nil {
-		return nil, err
-	}
-	return job, nil
 }
 
 // collect records a finished cell and writes executed results back to

@@ -168,7 +168,10 @@ func (m *Manager) Recover() {
 			m.log("sweep %s: stored grid does not expand (%v); cannot resume", id, err)
 			continue
 		}
-		sw := newSweep(g, cells)
+		// The WAL does not record tenancy, so recovered sweeps run as
+		// anonymous: the results land in the shared store either way, and
+		// their cells still pay the anonymous rate/quota limits.
+		sw := newSweep(m.tenants().Anonymous(), g, cells)
 		sw.id = t.id
 
 		// Pre-mark pre-crash failures so the run loop skips them, and

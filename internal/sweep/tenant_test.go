@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/tenant"
+)
+
+// TestSweepCompletesUnderSweepCellQuota: a tenant capped at one
+// concurrent sweep cell still finishes a multi-cell sweep — the quota
+// serializes the cells instead of failing them.
+func TestSweepCompletesUnderSweepCellQuota(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"anonymous": {}, "tenants": [{"id": "capped", "key": "k", "max_sweep_cells": 1}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	ctl, err := tenant.NewController(tenant.Config{Path: path, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2, Metrics: reg, Tenants: ctl})
+	sm := NewManager(Config{Service: svc, Metrics: reg, MaxInFlight: 4})
+
+	capped, err := ctl.Authenticate("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sm.SubmitAs(capped, smallGrid())
+	if err != nil {
+		t.Fatalf("SubmitAs: %v", err)
+	}
+	if sw.Tenant() != "capped" {
+		t.Fatalf("sweep tenant = %q, want capped", sw.Tenant())
+	}
+	waitSweep(t, sw)
+	v := sw.View(false)
+	if v.Status != StatusDone || v.Executed != v.Cells || v.Failed != 0 {
+		t.Fatalf("quota-capped sweep ended %+v, want all %d cells executed", v, v.Cells)
+	}
+	if v.Tenant != "capped" {
+		t.Fatalf("view tenant = %q, want capped", v.Tenant)
+	}
+
+	// Every claimed slot was returned.
+	text := &strings.Builder{}
+	if err := reg.WriteText(text); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(text.String(), "\n") {
+		if strings.HasPrefix(line, tenant.MetricSweepCells) && strings.Contains(line, `tenant="capped"`) {
+			if !strings.HasSuffix(line, " 0") {
+				t.Fatalf("sweep-cell gauge did not return to zero: %s", line)
+			}
+		}
+	}
+	drainAll(t, sm, svc)
+}
+
+// TestSweepSubmitRateLimited: sweep submission itself pays the
+// tenant's rate bucket, and the rejection is an AdmissionError the
+// HTTP layer can turn into 429 + Retry-After.
+func TestSweepSubmitRateLimited(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{"tenants": [{"id": "lab", "key": "k", "rate": 0.1, "burst": 1}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	ctl, err := tenant.NewController(tenant.Config{Path: path, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2, Metrics: reg, Tenants: ctl})
+	sm := NewManager(Config{Service: svc, Metrics: reg})
+
+	lab, _ := ctl.Authenticate("k")
+	// Burst of 1: the sweep consumes it; its cells ride the submitCell
+	// retry loop, so the sweep still completes, just paced by the bucket.
+	sw, err := sm.SubmitAs(lab, Grid{N: []int{20}, Trials: 1, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("first SubmitAs: %v", err)
+	}
+	if _, err := sm.SubmitAs(lab, smallGrid()); err == nil {
+		t.Fatal("second sweep admitted with an empty bucket")
+	} else {
+		var adm *tenant.AdmissionError
+		if !errors.As(err, &adm) || adm.Reason != tenant.ReasonRateLimited {
+			t.Fatalf("second SubmitAs error = %v, want rate_limited AdmissionError", err)
+		}
+	}
+	waitSweep(t, sw)
+	drainAll(t, sm, svc)
+}

@@ -1,0 +1,83 @@
+package tenant
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a token bucket: capacity `burst` tokens, refilled at `rate`
+// tokens per second. rate <= 0 means unlimited — take always succeeds.
+//
+// The bucket is the source of the Retry-After durations the front door
+// hands to clients: when a take fails, the deficit divided by the
+// refill rate is exactly how long the caller must wait for the next
+// token, so 429 responses carry an honest schedule instead of making
+// every rejected client guess (and retry in lockstep).
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 = unlimited
+	burst  float64 // capacity; >= 1 when rate > 0
+	tokens float64
+	last   time.Time
+}
+
+// configure resets the bucket's limits, clamping the stored balance to
+// the new burst. Existing debt/credit survives a hot reload so a tenant
+// cannot launder its rate limit by re-uploading the keyfile.
+func (b *bucket) configure(rate float64, burst int, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	first := b.last.IsZero()
+	b.refillLocked(now)
+	b.rate = rate
+	b.burst = float64(burst)
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	if first || b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// refillLocked advances the balance to now. Callers hold b.mu.
+func (b *bucket) refillLocked(now time.Time) {
+	if !b.last.IsZero() && b.rate > 0 {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// take consumes one token. When the bucket is empty it reports ok=false
+// and how long until the next token is available.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.refillLocked(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// retryAfter reports how long until one token is available without
+// consuming anything (0 when a take would succeed right now).
+func (b *bucket) retryAfter(now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return 0
+	}
+	b.refillLocked(now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}

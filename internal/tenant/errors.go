@@ -1,0 +1,74 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Sentinel errors. AdmissionError wraps one of the rejection sentinels,
+// so errors.Is works against both the typed error and the sentinel
+// (internal/service re-exports ErrQueueFull as service.ErrQueueFull for
+// its pre-tenancy callers).
+var (
+	// ErrUnauthorized means the request presented no API key, or one
+	// that matches no tenant, to a server running with a keyfile.
+	ErrUnauthorized = errors.New("tenant: unknown or missing API key")
+	// ErrQueueFull means the global job queue is at capacity.
+	ErrQueueFull = errors.New("tenant: job queue is full")
+	// ErrRateLimited means the tenant's submissions/sec token bucket is
+	// empty.
+	ErrRateLimited = errors.New("tenant: submission rate limit exceeded")
+	// ErrQuota means a per-tenant quota (max queued jobs, max concurrent
+	// sweep cells) is exhausted.
+	ErrQuota = errors.New("tenant: per-tenant quota exceeded")
+	// ErrShed means the queue is in the shedding tier and this tenant is
+	// over its fair share, so its submission was dropped to protect the
+	// others.
+	ErrShed = errors.New("tenant: shedding load")
+)
+
+// Rejection reasons, used as the reason label on
+// tenant_rejected_total and service_jobs_rejected_total.
+const (
+	ReasonRateLimited = "rate_limited"
+	ReasonMaxQueued   = "max_queued"
+	ReasonSweepCells  = "sweep_cells"
+	ReasonShed        = "shed"
+	ReasonQueueFull   = "queue_full"
+)
+
+// AdmissionError is a 429-class rejection: the request was well-formed
+// and authenticated but the front door refused it for capacity reasons.
+// After is the suggested wait before retrying — derived from the
+// tenant's token-bucket refill time — which HTTP surfaces as a
+// Retry-After header and the sweep submitter honors instead of blind
+// jitter.
+type AdmissionError struct {
+	Sentinel error  // one of ErrQueueFull, ErrRateLimited, ErrQuota, ErrShed
+	Tenant   string // tenant ID (already sanitized)
+	Reason   string // metric label: see the Reason* constants
+	After    time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("%v (tenant %q, retry after %s)", e.Sentinel, e.Tenant, e.After)
+}
+
+// Unwrap lets errors.Is match the wrapped sentinel.
+func (e *AdmissionError) Unwrap() error { return e.Sentinel }
+
+// RetryAfter returns the suggested wait before retrying.
+func (e *AdmissionError) RetryAfter() time.Duration { return e.After }
+
+// RetryAfterHeader formats After as a Retry-After header value: whole
+// seconds rounded up, floored at 1 (a zero header invites an immediate
+// re-hammer).
+func (e *AdmissionError) RetryAfterHeader() string {
+	secs := int64(e.After+time.Second-1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
