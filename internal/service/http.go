@@ -215,8 +215,21 @@ func (h *api) submit(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
 	})
 }
 
-func (h *api) get(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
+// lookup resolves the path's job and enforces ownership:
+// authentication alone is not authorization, and job IDs are
+// sequential, so a job owned by another tenant reads as absent (404,
+// never 403 — existence itself is the leak) for reads and cancels
+// alike. Admin tenants (keyfile `"admin": true`) see every job.
+func (h *api) lookup(r *http.Request, t *tenant.Tenant) (*Job, bool) {
 	job, ok := h.m.Get(r.PathValue("id"))
+	if !ok || !t.CanAccess(job.Tenant()) {
+		return nil, false
+	}
+	return job, true
+}
+
+func (h *api) get(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
+	job, ok := h.lookup(r, t)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
 		return
@@ -224,7 +237,11 @@ func (h *api) get(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	writeJSON(w, http.StatusOK, job.View())
 }
 
-func (h *api) cancel(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
+func (h *api) cancel(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
+	if _, ok := h.lookup(r, t); !ok {
+		writeError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
 	job, err := h.m.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
@@ -238,8 +255,8 @@ func (h *api) cancel(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 
 // trace streams the job's buffered engine events as NDJSON, following
 // a still-running job until it finishes (or the client goes away).
-func (h *api) trace(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
-	job, ok := h.m.Get(r.PathValue("id"))
+func (h *api) trace(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
+	job, ok := h.lookup(r, t)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
 		return

@@ -416,7 +416,9 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 // Retry-After. Admission order: rate bucket first (a submission is a
 // submission, cached or not), then the result-store lookup (a hit
 // completes here without touching the queue), then the fair queue's
-// quota/shed/capacity checks.
+// quota/shed/capacity checks. A submission the queue then rejects
+// refunds its rate token — capacity back-pressure must not also burn
+// the tenant's rate budget.
 func (m *Manager) SubmitAs(t *tenant.Tenant, spec Spec) (*Job, error) {
 	if t == nil {
 		t = m.tenants.Anonymous()
@@ -456,7 +458,8 @@ func (m *Manager) SubmitAs(t *tenant.Tenant, spec Spec) (*Job, error) {
 	if m.draining {
 		m.mu.Unlock()
 		cancel()
-		m.reject("draining")
+		m.tenants.RefundSubmission(t)
+		m.reject(tenant.ReasonDraining)
 		return nil, ErrDraining
 	}
 	m.nextID++
@@ -465,6 +468,13 @@ func (m *Manager) SubmitAs(t *tenant.Tenant, spec Spec) (*Job, error) {
 		m.nextID-- // not admitted; reuse the ID
 		m.mu.Unlock()
 		cancel()
+		m.tenants.RefundSubmission(t)
+		if errors.Is(err, tenant.ErrQueueClosed) {
+			// Drain closed the queue between the draining check and here
+			// (or a caller races Drain): shutdown, not back-pressure.
+			m.reject(tenant.ReasonDraining)
+			return nil, ErrDraining
+		}
 		var adm *tenant.AdmissionError
 		if errors.As(err, &adm) {
 			m.reject(adm.Reason)
@@ -501,7 +511,8 @@ func (m *Manager) admitCached(t *tenant.Tenant, spec Spec, rows []experiments.Sc
 	if m.draining {
 		m.mu.Unlock()
 		cancel()
-		m.reject("draining")
+		m.tenants.RefundSubmission(t)
+		m.reject(tenant.ReasonDraining)
 		return nil, ErrDraining
 	}
 	m.nextID++

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/tenant"
@@ -57,6 +59,53 @@ func postJobKey(t *testing.T, srv *httptest.Server, key string, spec Spec) (id s
 	var out map[string]string
 	_ = json.NewDecoder(resp.Body).Decode(&out)
 	return out["id"], resp.StatusCode, resp.Header
+}
+
+// getViewKey is getView with a bearer key ("" sends no Authorization
+// header) — with per-tenant authorization, polls must carry the
+// submitting tenant's key.
+func getViewKey(t *testing.T, srv *httptest.Server, key, id string) (View, int) {
+	t.Helper()
+	req, err := http.NewRequest("GET", srv.URL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v View
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v, resp.StatusCode
+}
+
+// waitStatusKey is waitStatus authenticated as key's tenant.
+func waitStatusKey(t *testing.T, srv *httptest.Server, key, id string, want Status) View {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v, code := getViewKey(t, srv, key, id)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s as %q -> %d", id, key, code)
+		}
+		if v.Status == want {
+			return v
+		}
+		if v.Status.terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, v.Status, v.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return View{}
 }
 
 // TestHTTPRequiresKeyWhenKeyfileHasNoAnonymous: a keyed server answers
@@ -204,7 +253,7 @@ func TestFairQueueLightTenantNotStarved(t *testing.T) {
 		}
 		heavyIDs = append(heavyIDs, id)
 	}
-	waitStatus(t, srv, heavyIDs[0], StatusRunning)
+	waitStatusKey(t, srv, "kh", heavyIDs[0], StatusRunning)
 
 	// Light arrives with one job, behind five queued heavy jobs.
 	lightSpec := testSpec()
@@ -220,11 +269,11 @@ func TestFairQueueLightTenantNotStarved(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		gate <- struct{}{}
 	}
-	waitStatus(t, srv, lightID, StatusDone)
+	waitStatusKey(t, srv, "kl", lightID, StatusDone)
 
 	queuedHeavy := 0
 	for _, id := range heavyIDs {
-		if v, _ := getView(t, srv, id); v.Status == StatusQueued {
+		if v, _ := getViewKey(t, srv, "kh", id); v.Status == StatusQueued {
 			queuedHeavy++
 		}
 	}
@@ -232,6 +281,134 @@ func TestFairQueueLightTenantNotStarved(t *testing.T) {
 		t.Fatalf("light job done with only %d heavy jobs still queued; it waited out the heavy backlog", queuedHeavy)
 	}
 	close(gate)
+	drain(t, m)
+}
+
+// TestJobAccessScopedToTenant: authentication is not authorization —
+// with sequential job IDs, tenant B must not be able to read, trace,
+// or (destructively) cancel tenant A's jobs, and anonymous must not
+// touch keyed tenants' jobs. An admin tenant may do both; the owner's
+// own access keeps working.
+func TestJobAccessScopedToTenant(t *testing.T) {
+	gate := make(chan struct{})
+	m := newTenantedManager(t,
+		`{"anonymous": {}, "tenants": [{"id": "lab-a", "key": "ka"}, {"id": "lab-b", "key": "kb"}, {"id": "ops", "key": "ko", "admin": true}]}`,
+		Config{QueueSize: 8, Workers: 1})
+	m.runGate = gate
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
+	defer srv.Close()
+
+	spec := testSpec()
+	spec.Trace = true
+	id, code, _ := postJobKey(t, srv, "ka", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST as lab-a -> %d, want 202", code)
+	}
+
+	// Reads: another tenant and anonymous both see 404, never the job.
+	for _, key := range []string{"kb", ""} {
+		if _, code := getViewKey(t, srv, key, id); code != http.StatusNotFound {
+			t.Fatalf("GET %s as %q -> %d, want 404", id, key, code)
+		}
+		req, _ := http.NewRequest("GET", srv.URL+"/v1/jobs/"+id+"/trace", nil)
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("trace of %s as %q -> %d, want 404", id, key, resp.StatusCode)
+		}
+	}
+
+	// Cancels: the destructive path is the one the review called out.
+	cancelAs := func(key string) int {
+		req, _ := http.NewRequest("DELETE", srv.URL+"/v1/jobs/"+id, nil)
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, key := range []string{"kb", ""} {
+		if code := cancelAs(key); code != http.StatusNotFound {
+			t.Fatalf("DELETE %s as %q -> %d, want 404", id, key, code)
+		}
+	}
+	if v, code := getViewKey(t, srv, "ka", id); code != http.StatusOK || v.Status == StatusCancelled {
+		t.Fatalf("cross-tenant DELETE went through: owner sees %d/%s", code, v.Status)
+	}
+
+	// The owner and the admin both still have full access.
+	if v, code := getViewKey(t, srv, "ko", id); code != http.StatusOK || v.Tenant != "lab-a" {
+		t.Fatalf("admin GET -> %d (tenant %q), want 200 for lab-a", code, v.Tenant)
+	}
+	if code := cancelAs("ka"); code != http.StatusOK {
+		t.Fatalf("owner DELETE -> %d, want 200", code)
+	}
+	close(gate)
+	drain(t, m)
+}
+
+// TestQueueRejectionRefundsRateToken: bouncing off a full queue must
+// not burn the tenant's rate budget — after the queue frees up, the
+// tenant's original burst is still available instead of everything
+// having turned into rate-limit 429s.
+func TestQueueRejectionRefundsRateToken(t *testing.T) {
+	gate := make(chan struct{})
+	m := newTenantedManager(t,
+		`{"tenants": [{"id": "lab", "key": "k", "rate": 0.001, "burst": 4}]}`,
+		Config{QueueSize: 1, Workers: 1})
+	m.runGate = gate
+	srv := httptest.NewServer(NewHandler(m, "test", nil, nil))
+	defer srv.Close()
+
+	// Two admits: one held at the gate, one fills the queue. Burst spent: 2.
+	for i := 0; i < 2; i++ {
+		spec := testSpec()
+		spec.Seed = uint64(100 + i)
+		if _, code, _ := postJobKey(t, srv, "k", spec); code != http.StatusAccepted {
+			t.Fatalf("job %d -> %d, want 202", i, code)
+		}
+	}
+	// Hammer the full queue: every rejection must be queue-class (token
+	// refunded), not rate_limited (token burned).
+	for i := 0; i < 10; i++ {
+		spec := testSpec()
+		spec.Seed = uint64(200 + i)
+		_, code, _ := postJobKey(t, srv, "k", spec)
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("full-queue POST %d -> %d, want 429", i, code)
+		}
+	}
+	text := &strings.Builder{}
+	if err := m.Registry().WriteText(text); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text.String(), `reason="rate_limited"`) {
+		t.Fatalf("full-queue bounces consumed rate tokens:\n%s", text.String())
+	}
+	// Let the backlog finish, then spend the rest of the burst: only 2
+	// of 4 tokens went to admitted jobs, and with the refill rate near
+	// zero the next two 202s can only come from refunded tokens.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		waitStatusKey(t, srv, "k", fmt.Sprintf("j%06d", i+1), StatusDone)
+	}
+	for i := 0; i < 2; i++ {
+		spec := testSpec()
+		spec.Seed = uint64(300 + i)
+		if _, code, _ := postJobKey(t, srv, "k", spec); code != http.StatusAccepted {
+			t.Fatalf("remaining-burst job %d -> %d, want 202 (queue bounces burned the budget)", i, code)
+		}
+	}
 	drain(t, m)
 }
 
@@ -252,7 +429,7 @@ func TestRowsIdenticalAcrossTenants(t *testing.T) {
 		if code != http.StatusAccepted {
 			t.Fatalf("POST as %q -> %d, want 202", key, code)
 		}
-		v := waitStatus(t, srv, id, StatusDone)
+		v := waitStatusKey(t, srv, key, id, StatusDone)
 		buf, err := json.Marshal(v.Rows)
 		if err != nil {
 			t.Fatal(err)

@@ -75,8 +75,21 @@ func (h *api) submit(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
 	}
 }
 
-func (h *api) get(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
+// lookup resolves the path's sweep and enforces read authorization:
+// sweep IDs are sequential, so a sweep the tenant may not see reads as
+// absent (404) rather than confirming it exists. Readable are the
+// tenant's own sweeps, sweeps it attached to by resubmitting the
+// identical grid, and — for admin tenants — everyone's.
+func (h *api) lookup(r *http.Request, t *tenant.Tenant) (*Sweep, bool) {
 	sw, ok := h.m.Get(r.PathValue("id"))
+	if !ok || !(t.Admin() || sw.Accessible(t.ID())) {
+		return nil, false
+	}
+	return sw, true
+}
+
+func (h *api) get(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
+	sw, ok := h.lookup(r, t)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
 		return
@@ -84,8 +97,8 @@ func (h *api) get(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
 	writeJSON(w, http.StatusOK, sw.View(false))
 }
 
-func (h *api) results(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
-	sw, ok := h.m.Get(r.PathValue("id"))
+func (h *api) results(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
+	sw, ok := h.lookup(r, t)
 	if !ok {
 		writeError(w, http.StatusNotFound, ErrNotFound.Error())
 		return
@@ -102,7 +115,14 @@ func (h *api) results(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) 
 	}
 }
 
-func (h *api) cancel(w http.ResponseWriter, r *http.Request, _ *tenant.Tenant) {
+// cancel is owner-or-admin only: an attached tenant may read the
+// shared sweep but must not be able to kill the owner's run by having
+// resubmitted the same grid.
+func (h *api) cancel(w http.ResponseWriter, r *http.Request, t *tenant.Tenant) {
+	if sw, ok := h.m.Get(r.PathValue("id")); !ok || !t.CanAccess(sw.Tenant()) {
+		writeError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
 	sw, err := h.m.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())

@@ -134,6 +134,7 @@ type Sweep struct {
 	cached    int
 	failed    int
 	results   []CellResult
+	attached  map[string]bool // tenant IDs granted read access by attaching
 	submitted time.Time
 	finished  time.Time
 }
@@ -143,6 +144,31 @@ func (s *Sweep) ID() string { return s.id }
 
 // Tenant returns the owning tenant's ID.
 func (s *Sweep) Tenant() string { return s.owner.ID() }
+
+// grantAccess records that tenant id attached to this sweep by
+// resubmitting the identical grid, so it may poll the live sweep it
+// was handed back.
+func (s *Sweep) grantAccess(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attached == nil {
+		s.attached = map[string]bool{}
+	}
+	s.attached[id] = true
+}
+
+// Accessible reports whether tenant id may read the sweep: its owner,
+// or a tenant that attached to it. Attachment requires submitting the
+// full identical grid, so read access leaks nothing the attacher did
+// not already hold; cancel stays owner-only (see the HTTP layer).
+func (s *Sweep) Accessible(id string) bool {
+	if id == s.owner.ID() {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attached[id]
+}
 
 // Done is closed when the sweep reaches a terminal status.
 func (s *Sweep) Done() <-chan struct{} { return s.done }
@@ -374,6 +400,8 @@ func (m *Manager) SubmitAs(t *tenant.Tenant, g Grid) (*Sweep, error) {
 	}
 	cells, err := g.Expand()
 	if err != nil {
+		// The sweep never happened: give the rate token back.
+		m.tenants().RefundSubmission(t)
 		return nil, err
 	}
 	sw := newSweep(t, g, cells)
@@ -381,10 +409,14 @@ func (m *Manager) SubmitAs(t *tenant.Tenant, g Grid) (*Sweep, error) {
 	m.mu.Lock()
 	if m.draining {
 		m.mu.Unlock()
+		m.tenants().RefundSubmission(t)
 		return nil, ErrDraining
 	}
 	if cur, ok := m.open[sw.gridKey]; ok && !cur.Status().terminal() {
 		m.mu.Unlock()
+		// The attaching tenant polls the shared sweep like its own, so
+		// it needs read access across the tenant line.
+		cur.grantAccess(t.ID())
 		m.reg.Counter(MetricSweepsAttached).Inc()
 		m.log("sweep %s: identical grid resubmitted, attached to the live sweep", cur.id)
 		return cur, nil

@@ -2,6 +2,9 @@ package sweep
 
 import (
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,6 +62,95 @@ func TestSweepCompletesUnderSweepCellQuota(t *testing.T) {
 				t.Fatalf("sweep-cell gauge did not return to zero: %s", line)
 			}
 		}
+	}
+	drainAll(t, sm, svc)
+}
+
+// TestSweepAccessScopedToTenant: sweep IDs are sequential, so the
+// sweep API must scope reads and cancels to the owning tenant (admins
+// excepted). A tenant that attaches by resubmitting the identical grid
+// gains read access to the shared sweep but still cannot cancel it.
+func TestSweepAccessScopedToTenant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	keyfile := `{"tenants": [{"id": "lab-a", "key": "ka"}, {"id": "lab-b", "key": "kb"}, {"id": "ops", "key": "ko", "admin": true}]}`
+	if err := os.WriteFile(path, []byte(keyfile), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	ctl, err := tenant.NewController(tenant.Config{Path: path, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Config{Workers: 2, Metrics: reg, Tenants: ctl})
+	sm := NewManager(Config{Service: svc, Metrics: reg})
+	root := http.NewServeMux()
+	root.Handle("/", service.NewHandler(svc, "test", nil, nil))
+	Register(root, sm)
+	srv := httptest.NewServer(root)
+	defer srv.Close()
+
+	do := func(method, path, key string, body string) int {
+		t.Helper()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, srv.URL+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	grid := `{"n": [20, 30], "attack": ["none", "drop"], "trials": 2, "seed": 7, "workers": 2}`
+	if code := do("POST", "/v1/sweeps", "ka", grid); code != http.StatusAccepted {
+		t.Fatalf("submit as lab-a -> %d, want 202", code)
+	}
+	const id = "/v1/sweeps/s000001"
+
+	// Reads and results: owner and admin yes, the other tenant 404.
+	for _, tc := range []struct {
+		key  string
+		want int
+	}{{"ka", 200}, {"ko", 200}, {"kb", 404}} {
+		if code := do("GET", id, tc.key, ""); code != tc.want {
+			t.Fatalf("GET sweep as %q -> %d, want %d", tc.key, code, tc.want)
+		}
+		if code := do("GET", id+"/results", tc.key, ""); code != tc.want {
+			t.Fatalf("GET results as %q -> %d, want %d", tc.key, code, tc.want)
+		}
+	}
+	// Cross-tenant cancel is the destructive path: 404, sweep untouched.
+	if code := do("DELETE", id, "kb", ""); code != http.StatusNotFound {
+		t.Fatalf("DELETE as lab-b -> %d, want 404", code)
+	}
+
+	// lab-b resubmits the identical grid: it attaches to the live sweep
+	// (or, if the sweep already finished, starts its own — both 202) and
+	// may now poll what it was handed back; cancel stays owner-only.
+	if code := do("POST", "/v1/sweeps", "kb", grid); code != http.StatusAccepted {
+		t.Fatalf("attach submit as lab-b -> %d, want 202", code)
+	}
+	sw, ok := sm.Get("s000001")
+	if !ok {
+		t.Fatal("sweep s000001 missing")
+	}
+	if sw.Accessible("lab-b") {
+		if code := do("GET", id, "kb", ""); code != http.StatusOK {
+			t.Fatalf("GET attached sweep as lab-b -> %d, want 200", code)
+		}
+		if code := do("DELETE", id, "kb", ""); code != http.StatusNotFound {
+			t.Fatalf("DELETE attached sweep as lab-b -> %d, want 404 (read access must not grant cancel)", code)
+		}
+	}
+	if code := do("DELETE", id, "ka", ""); code != http.StatusOK {
+		t.Fatalf("DELETE as owner -> %d, want 200", code)
 	}
 	drainAll(t, sm, svc)
 }

@@ -67,6 +67,24 @@ func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 	return false, time.Duration(need / b.rate * float64(time.Second))
 }
 
+// refund returns one token taken by take whose submission was then
+// rejected downstream (full queue, quota, draining manager), clamped
+// to burst. Without it, back-pressure retries against a full queue
+// would burn the tenant's whole rate budget and turn capacity
+// rejections into rate-limit ones for its other clients.
+func (b *bucket) refund(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rate <= 0 {
+		return
+	}
+	b.refillLocked(now)
+	b.tokens++
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
 // retryAfter reports how long until one token is available without
 // consuming anything (0 when a take would succeed right now).
 func (b *bucket) retryAfter(now time.Time) time.Duration {

@@ -27,6 +27,10 @@ var (
 	// over its fair share, so its submission was dropped to protect the
 	// others.
 	ErrShed = errors.New("tenant: shedding load")
+	// ErrQueueClosed means the queue has stopped admitting because the
+	// server is draining. Unlike the 429-class sentinels, retrying
+	// cannot help; HTTP maps it to 503.
+	ErrQueueClosed = errors.New("tenant: queue closed to new work (draining)")
 )
 
 // Rejection reasons, used as the reason label on
@@ -37,6 +41,7 @@ const (
 	ReasonSweepCells  = "sweep_cells"
 	ReasonShed        = "shed"
 	ReasonQueueFull   = "queue_full"
+	ReasonDraining    = "draining"
 )
 
 // AdmissionError is a 429-class rejection: the request was well-formed

@@ -111,16 +111,19 @@ func threshold(capacity int, frac float64) int {
 	return at
 }
 
-// Push admits one item for tenant t. Errors are all *AdmissionError:
-// ErrQueueFull at global capacity, ErrQuota past the tenant's
-// MaxQueued, ErrShed when the shedding tier is active and the tenant is
-// over its fair share.
+// Push admits one item for tenant t. A closed queue returns
+// ErrQueueClosed — shutdown, not back-pressure, so callers don't retry
+// against a queue that will never admit again. The capacity errors are
+// all *AdmissionError: ErrQueueFull at global capacity, ErrQuota past
+// the tenant's MaxQueued, ErrShed when the shedding tier is active and
+// the tenant is over its fair share.
 func (q *Queue[T]) Push(t *Tenant, item T) error {
 	lim := t.Limits()
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return &AdmissionError{Sentinel: ErrQueueFull, Tenant: t.id, Reason: ReasonQueueFull, After: q.ctl.RetryAfter(t, defaultRetryAfter)}
+		q.ctl.Reject(t, ReasonDraining)
+		return ErrQueueClosed
 	}
 	if q.size >= q.cfg.Capacity {
 		q.mu.Unlock()

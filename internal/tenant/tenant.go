@@ -109,6 +109,10 @@ type KeyfileTenant struct {
 	ID string `json:"id"`
 	// Key is the bearer token the tenant authenticates with.
 	Key string `json:"key"`
+	// Admin marks an operator tenant: it may read and cancel every
+	// tenant's jobs and sweeps, not only its own. The anonymous tenant
+	// can never be admin.
+	Admin bool `json:"admin,omitempty"`
 	Limits
 }
 
@@ -143,6 +147,7 @@ type Tenant struct {
 	limits     Limits
 	keyHash    [sha256.Size]byte
 	keyed      bool // false for the anonymous tenant
+	admin      bool // operator tenant: may touch every tenant's resources
 	sweepCells int  // in-flight sweep cells, bounded by limits.MaxSweepCells
 
 	bucket bucket
@@ -163,6 +168,23 @@ func (t *Tenant) Limits() Limits {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.limits
+}
+
+// Admin reports whether the tenant is an operator (keyfile
+// `"admin": true`).
+func (t *Tenant) Admin() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.admin
+}
+
+// CanAccess reports whether the tenant may read or mutate a resource
+// owned by ownerID: its own resources always, everyone's when it is an
+// admin. Job and sweep handlers answer 404 when this is false, so one
+// tenant cannot enumerate or cancel another's work through the
+// sequential IDs.
+func (t *Tenant) CanAccess(ownerID string) bool {
+	return t.id == ownerID || t.Admin()
 }
 
 // Config configures a Controller.
@@ -246,6 +268,7 @@ func Parse(data []byte) (*Keyfile, error) {
 		return nil, fmt.Errorf("tenant: invalid keyfile: %w", err)
 	}
 	seen := map[string]bool{}
+	seenKeys := map[[sha256.Size]byte]string{}
 	for i := range kf.Tenants {
 		kt := &kf.Tenants[i]
 		id := metrics.SanitizeLabel(kt.ID)
@@ -265,6 +288,13 @@ func Parse(data []byte) (*Keyfile, error) {
 		if kt.Key == "" {
 			return nil, fmt.Errorf("tenant: %q has an empty key", id)
 		}
+		// Two tenants sharing one bearer key would silently attribute all
+		// of the second's traffic (and limits, and metrics) to the first.
+		digest := sha256.Sum256([]byte(kt.Key))
+		if other, dup := seenKeys[digest]; dup {
+			return nil, fmt.Errorf("tenant: %q and %q share the same key", other, id)
+		}
+		seenKeys[digest] = id
 		kt.Limits.normalize()
 	}
 	return &kf, nil
@@ -302,6 +332,7 @@ func (c *Controller) Reload() error {
 		t.limits = kt.Limits
 		t.keyHash = sha256.Sum256([]byte(kt.Key))
 		t.keyed = true
+		t.admin = kt.Admin
 		t.mu.Unlock()
 		t.bucket.configure(kt.Rate, kt.Burst, now)
 		next[kt.ID] = t
@@ -316,6 +347,15 @@ func (c *Controller) Reload() error {
 		c.anon.bucket.configure(lim.Rate, lim.Burst, now)
 		c.anonOK = true
 	} else {
+		// The anonymous section is gone: unauthenticated HTTP is denied,
+		// and the internal submitters still running as anonymous
+		// (recovered sweeps, library Submit) revert to the default
+		// unlimited limits rather than keeping the removed section's
+		// rate and quotas.
+		c.anon.mu.Lock()
+		c.anon.limits = Limits{Weight: 1}
+		c.anon.mu.Unlock()
+		c.anon.bucket.configure(0, 1, now)
 		c.anonOK = false
 	}
 	c.tenants = next
@@ -416,6 +456,16 @@ func (c *Controller) AdmitSubmission(t *Tenant) error {
 		return &AdmissionError{Sentinel: ErrRateLimited, Tenant: t.id, Reason: ReasonRateLimited, After: after}
 	}
 	return nil
+}
+
+// RefundSubmission returns the token AdmitSubmission took when the
+// submission was rejected downstream of the rate check (full queue,
+// quota, shed, draining manager). Capacity back-pressure must not also
+// drain the tenant's rate budget: a retry loop bouncing off a full
+// queue would otherwise turn every other client's next submission into
+// a rate-limit 429.
+func (c *Controller) RefundSubmission(t *Tenant) {
+	t.bucket.refund(c.now())
 }
 
 // RetryAfter suggests how long the tenant should wait before its next

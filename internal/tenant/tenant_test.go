@@ -87,6 +87,7 @@ func TestParseRejectsBadKeyfiles(t *testing.T) {
 		"empty id":      `{"tenants": [{"id": "", "key": "k"}]}`,
 		"reserved id":   `{"tenants": [{"id": "anonymous", "key": "k"}]}`,
 		"duplicate id":  `{"tenants": [{"id": "a", "key": "k1"}, {"id": "a", "key": "k2"}]}`,
+		"duplicate key": `{"tenants": [{"id": "a", "key": "k"}, {"id": "b", "key": "k"}]}`,
 		"empty key":     `{"tenants": [{"id": "a", "key": ""}]}`,
 	}
 	for name, doc := range cases {
@@ -204,6 +205,120 @@ func TestReloadPreservesLiveState(t *testing.T) {
 	}
 	if _, err := c.Authenticate("k1-new"); err != nil {
 		t.Fatal("failed reload locked out a previously valid key")
+	}
+}
+
+// TestRefundSubmissionReturnsToken: a rate token taken for a
+// submission the queue then rejected goes back into the bucket, so
+// capacity back-pressure does not double as rate-limit pressure.
+func TestRefundSubmissionReturnsToken(t *testing.T) {
+	clk := newFakeClock()
+	path := writeKeyfile(t, `{"tenants": [{"id": "lab", "key": "k", "rate": 1, "burst": 2}]}`)
+	c, err := NewController(Config{Path: path, Metrics: metrics.New(), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab, _ := c.Authenticate("k")
+	// Simulate bouncing off a full queue: take + refund must be a no-op
+	// on the budget, any number of times.
+	for i := 0; i < 10; i++ {
+		if err := c.AdmitSubmission(lab); err != nil {
+			t.Fatalf("take %d after refunds rejected: %v", i, err)
+		}
+		c.RefundSubmission(lab)
+	}
+	// The full burst is still available...
+	for i := 0; i < 2; i++ {
+		if err := c.AdmitSubmission(lab); err != nil {
+			t.Fatalf("burst take %d rejected after refund cycle: %v", i+1, err)
+		}
+	}
+	if err := c.AdmitSubmission(lab); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("post-burst admit = %v, want ErrRateLimited", err)
+	}
+	// ...and refunds clamp at the burst — they can never mint a balance
+	// larger than the bucket holds.
+	for i := 0; i < 5; i++ {
+		c.RefundSubmission(lab)
+	}
+	for i := 0; i < 2; i++ {
+		if err := c.AdmitSubmission(lab); err != nil {
+			t.Fatalf("refunded take %d rejected: %v", i+1, err)
+		}
+	}
+	if err := c.AdmitSubmission(lab); !errors.Is(err, ErrRateLimited) {
+		t.Fatal("refunds minted tokens beyond the burst")
+	}
+}
+
+// TestReloadDropsAnonymousSection: removing the anonymous section
+// denies unauthenticated HTTP and reverts the anonymous tenant —
+// still used by internal submitters — to the default unlimited limits
+// instead of freezing the removed section's rate and quotas.
+func TestReloadDropsAnonymousSection(t *testing.T) {
+	clk := newFakeClock()
+	path := writeKeyfile(t, `{"anonymous": {"rate": 1, "burst": 1, "max_queued": 2, "weight": 5}, "tenants": [{"id": "lab", "key": "k"}]}`)
+	c, err := NewController(Config{Path: path, Metrics: metrics.New(), Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon := c.Anonymous()
+	if err := c.AdmitSubmission(anon); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdmitSubmission(anon); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("anonymous burst-1 second admit = %v, want ErrRateLimited", err)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"tenants": [{"id": "lab", "key": "k"}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Authenticate(""); !errors.Is(err, ErrUnauthorized) {
+		t.Fatal("unauthenticated request admitted after the anonymous section was removed")
+	}
+	if lim := anon.Limits(); lim.Rate != 0 || lim.MaxQueued != 0 || lim.Weight != 1 {
+		t.Fatalf("anonymous limits after section removal = %+v, want default unlimited", lim)
+	}
+	// Internal submitters (recovered sweeps, library Submit) are back to
+	// unlimited, not stuck on the removed section's empty bucket.
+	for i := 0; i < 10; i++ {
+		if err := c.AdmitSubmission(anon); err != nil {
+			t.Fatalf("internal anonymous admit %d after reload = %v, want unlimited", i, err)
+		}
+	}
+}
+
+// TestAdminFlag: the keyfile's admin bit reaches CanAccess, reloads
+// can revoke it, and plain tenants only access their own resources.
+func TestAdminFlag(t *testing.T) {
+	path := writeKeyfile(t, `{"tenants": [{"id": "ops", "key": "ko", "admin": true}, {"id": "lab", "key": "kl"}]}`)
+	c, err := NewController(Config{Path: path, Metrics: metrics.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := c.Authenticate("ko")
+	lab, _ := c.Authenticate("kl")
+	if !ops.Admin() || !ops.CanAccess("lab") || !ops.CanAccess(AnonymousID) {
+		t.Fatal("admin tenant cannot access other tenants' resources")
+	}
+	if lab.Admin() || lab.CanAccess("ops") {
+		t.Fatal("plain tenant can access another tenant's resources")
+	}
+	if !lab.CanAccess("lab") {
+		t.Fatal("tenant cannot access its own resources")
+	}
+	// A reload can revoke admin.
+	if err := os.WriteFile(path, []byte(`{"tenants": [{"id": "ops", "key": "ko"}, {"id": "lab", "key": "kl"}]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if ops.Admin() || ops.CanAccess("lab") {
+		t.Fatal("reload did not revoke the admin bit")
 	}
 }
 
@@ -433,8 +548,12 @@ func TestQueueCloseDrains(t *testing.T) {
 		}
 	}
 	q.Close()
-	if err := q.Push(c.Anonymous(), 99); !errors.Is(err, ErrQueueFull) {
-		t.Fatalf("push after close = %v, want ErrQueueFull", err)
+	// A closed queue is shutdown, not back-pressure: the error must not
+	// be a retryable 429-class sentinel.
+	if err := q.Push(c.Anonymous(), 99); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("push after close = %v, want ErrQueueClosed", err)
+	} else if errors.Is(err, ErrQueueFull) {
+		t.Fatal("push after close reported the retryable ErrQueueFull")
 	}
 	for i := 0; i < 3; i++ {
 		item, ok := q.Pop()

@@ -94,6 +94,19 @@ for i in 1 2 3; do
   [ "$CODE" = 202 ] || fail "steady job $i -> $CODE, want 202 (throttling leaked across tenants)"
 done
 
+echo "smoke-tenants: tenants cannot read or cancel each other's jobs"
+STEADY_JOB=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$WORK/body")
+[ -n "$STEADY_JOB" ] || fail "no job id in the steady tenant's submission body"
+CODE=$(curl -sS -o /dev/null -w '%{http_code}' \
+  -H "Authorization: Bearer steady-key" "$BASE/v1/jobs/$STEADY_JOB")
+[ "$CODE" = 200 ] || fail "steady tenant cannot read its own job -> $CODE"
+CODE=$(curl -sS -o /dev/null -w '%{http_code}' \
+  -H "Authorization: Bearer limited-key" "$BASE/v1/jobs/$STEADY_JOB")
+[ "$CODE" = 404 ] || fail "limited tenant read steady's job -> $CODE, want 404"
+CODE=$(curl -sS -o /dev/null -w '%{http_code}' -X DELETE \
+  -H "Authorization: Bearer limited-key" "$BASE/v1/jobs/$STEADY_JOB")
+[ "$CODE" = 404 ] || fail "limited tenant cancelled steady's job -> $CODE, want 404"
+
 echo "smoke-tenants: saturating the queue flips /healthz to the shed tier"
 # Queue capacity 4 and one worker busy on real jobs: keep pushing slow
 # jobs until the steady tenant itself gets shed/queue-full, then check
